@@ -1,0 +1,150 @@
+// Copyright 2026 The streambid Authors
+
+#include "bench/bench_common.h"
+
+#include <cstdio>
+
+#include "auction/registry.h"
+#include "common/check.h"
+#include "common/string_util.h"
+#include "common/table.h"
+
+namespace streambid::bench {
+
+std::vector<int> BenchConfig::Degrees() const {
+  return workload::WorkloadSet::SharingSweep(params.base_max_sharing, step);
+}
+
+BenchConfig LoadConfig() {
+  BenchConfig config;
+  config.sets = static_cast<int>(EnvInt("STREAMBID_SETS", 6));
+  config.queries = static_cast<int>(EnvInt("STREAMBID_QUERIES", 2000));
+  config.step = static_cast<int>(EnvInt("STREAMBID_STEP", 5));
+  config.trials = static_cast<int>(EnvInt("STREAMBID_TRIALS", 3));
+  STREAMBID_CHECK_GT(config.sets, 0);
+  STREAMBID_CHECK_GT(config.queries, 0);
+  STREAMBID_CHECK_GT(config.step, 0);
+  STREAMBID_CHECK_GT(config.trials, 0);
+  config.params.num_queries = config.queries;
+  // Keep the paper's 2000:700 query:operator ratio at other scales.
+  config.params.base_num_operators =
+      std::max(1, config.queries * 700 / 2000);
+  return config;
+}
+
+MetricFn ProfitMetric() {
+  return [](const auction::AuctionInstance& inst,
+            const auction::Allocation& alloc) {
+    return auction::ComputeMetrics(inst, alloc).profit;
+  };
+}
+
+MetricFn AdmissionRateMetric() {
+  return [](const auction::AuctionInstance& inst,
+            const auction::Allocation& alloc) {
+    return auction::ComputeMetrics(inst, alloc).admission_rate;
+  };
+}
+
+MetricFn PayoffMetric() {
+  return [](const auction::AuctionInstance& inst,
+            const auction::Allocation& alloc) {
+    return auction::ComputeMetrics(inst, alloc).total_payoff;
+  };
+}
+
+MetricFn UtilizationMetric() {
+  return [](const auction::AuctionInstance& inst,
+            const auction::Allocation& alloc) {
+    return auction::ComputeMetrics(inst, alloc).utilization;
+  };
+}
+
+SweepResult RunSweep(const BenchConfig& config,
+                     const std::vector<std::string>& mechanisms,
+                     const std::vector<double>& capacities,
+                     const MetricFn& metric) {
+  const std::vector<int> degrees = config.Degrees();
+
+  // Build mechanisms once.
+  std::vector<auction::MechanismPtr> mechs;
+  for (const std::string& name : mechanisms) {
+    auto m = auction::MakeMechanism(name);
+    STREAMBID_CHECK(m.ok());
+    mechs.push_back(std::move(m).value());
+  }
+
+  SweepResult result;
+  for (double cap : capacities) {
+    for (const std::string& name : mechanisms) {
+      result[cap][name].assign(degrees.size(), 0.0);
+    }
+  }
+
+  for (int set = 0; set < config.sets; ++set) {
+    workload::WorkloadSet ws(config.params,
+                             /*seed=*/0xBEEF0000ull + set);
+    for (size_t d = 0; d < degrees.size(); ++d) {
+      const auction::AuctionInstance& inst = ws.InstanceAt(degrees[d]);
+      for (double cap : capacities) {
+        for (size_t m = 0; m < mechs.size(); ++m) {
+          const bool randomized = mechs[m]->properties().randomized;
+          const int trials = randomized ? config.trials : 1;
+          double acc = 0.0;
+          for (int t = 0; t < trials; ++t) {
+            Rng rng(0xC0FFEEull * (set + 1) + 31 * d + 7 * m + t);
+            const auction::Allocation alloc =
+                mechs[m]->Run(inst, cap, rng);
+            acc += metric(inst, alloc);
+          }
+          result[cap][mechanisms[m]][d] += acc / trials;
+        }
+      }
+    }
+  }
+  for (double cap : capacities) {
+    for (const std::string& name : mechanisms) {
+      for (double& v : result[cap][name]) v /= config.sets;
+    }
+  }
+  return result;
+}
+
+void PrintSeries(const BenchConfig& config, const SweepResult& result,
+                 double capacity,
+                 const std::vector<std::string>& mechanisms) {
+  const std::vector<int> degrees = config.Degrees();
+  std::vector<std::string> header = {"max_degree"};
+  for (const std::string& m : mechanisms) header.push_back(m);
+  TextTable table(header);
+  for (size_t d = 0; d < degrees.size(); ++d) {
+    std::vector<std::string> row = {std::to_string(degrees[d])};
+    for (const std::string& m : mechanisms) {
+      row.push_back(FormatDouble(result.at(capacity).at(m)[d], 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.ToCsv().c_str(), stdout);
+}
+
+std::string CrossoverDegree(const BenchConfig& config,
+                            const SweepResult& result, double capacity,
+                            const std::string& a, const std::string& b) {
+  const std::vector<int> degrees = config.Degrees();
+  const auto& sa = result.at(capacity).at(a);
+  const auto& sb = result.at(capacity).at(b);
+  for (size_t d = 0; d < degrees.size(); ++d) {
+    if (sa[d] > sb[d]) return std::to_string(degrees[d]);
+  }
+  return "-";
+}
+
+void PrintBanner(const std::string& title, const BenchConfig& config) {
+  std::printf("# %s\n", title.c_str());
+  std::printf(
+      "# workload: %d sets x %d queries, sharing degrees step %d "
+      "(paper: 50 sets; override with STREAMBID_SETS/QUERIES/STEP)\n",
+      config.sets, config.queries, config.step);
+}
+
+}  // namespace streambid::bench

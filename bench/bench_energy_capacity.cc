@@ -1,0 +1,61 @@
+// Copyright 2026 The streambid Authors
+// §VII energy extension: profit net of energy cost as a function of the
+// capacity offered to the auction. The paper's observation: "it might
+// be more profitable not to fully utilize the available capacity" —
+// density mechanisms' prices collapse when capacity approaches total
+// demand, so a smaller provisioned capacity can earn strictly more
+// even before energy savings.
+
+#include <cstdio>
+
+#include "auction/registry.h"
+#include "bench/bench_common.h"
+#include "cloud/energy.h"
+#include "common/table.h"
+
+int main() {
+  using namespace streambid;
+  using namespace streambid::bench;
+  const BenchConfig config = LoadConfig();
+  PrintBanner("§VII energy/capacity ablation (max degree of sharing 20)",
+              config);
+
+  workload::WorkloadParams params = config.params;
+  workload::WorkloadSet ws(params, 0xE4E56Au);
+  const auction::AuctionInstance& inst = ws.InstanceAt(20);
+  const double demand = inst.total_union_load();
+  std::printf("# union demand at degree 20: %.0f units\n", demand);
+
+  std::vector<double> candidates;
+  for (double f : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {
+    candidates.push_back(demand * f);
+  }
+
+  cloud::EnergyModel energy;
+  for (const char* name : {"cat", "caf", "two-price"}) {
+    auto m = auction::MakeMechanism(name).value();
+    Rng rng(11);
+    const auto evals = cloud::EvaluateCapacities(
+        *m, inst, candidates, energy, rng,
+        m->properties().randomized ? config.trials * 4 : 1);
+    TextTable table({"capacity", "gross_profit", "energy_cost",
+                     "net_profit", "utilization", "admitted"});
+    for (const auto& e : evals) {
+      table.AddRow({FormatDouble(e.capacity, 0),
+                    FormatDouble(e.gross_profit, 1),
+                    FormatDouble(e.energy_cost, 1),
+                    FormatDouble(e.net_profit, 1),
+                    FormatPercent(e.utilization, 1),
+                    FormatInt(e.admitted)});
+    }
+    std::printf("## mechanism %s\n", name);
+    std::fputs(table.ToAligned().c_str(), stdout);
+    const auto best = cloud::OptimizeCapacity(*m, inst, candidates,
+                                              energy, rng, 1);
+    std::printf("# most beneficial capacity for %s: %.0f "
+                "(%.0f%% of demand), net %.1f\n",
+                name, best.capacity, 100.0 * best.capacity / demand,
+                best.net_profit);
+  }
+  return 0;
+}

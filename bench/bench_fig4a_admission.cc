@@ -1,0 +1,47 @@
+// Copyright 2026 The streambid Authors
+// Figure 4(a): percentage of queries serviced under each mechanism as
+// the maximum degree of sharing grows, system capacity 15,000.
+// Expected shape (paper §VI-B): every mechanism admits more as sharing
+// grows; Two-price always admits the smallest fraction because it
+// ignores loads when selecting winners.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace streambid::bench;
+  const BenchConfig config = LoadConfig();
+  PrintBanner("Figure 4(a): admission rate vs max degree of sharing "
+              "(capacity 15000)",
+              config);
+
+  const std::vector<std::string> mechanisms = {"caf", "caf+", "cat",
+                                               "cat+", "two-price"};
+  const double capacity = 15000.0;
+  const SweepResult result =
+      RunSweep(config, mechanisms, {capacity}, AdmissionRateMetric());
+  PrintSeries(config, result, capacity, mechanisms);
+
+  // Shape assertions the paper makes in prose. (Two-price admission is
+  // governed by its internal sampled price, not by load, so it stays
+  // roughly flat once the candidate set H saturates — the paper's claim
+  // is that it is always the LOWEST, checked below.)
+  const auto& series = result.at(capacity);
+  const size_t last = config.Degrees().size() - 1;
+  std::printf("# shape: density-mechanism admission rises with sharing "
+              "— caf %s, cat %s\n",
+              series.at("caf")[last] > series.at("caf")[0] ? "yes" : "NO",
+              series.at("cat")[last] > series.at("cat")[0] ? "yes" : "NO");
+  double min_gap = 1.0;
+  for (size_t d = 0; d <= last; ++d) {
+    for (const char* m : {"caf", "caf+", "cat", "cat+"}) {
+      min_gap = std::min(min_gap,
+                         series.at(m)[d] - series.at("two-price")[d]);
+    }
+  }
+  std::printf("# shape: two-price admits least everywhere: %s "
+              "(min gap %.3f)\n",
+              min_gap >= -0.02 ? "yes" : "NO", min_gap);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Copyright 2026 The streambid Authors
+// Figure 5: profit of the strategyproof mechanisms (CAF, CAT,
+// Two-price, evaluated on truthful bids — their users have no reason to
+// lie) against the non-strategyproof CAR evaluated truthful, under the
+// Moderate Lying workload (CAR-ML), and under the Aggressive Lying
+// workload (CAR-AL).
+// Expected shape (paper §VI-B): lying lowers CAR's profit — CAR >=
+// CAR-ML >= CAR-AL — "the profit of the three strategyproof mechanisms
+// is dependable, while the profit from CAR is manipulable".
+//
+// The paper plots capacity 15,000; under our calibration that capacity
+// stops rationing beyond sharing degree ~10 (every mechanism is free),
+// so the lying effect is only visible at low degrees. We therefore also
+// print capacity 5,000, where admission stays competitive deep into the
+// sweep and the §VI lying model (users with CSF/CT below threshold
+// underbid) actually fires.
+
+#include <cstdio>
+
+#include "auction/registry.h"
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "workload/lying.h"
+
+namespace {
+
+using namespace streambid;
+using namespace streambid::bench;
+
+void RunAtCapacity(const BenchConfig& config, double capacity) {
+  const std::vector<int> degrees = config.Degrees();
+  const std::vector<std::string> columns = {"caf",    "cat", "two-price",
+                                            "car",    "car-ml",
+                                            "car-al"};
+  std::map<std::string, std::vector<double>> profit;
+  for (const auto& c : columns) profit[c].assign(degrees.size(), 0.0);
+
+  auto caf = auction::MakeMechanism("caf").value();
+  auto cat = auction::MakeMechanism("cat").value();
+  auto two_price = auction::MakeMechanism("two-price").value();
+  auto car = auction::MakeMechanism("car").value();
+
+  for (int set = 0; set < config.sets; ++set) {
+    workload::WorkloadSet ws(config.params, 0xF1651u + set);
+    for (size_t d = 0; d < degrees.size(); ++d) {
+      const auction::AuctionInstance& truthful =
+          ws.InstanceAt(degrees[d]);
+      Rng rng(0x11ABCDull * (set + 3) + d);
+
+      auto run = [&](const auction::Mechanism& m,
+                     const auction::AuctionInstance& inst) {
+        Rng local = rng.Fork();
+        const auction::Allocation alloc = m.Run(inst, capacity, local);
+        return auction::ComputeMetrics(inst, alloc).profit;
+      };
+      profit["caf"][d] += run(*caf, truthful);
+      profit["cat"][d] += run(*cat, truthful);
+      double tp = 0.0;
+      for (int t = 0; t < config.trials; ++t) {
+        tp += run(*two_price, truthful);
+      }
+      profit["two-price"][d] += tp / config.trials;
+      profit["car"][d] += run(*car, truthful);
+
+      // Lying workloads: strategizing users submit discounted bids to
+      // CAR; profit counts what the mechanism actually charges.
+      const workload::RawWorkload& raw = ws.RawAt(degrees[d]);
+      Rng lie_rng(0x717171ull + set * 131 + d);
+      const std::vector<double> ml_bids = workload::ApplyLying(
+          truthful, workload::ModerateLying(), lie_rng);
+      const std::vector<double> al_bids = workload::ApplyLying(
+          truthful, workload::AggressiveLying(), lie_rng);
+      auto ml = raw.ToInstanceWithBids(ml_bids);
+      auto al = raw.ToInstanceWithBids(al_bids);
+      profit["car-ml"][d] += run(*car, ml.value());
+      profit["car-al"][d] += run(*car, al.value());
+    }
+  }
+  for (auto& [name, series] : profit) {
+    for (double& v : series) v /= config.sets;
+  }
+
+  std::printf("## capacity %.0f\n", capacity);
+  TextTable table([&] {
+    std::vector<std::string> h = {"max_degree"};
+    h.insert(h.end(), columns.begin(), columns.end());
+    return h;
+  }());
+  for (size_t d = 0; d < degrees.size(); ++d) {
+    std::vector<std::string> row = {std::to_string(degrees[d])};
+    for (const auto& c : columns) {
+      row.push_back(FormatDouble(profit[c][d], 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::fputs(table.ToCsv().c_str(), stdout);
+
+  auto mean = [&](const std::string& c) {
+    double acc = 0.0;
+    for (double v : profit[c]) acc += v;
+    return acc / profit[c].size();
+  };
+  std::printf("# mean profit: car %.1f, car-ml %.1f, car-al %.1f\n",
+              mean("car"), mean("car-ml"), mean("car-al"));
+  std::printf("# shape: lying lowers CAR profit (car >= car-ml >= "
+              "car-al): %s\n",
+              mean("car") >= mean("car-ml") * 0.999 &&
+                      mean("car-ml") >= mean("car-al") * 0.999
+                  ? "yes"
+                  : "NO");
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig config = LoadConfig();
+  PrintBanner("Figure 5: profit under lying workloads (CAR vs CAR-ML "
+              "vs CAR-AL vs strategyproof CAF/CAT/Two-price)",
+              config);
+  RunAtCapacity(config, 15000.0);  // The paper's plotted capacity.
+  RunAtCapacity(config, 5000.0);   // Constrained regime under our
+                                   // calibration (see EXPERIMENTS.md).
+  return 0;
+}

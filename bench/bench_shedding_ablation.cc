@@ -1,0 +1,129 @@
+// Copyright 2026 The streambid Authors
+// Ablation for the paper's closing argument: "most data stream admission
+// control (load shedding) algorithms work at the tuple level ... we
+// believe that focusing on the query level is equally important."
+//
+// Same overloaded tenant population (total demand ~2x capacity), two
+// provider strategies:
+//   admission-control : auction (CAT) picks a feasible winner set; the
+//                       engine runs within capacity, winners get 100% of
+//                       their results, and the provider collects payments;
+//   admit-all + shed  : every query is installed and the engine's
+//                       tuple-level shedder drops arrivals under overload —
+//                       every tenant gets a degraded stream and nobody can
+//                       be billed a strategyproof price.
+
+#include <cstdio>
+
+#include "auction/metrics.h"
+#include "auction/registry.h"
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "stream/load_estimator.h"
+#include "stream/query_builder.h"
+
+namespace {
+
+using namespace streambid;
+using namespace streambid::stream;
+
+constexpr int kTenants = 10;
+constexpr double kCapacity = 5.0;  // Each select costs ~1 unit.
+
+EngineOptions MakeOptions(bool shed) {
+  EngineOptions options;
+  options.capacity = kCapacity;
+  options.tick = 1.0;
+  options.sink_history = 4;
+  options.shed_on_overload = shed;
+  return options;
+}
+
+Status AddSources(Engine& engine) {
+  return engine.RegisterSource(MakeStockQuoteSource(
+      "quotes", {"IBM", "AAPL", "MSFT", "GOOG"}, /*rate=*/100.0, 13));
+}
+
+std::vector<QuerySubmission> Tenants() {
+  std::vector<QuerySubmission> subs;
+  for (int i = 0; i < kTenants; ++i) {
+    QueryBuilder b;
+    const int src = b.Source("quotes");
+    const int sel = b.Select(src, "price", CompareOp::kGt,
+                             Value(80.0 + 5.0 * i));
+    QuerySubmission sub;
+    sub.query_id = i;
+    sub.user = i;
+    sub.bid = 100.0 - 7.0 * i;
+    sub.plan = b.Build(sel);
+    subs.push_back(std::move(sub));
+  }
+  return subs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: query-level admission control vs tuple-level "
+              "load shedding (%d tenants, demand ~2x capacity %.0f)\n",
+              kTenants, kCapacity);
+  const std::vector<QuerySubmission> subs = Tenants();
+  TextTable table({"strategy", "tenants_served", "output_tuples",
+                   "shed_fraction", "utilization", "revenue"});
+
+  // --- Strategy 1: auction admission (CAT), no shedding needed. -------
+  {
+    Engine engine(MakeOptions(/*shed=*/true));  // Enabled but must idle.
+    STREAMBID_CHECK(AddSources(engine).ok());
+    auto build = BuildAuctionInstance(engine, subs, {});
+    STREAMBID_CHECK(build.ok());
+    auto cat = auction::MakeMechanism("cat").value();
+    Rng rng(3);
+    const auction::Allocation alloc =
+        cat->Run(build->instance, kCapacity, rng);
+    int served = 0;
+    for (size_t i = 0; i < subs.size(); ++i) {
+      if (alloc.IsAdmitted(static_cast<auction::QueryId>(i))) {
+        STREAMBID_CHECK(
+            engine.InstallQuery(subs[i].query_id, subs[i].plan).ok());
+        ++served;
+      }
+    }
+    engine.Run(200.0);
+    int64_t outputs = 0;
+    for (int qid : engine.InstalledQueries()) {
+      outputs += engine.sink(qid)->tuples;
+    }
+    const auto metrics = auction::ComputeMetrics(build->instance, alloc);
+    table.AddRow({"admission-control (cat)", FormatInt(served),
+                  FormatInt(outputs),
+                  FormatPercent(engine.LastRunShedFraction(), 1),
+                  FormatPercent(engine.LastRunUtilization(), 1),
+                  FormatDouble(metrics.profit, 1)});
+  }
+
+  // --- Strategy 2: admit everything, shed tuples under overload. ------
+  {
+    Engine engine(MakeOptions(/*shed=*/true));
+    STREAMBID_CHECK(AddSources(engine).ok());
+    for (const QuerySubmission& sub : subs) {
+      STREAMBID_CHECK(engine.InstallQuery(sub.query_id, sub.plan).ok());
+    }
+    engine.Run(200.0);
+    int64_t outputs = 0;
+    for (int qid : engine.InstalledQueries()) {
+      outputs += engine.sink(qid)->tuples;
+    }
+    table.AddRow({"admit-all + tuple shedding", FormatInt(kTenants),
+                  FormatInt(outputs),
+                  FormatPercent(engine.LastRunShedFraction(), 1),
+                  FormatPercent(engine.LastRunUtilization(), 1),
+                  "0.0 (no pricing rule)"});
+  }
+
+  std::fputs(table.ToAligned().c_str(), stdout);
+  std::printf("# admission control serves fewer tenants at full fidelity "
+              "within capacity AND earns strategyproof revenue; shedding "
+              "degrades every tenant's result stream silently.\n");
+  return 0;
+}

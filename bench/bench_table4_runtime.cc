@@ -1,0 +1,78 @@
+// Copyright 2026 The streambid Authors
+// Table IV: mean runtime of each mechanism on 2000-query workloads at
+// capacity 15,000 (google-benchmark). The paper's Java numbers (ms):
+//   Random 0.92, GV 2.0, Two-price 3.7, CAF 7.1, CAT 7.3,
+//   CAT+ 10091, CAF+ 12555.
+// Absolute times differ (C++ vs Java, different hardware); the SHAPE to
+// reproduce is the ordering and the ~3 orders of magnitude separating
+// the skip-variants (whose movement-window payments re-simulate the
+// priority list per winner) from everything else.
+
+#include <benchmark/benchmark.h>
+
+#include "auction/registry.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using streambid::Rng;
+using streambid::auction::AuctionInstance;
+using streambid::bench::BenchConfig;
+using streambid::bench::LoadConfig;
+
+/// One shared workload instance per process, built lazily. Max sharing
+/// degree 5 keeps capacity 15,000 binding (admission ~90%), which is
+/// the regime Table IV measures: with spare capacity for everyone the
+/// skip-variants short-circuit their movement-window payments (every
+/// payment is provably zero) and the paper's 1000x runtime separation
+/// would disappear.
+const AuctionInstance& SharedInstance() {
+  static const AuctionInstance* instance = [] {
+    BenchConfig config = LoadConfig();
+    auto* ws = new streambid::workload::WorkloadSet(config.params,
+                                                    /*seed=*/0xABCDu);
+    return &ws->InstanceAt(5);
+  }();
+  return *instance;
+}
+
+void RunMechanism(benchmark::State& state, const std::string& name) {
+  auto mechanism = streambid::auction::MakeMechanism(name);
+  if (!mechanism.ok()) {
+    state.SkipWithError("unknown mechanism");
+    return;
+  }
+  const AuctionInstance& inst = SharedInstance();
+  const double capacity = 15000.0;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    benchmark::DoNotOptimize(
+        (*mechanism)->Run(inst, capacity, rng));
+  }
+}
+
+// Table IV column order.
+void BM_Random(benchmark::State& s) { RunMechanism(s, "random"); }
+void BM_GV(benchmark::State& s) { RunMechanism(s, "gv"); }
+void BM_TwoPrice(benchmark::State& s) { RunMechanism(s, "two-price"); }
+void BM_CAF(benchmark::State& s) { RunMechanism(s, "caf"); }
+void BM_CAFPlus(benchmark::State& s) { RunMechanism(s, "caf+"); }
+void BM_CAT(benchmark::State& s) { RunMechanism(s, "cat"); }
+void BM_CATPlus(benchmark::State& s) { RunMechanism(s, "cat+"); }
+void BM_CAR(benchmark::State& s) { RunMechanism(s, "car"); }
+void BM_OptC(benchmark::State& s) { RunMechanism(s, "opt-c"); }
+
+BENCHMARK(BM_Random)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GV)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TwoPrice)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CAF)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CAFPlus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CAT)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CATPlus)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CAR)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OptC)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

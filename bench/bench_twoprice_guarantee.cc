@@ -1,0 +1,108 @@
+// Copyright 2026 The streambid Authors
+// Theorems 11/12 ablation: expected Two-price profit versus the OPT_C
+// benchmark, with the exhaustive duplicate Step 3 on (Theorem 11 bound
+// OPT_C - 2h) and off (Theorem 12 bound OPT_C - d*h, d = size of the
+// boundary tie class). Run on Table III workloads (integer Zipf bids,
+// so ties are common and Step 3 matters) and on a distinct-valuation
+// instance where the bound is tight.
+
+#include <cstdio>
+
+#include "auction/mechanisms/opt_c.h"
+#include "auction/mechanisms/two_price.h"
+#include "auction/registry.h"
+#include "bench/bench_common.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace streambid;
+
+struct Row {
+  std::string label;
+  double opt_c;
+  double h;
+  double exhaustive;
+  double poly;
+};
+
+Row Evaluate(const std::string& label,
+             const auction::AuctionInstance& inst, double capacity,
+             int trials) {
+  Row row;
+  row.label = label;
+  row.opt_c = auction::OptimalConstantPricing(inst, capacity).profit;
+  row.h = inst.max_bid();
+  auto exhaustive = auction::MakeTwoPrice();
+  auto poly = auction::MakeTwoPricePoly();
+  double acc_e = 0.0, acc_p = 0.0;
+  Rng rng(42);
+  for (int t = 0; t < trials; ++t) {
+    acc_e += auction::ComputeMetrics(
+                 inst, exhaustive->Run(inst, capacity, rng))
+                 .profit;
+    acc_p +=
+        auction::ComputeMetrics(inst, poly->Run(inst, capacity, rng))
+            .profit;
+  }
+  row.exhaustive = acc_e / trials;
+  row.poly = acc_p / trials;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace streambid::bench;
+  const BenchConfig config = LoadConfig();
+  std::printf("# Theorems 11/12: Two-price profit vs OPT_C "
+              "(expected profit >= OPT_C - 2h with Step 3; "
+              ">= OPT_C - d*h without)\n");
+
+  TextTable table({"instance", "opt_c", "h", "two-price", "bound_2h",
+                   "holds", "two-price-poly"});
+  std::vector<Row> rows;
+
+  // Table III workloads at two sharing levels.
+  workload::WorkloadParams params = config.params;
+  params.num_queries = std::min(config.queries, 500);
+  params.base_num_operators = std::max(1, params.num_queries * 700 / 2000);
+  for (int degree : {5, 30}) {
+    workload::WorkloadSet ws(params, 0x5EEDu);
+    const auction::AuctionInstance& inst = ws.InstanceAt(degree);
+    rows.push_back(Evaluate(
+        "tableIII-deg" + std::to_string(degree), inst,
+        inst.total_union_load() * 0.5, 200));
+  }
+
+  // Distinct-valuation instance (the Theorem 11 setting).
+  {
+    std::vector<auction::OperatorSpec> ops;
+    std::vector<auction::QuerySpec> queries;
+    Rng rng(9);
+    for (int i = 0; i < 300; ++i) {
+      ops.push_back({1.0 + static_cast<double>(rng.NextBounded(5))});
+      queries.push_back(
+          {i, 100.0 - 0.1 * i, {static_cast<auction::OperatorId>(i)}});
+    }
+    auto inst = auction::AuctionInstance::Create(std::move(ops),
+                                                 std::move(queries))
+                    .value();
+    rows.push_back(Evaluate("distinct-vals", inst,
+                            inst.total_union_load() * 0.6, 400));
+  }
+
+  for (const Row& row : rows) {
+    const double bound = row.opt_c - 2.0 * row.h;
+    table.AddRow({row.label, FormatDouble(row.opt_c, 1),
+                  FormatDouble(row.h, 0), FormatDouble(row.exhaustive, 1),
+                  FormatDouble(bound, 1),
+                  row.exhaustive >= bound - 1e-6 ? "yes" : "NO",
+                  FormatDouble(row.poly, 1)});
+  }
+  std::fputs(table.ToAligned().c_str(), stdout);
+  std::printf("# note: with integer Zipf bids the boundary tie class d "
+              "is large, so the poly variant's OPT_C - d*h bound is "
+              "weak there — exactly the trade-off §IV-D discusses.\n");
+  return 0;
+}

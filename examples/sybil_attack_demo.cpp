@@ -1,0 +1,72 @@
+// Copyright 2026 The streambid Authors
+// The §V sybil attacks, end to end: watch a strategic user forge fake
+// queries against each mechanism and see who falls.
+//
+//   1. Fair-share attack (§V-A): deflates CSF under CAF — works.
+//   2. The same attack against CAT — harmless (Theorem 19).
+//   3. Table II (§V-B): the epsilon-query attack that beats CAT+.
+//   4. Partition attack (§V-C): shifts Two-price's random split.
+//
+// Build & run:  ./build/examples/sybil_attack_demo
+
+#include <cstdio>
+
+#include "auction/registry.h"
+#include "common/table.h"
+#include "gametheory/attacks.h"
+#include "gametheory/payoff.h"
+#include "gametheory/sybil.h"
+
+namespace {
+
+using namespace streambid;
+using gametheory::AttackScenario;
+
+void Report(const char* title, const AttackScenario& scenario,
+            const char* mechanism_name, int trials) {
+  auto mechanism = auction::MakeMechanism(mechanism_name).value();
+  Rng rng(1234);
+  auto report = gametheory::EvaluateSybilAttack(
+      *mechanism, scenario.instance, scenario.capacity, scenario.attacker,
+      scenario.attack, rng, trials);
+  if (!report.ok()) {
+    std::fprintf(stderr, "attack evaluation failed: %s\n",
+                 report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-44s vs %-9s payoff %8.4f -> %8.4f   %s\n", title,
+              mechanism_name, report->payoff_without_attack,
+              report->payoff_with_attack,
+              report->Profitable(1e-3) ? "ATTACK PROFITS"
+                                       : "attack futile");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("sybil attacks from paper §V (payoffs are the attacker's, "
+              "fakes' fees included):\n\n");
+
+  const AttackScenario fair_share = gametheory::FairShareScenario();
+  Report("fair-share attack (3 negligible fakes)", fair_share, "caf", 1);
+  Report("fair-share attack (3 negligible fakes)", fair_share, "caf+", 1);
+  Report("fair-share attack (3 negligible fakes)", fair_share, "cat", 1);
+
+  std::printf("\n");
+  const AttackScenario table2 = gametheory::TableIIScenario(0.01);
+  Report("Table II epsilon-query attack", table2, "cat+", 1);
+  Report("Table II epsilon-query attack", table2, "cat", 1);
+
+  std::printf("\n");
+  const AttackScenario partition =
+      gametheory::TwoPricePartitionScenario();
+  Report("partition attack (expected, 20k trials)", partition,
+         "two-price", 20000);
+  Report("partition attack (expected, 20k trials)", partition, "cat", 1);
+
+  std::printf(
+      "\nconclusion (paper Table I): only CAT is sybil immune — and it "
+      "stays bid-strategyproof even against combined lying+sybil "
+      "strategies (Theorem 19: sybil-strategyproof).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Copyright 2026 The streambid Authors
+// Tracks the union of admitted operators during winner selection. All
+// mechanisms share this feasibility logic: a candidate query fits iff the
+// loads of its not-yet-admitted operators (its remaining load, Definition
+// 2) still fit within capacity. Shared operators are only counted once.
+
+#ifndef STREAMBID_AUCTION_ADMITTED_SET_H_
+#define STREAMBID_AUCTION_ADMITTED_SET_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/types.h"
+
+namespace streambid::auction {
+
+/// Mutable admitted-operator set with O(|ops(q)|) remaining-load queries
+/// and admissions.
+class AdmittedSet {
+ public:
+  explicit AdmittedSet(const AuctionInstance& instance)
+      : instance_(&instance),
+        op_admitted_(static_cast<size_t>(instance.num_operators()), false) {}
+
+  /// Remaining load CR_q of query q w.r.t. the current admitted set: the
+  /// total load of q's operators not already admitted.
+  double RemainingLoad(QueryId q) const {
+    double load = 0.0;
+    for (OperatorId j : instance_->query_operators(q)) {
+      if (!op_admitted_[static_cast<size_t>(j)]) {
+        load += instance_->operator_load(j);
+      }
+    }
+    return load;
+  }
+
+  /// True iff admitting q keeps used load within `capacity`.
+  bool Fits(QueryId q, double capacity) const {
+    return used_ + RemainingLoad(q) <= capacity + kFitEpsilon;
+  }
+
+  /// Marks q's operators admitted; returns the remaining load consumed.
+  double Admit(QueryId q) {
+    double added = 0.0;
+    for (OperatorId j : instance_->query_operators(q)) {
+      auto idx = static_cast<size_t>(j);
+      if (!op_admitted_[idx]) {
+        op_admitted_[idx] = true;
+        added += instance_->operator_load(j);
+      }
+    }
+    used_ += added;
+    return added;
+  }
+
+  /// Capacity consumed so far (union of admitted operators' loads).
+  double used() const { return used_; }
+
+  bool IsOperatorAdmitted(OperatorId j) const {
+    return op_admitted_[static_cast<size_t>(j)];
+  }
+
+ private:
+  const AuctionInstance* instance_;
+  std::vector<bool> op_admitted_;
+  double used_ = 0.0;
+};
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_ADMITTED_SET_H_

@@ -1,0 +1,52 @@
+// Copyright 2026 The streambid Authors
+// The outcome of running an admission mechanism: winners and payments.
+
+#ifndef STREAMBID_AUCTION_ALLOCATION_H_
+#define STREAMBID_AUCTION_ALLOCATION_H_
+
+#include <string>
+#include <vector>
+
+#include "auction/types.h"
+#include "common/check.h"
+
+namespace streambid::auction {
+
+/// Winners and payments for one auction run. `admitted` and `payments`
+/// are indexed by QueryId; rejected queries always pay 0 (paper §II:
+/// payoff of a rejected user is 0).
+struct Allocation {
+  std::string mechanism;
+  double capacity = 0.0;
+  std::vector<bool> admitted;
+  std::vector<double> payments;
+
+  /// Number of admitted queries.
+  int NumAdmitted() const {
+    int n = 0;
+    for (bool a : admitted) n += a ? 1 : 0;
+    return n;
+  }
+
+  bool IsAdmitted(QueryId i) const {
+    return admitted[static_cast<size_t>(i)];
+  }
+  double Payment(QueryId i) const {
+    return payments[static_cast<size_t>(i)];
+  }
+};
+
+/// Creates an empty (all-rejected) allocation sized for `num_queries`.
+inline Allocation MakeEmptyAllocation(std::string mechanism, double capacity,
+                                      int num_queries) {
+  Allocation a;
+  a.mechanism = std::move(mechanism);
+  a.capacity = capacity;
+  a.admitted.assign(static_cast<size_t>(num_queries), false);
+  a.payments.assign(static_cast<size_t>(num_queries), 0.0);
+  return a;
+}
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_ALLOCATION_H_

@@ -1,0 +1,77 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/greedy_common.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "auction/admitted_set.h"
+#include "common/check.h"
+
+namespace streambid::auction {
+
+double LoadOf(const AuctionInstance& instance, QueryId i, LoadBasis basis) {
+  switch (basis) {
+    case LoadBasis::kTotal:
+      return instance.total_load(i);
+    case LoadBasis::kFairShare:
+      return instance.fair_share_load(i);
+    case LoadBasis::kUnit:
+      return 1.0;
+  }
+  STREAMBID_CHECK(false);
+  return 0.0;
+}
+
+std::vector<QueryId> PriorityOrder(const AuctionInstance& instance,
+                                   LoadBasis basis) {
+  const int n = instance.num_queries();
+  std::vector<double> priority(static_cast<size_t>(n));
+  for (QueryId i = 0; i < n; ++i) {
+    const double load = LoadOf(instance, i, basis);
+    // Loads are validated positive, so the ratio is finite; guard anyway
+    // so a degenerate instance sorts deterministically instead of UB.
+    priority[static_cast<size_t>(i)] =
+        load > 0.0 ? instance.bid(i) / load
+                   : std::numeric_limits<double>::infinity();
+  }
+  std::vector<QueryId> order(static_cast<size_t>(n));
+  for (QueryId i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&priority](QueryId a, QueryId b) {
+                     return priority[static_cast<size_t>(a)] >
+                            priority[static_cast<size_t>(b)];
+                   });
+  return order;
+}
+
+GreedyScan RunGreedyScan(const AuctionInstance& instance, double capacity,
+                         const std::vector<QueryId>& order,
+                         MisfitPolicy policy) {
+  GreedyScan scan;
+  scan.order = order;
+  scan.admitted.assign(static_cast<size_t>(instance.num_queries()), false);
+  AdmittedSet set(instance);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const QueryId q = order[pos];
+    if (set.Fits(q, capacity)) {
+      set.Admit(q);
+      scan.admitted[static_cast<size_t>(q)] = true;
+    } else {
+      if (scan.first_loser_pos < 0) {
+        scan.first_loser_pos = static_cast<int>(pos);
+      }
+      if (policy == MisfitPolicy::kStop) break;
+    }
+  }
+  scan.used = set.used();
+  return scan;
+}
+
+GreedyScan RunGreedy(const AuctionInstance& instance, double capacity,
+                     LoadBasis basis, MisfitPolicy policy) {
+  return RunGreedyScan(instance, capacity, PriorityOrder(instance, basis),
+                       policy);
+}
+
+}  // namespace streambid::auction

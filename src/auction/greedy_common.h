@@ -1,0 +1,64 @@
+// Copyright 2026 The streambid Authors
+// Shared machinery for the greedy mechanisms of paper §IV: every one of
+// CAF, CAF+, CAT, CAT+, and GV sorts queries by a priority and admits down
+// the list, differing only in the load basis (fair-share, total, or none)
+// and in whether a misfit stops the scan (CAF/CAT/GV) or is skipped
+// (CAF+/CAT+).
+
+#ifndef STREAMBID_AUCTION_GREEDY_COMMON_H_
+#define STREAMBID_AUCTION_GREEDY_COMMON_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/types.h"
+
+namespace streambid::auction {
+
+/// Which per-query load the priority Pr_i = b_i / C_i divides by.
+enum class LoadBasis {
+  kTotal,      ///< CT_i  (CAT, CAT+)
+  kFairShare,  ///< CSF_i (CAF, CAF+)
+  kUnit,       ///< 1 — priority is the raw bid (GV, Two-price phase 1)
+};
+
+/// What to do when the next query in priority order does not fit.
+enum class MisfitPolicy {
+  kStop,  ///< Reject it and stop the scan (CAF, CAT, GV, CAR, Random).
+  kSkip,  ///< Reject it and continue down the list (CAF+, CAT+).
+};
+
+/// Returns the load C_i of query i under `basis`.
+double LoadOf(const AuctionInstance& instance, QueryId i, LoadBasis basis);
+
+/// Builds the priority order: query ids sorted by non-increasing
+/// Pr_i = b_i / C_i, ties broken by ascending query id (deterministic
+/// stand-in for the paper's "breaking ties arbitrarily").
+std::vector<QueryId> PriorityOrder(const AuctionInstance& instance,
+                                   LoadBasis basis);
+
+/// Result of one greedy admission scan.
+struct GreedyScan {
+  std::vector<QueryId> order;     ///< Priority order scanned.
+  std::vector<bool> admitted;     ///< Indexed by QueryId.
+  double used = 0.0;              ///< Union load consumed.
+  /// Position (index into `order`) of the first rejected query, or -1 if
+  /// every query was admitted. For kStop this is where the scan stopped;
+  /// for kSkip it is the first skipped position.
+  int first_loser_pos = -1;
+};
+
+/// Runs the greedy admission scan over `order`. Feasibility always uses
+/// remaining (union) load regardless of the priority basis (paper,
+/// Algorithm 1 note).
+GreedyScan RunGreedyScan(const AuctionInstance& instance, double capacity,
+                         const std::vector<QueryId>& order,
+                         MisfitPolicy policy);
+
+/// Convenience: PriorityOrder + RunGreedyScan.
+GreedyScan RunGreedy(const AuctionInstance& instance, double capacity,
+                     LoadBasis basis, MisfitPolicy policy);
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_GREEDY_COMMON_H_

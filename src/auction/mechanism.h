@@ -1,0 +1,51 @@
+// Copyright 2026 The streambid Authors
+// Abstract interface implemented by every admission control mechanism.
+
+#ifndef STREAMBID_AUCTION_MECHANISM_H_
+#define STREAMBID_AUCTION_MECHANISM_H_
+
+#include <memory>
+#include <string>
+
+#include "auction/allocation.h"
+#include "auction/instance.h"
+#include "common/rng.h"
+
+namespace streambid::auction {
+
+/// Declared game-theoretic properties of a mechanism (paper Tables I/V).
+/// These are the *claimed* properties; the gametheory harness verifies
+/// them empirically and the unit tests verify the paper's hand examples.
+struct MechanismProperties {
+  bool strategyproof = false;
+  bool sybil_immune = false;
+  bool profit_guarantee = false;
+  bool randomized = false;
+};
+
+/// An admission control auction mechanism: given an instance and a server
+/// capacity, selects winners and computes payments.
+///
+/// Implementations must be stateless w.r.t. Run (safe to reuse across
+/// instances); randomized mechanisms draw from the provided Rng only.
+class Mechanism {
+ public:
+  virtual ~Mechanism() = default;
+
+  /// Stable lowercase identifier (e.g. "caf+", "two-price").
+  virtual const std::string& name() const = 0;
+
+  /// Claimed properties, mirroring paper Table I.
+  virtual MechanismProperties properties() const = 0;
+
+  /// Runs the auction. `rng` is consumed only by randomized mechanisms
+  /// (Random baseline, Two-price); deterministic mechanisms ignore it.
+  virtual Allocation Run(const AuctionInstance& instance, double capacity,
+                         Rng& rng) const = 0;
+};
+
+using MechanismPtr = std::unique_ptr<Mechanism>;
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_MECHANISM_H_

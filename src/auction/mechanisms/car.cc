@@ -1,0 +1,131 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/mechanisms/car.h"
+
+#include <limits>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "auction/admitted_set.h"
+#include "common/check.h"
+
+namespace streambid::auction {
+namespace {
+
+/// Max-heap entry for the lazy priority queue. Priorities only increase
+/// over the run (CR shrinks as operators get admitted), so we push a fresh
+/// entry whenever a query's CR changes and discard stale entries on pop.
+struct HeapEntry {
+  double priority;
+  QueryId query;
+  double cr_at_push;  // CR value the priority was computed from.
+
+  bool operator<(const HeapEntry& other) const {
+    if (priority != other.priority) return priority < other.priority;
+    // Deterministic tie-break: lower id wins, so it must compare greater.
+    return query > other.query;
+  }
+};
+
+class CarMechanism : public Mechanism {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "car";
+    return kName;
+  }
+
+  MechanismProperties properties() const override {
+    MechanismProperties p;
+    p.strategyproof = false;  // §IV-A: payments depend on bids.
+    p.sybil_immune = false;
+    return p;
+  }
+
+  Allocation Run(const AuctionInstance& instance, double capacity,
+                 Rng& rng) const override {
+    (void)rng;
+    const int n = instance.num_queries();
+    Allocation alloc = MakeEmptyAllocation("car", capacity, n);
+    if (n == 0) return alloc;
+
+    // Current remaining load per query, updated incrementally as
+    // operators get admitted.
+    std::vector<double> cr(static_cast<size_t>(n));
+    std::vector<bool> done(static_cast<size_t>(n), false);
+    std::priority_queue<HeapEntry> heap;
+    for (QueryId i = 0; i < n; ++i) {
+      cr[static_cast<size_t>(i)] = instance.total_load(i);
+      heap.push({Priority(instance.bid(i), cr[static_cast<size_t>(i)]), i,
+                 cr[static_cast<size_t>(i)]});
+    }
+
+    AdmittedSet set(instance);
+    // Selection-time remaining load of each winner — the load its payment
+    // is based on (§IV-A).
+    std::vector<double> cr_at_selection(static_cast<size_t>(n), 0.0);
+    QueryId lost = kNoQuery;
+    double lost_cr = 0.0;
+
+    while (!heap.empty()) {
+      const HeapEntry top = heap.top();
+      heap.pop();
+      const auto qi = static_cast<size_t>(top.query);
+      if (done[qi]) continue;
+      if (top.cr_at_push != cr[qi]) continue;  // Stale entry.
+
+      const QueryId q = top.query;
+      const double q_cr = cr[qi];
+      if (set.used() + q_cr > capacity + kFitEpsilon) {
+        // First query that does not fit: the scan stops (§IV-A example)
+        // and this query prices the winners.
+        lost = q;
+        lost_cr = q_cr;
+        break;
+      }
+      // Admit q; update CRs of queries sharing its not-yet-admitted ops.
+      done[qi] = true;
+      alloc.admitted[qi] = true;
+      cr_at_selection[qi] = q_cr;
+      for (OperatorId j : instance.query_operators(q)) {
+        if (set.IsOperatorAdmitted(j)) continue;
+        const double load = instance.operator_load(j);
+        for (QueryId other : instance.operator_queries(j)) {
+          const auto oi = static_cast<size_t>(other);
+          if (done[oi] || other == q) continue;
+          cr[oi] -= load;
+          if (cr[oi] < 0.0) cr[oi] = 0.0;  // Guard rounding.
+          heap.push({Priority(instance.bid(other), cr[oi]), other, cr[oi]});
+        }
+      }
+      set.Admit(q);
+    }
+
+    if (lost == kNoQuery || lost_cr <= 0.0) {
+      // Everyone admitted (or the blocker costs nothing): free service.
+      return alloc;
+    }
+    const double unit_price = instance.bid(lost) / lost_cr;
+    for (QueryId i = 0; i < n; ++i) {
+      const auto qi = static_cast<size_t>(i);
+      if (alloc.admitted[qi]) {
+        alloc.payments[qi] = cr_at_selection[qi] * unit_price;
+      }
+    }
+    return alloc;
+  }
+
+ private:
+  static double Priority(double bid, double cr) {
+    // A fully covered query (CR = 0) costs nothing to admit; it sorts
+    // ahead of everything (and trivially fits).
+    return cr > 0.0 ? bid / cr : std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace
+
+MechanismPtr MakeCar() { return std::make_unique<CarMechanism>(); }
+
+}  // namespace streambid::auction

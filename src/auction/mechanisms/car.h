@@ -1,0 +1,26 @@
+// Copyright 2026 The streambid Authors
+// CAR — CQ Admission based on Remaining load (paper §IV-A).
+//
+// The naive mechanism that motivates the rest of the paper: winners are
+// chosen iteratively by the highest current priority Pr_i = b_i / CR_i,
+// where the remaining load CR_i (Definition 2) excludes operators already
+// admitted with earlier winners; payments charge each winner its
+// *selection-time* remaining load at the per-unit price of the first
+// rejected query. CAR is NOT bid-strategyproof: a user sharing operators
+// with other winners gains by underbidding so she is selected later, with
+// a smaller CR_i and hence a smaller payment — exactly the manipulation
+// Figure 5 quantifies.
+
+#ifndef STREAMBID_AUCTION_MECHANISMS_CAR_H_
+#define STREAMBID_AUCTION_MECHANISMS_CAR_H_
+
+#include "auction/mechanism.h"
+
+namespace streambid::auction {
+
+/// Builds the CAR mechanism.
+MechanismPtr MakeCar();
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_MECHANISMS_CAR_H_

@@ -1,0 +1,101 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/mechanisms/density.h"
+
+#include <memory>
+
+#include "auction/movement_window.h"
+#include "common/check.h"
+
+namespace streambid::auction {
+
+Allocation DensityMechanism::Run(const AuctionInstance& instance,
+                                 double capacity, Rng& rng) const {
+  (void)rng;  // Deterministic.
+  Allocation alloc =
+      MakeEmptyAllocation(name_, capacity, instance.num_queries());
+  if (instance.num_queries() == 0) return alloc;
+
+  const GreedyScan scan = RunGreedy(instance, capacity, basis_, policy_);
+  alloc.admitted = scan.admitted;
+
+  if (policy_ == MisfitPolicy::kStop) {
+    // First-loser pricing: a fixed price per unit of C-load.
+    if (scan.first_loser_pos < 0) return alloc;  // Everyone admitted: free.
+    const QueryId lost =
+        scan.order[static_cast<size_t>(scan.first_loser_pos)];
+    const double lost_load = LoadOf(instance, lost, basis_);
+    STREAMBID_CHECK_GT(lost_load, 0.0);
+    const double unit_price = instance.bid(lost) / lost_load;
+    for (QueryId i = 0; i < instance.num_queries(); ++i) {
+      if (alloc.admitted[static_cast<size_t>(i)]) {
+        alloc.payments[static_cast<size_t>(i)] =
+            LoadOf(instance, i, basis_) * unit_price;
+      }
+    }
+    return alloc;
+  }
+
+  // Movement-window pricing (CAF+/CAT+). When every query was admitted
+  // the union of all operators fits within capacity, so a winner fits at
+  // ANY position in the list: every movement window spans the remainder
+  // of the priority list and all payments are zero (Definition 6). The
+  // shortcut matters: it skips an O(n * |ops|) simulation per winner in
+  // the saturated high-sharing regime of Figure 4.
+  if (scan.first_loser_pos < 0) return alloc;
+  for (QueryId i = 0; i < instance.num_queries(); ++i) {
+    if (!alloc.admitted[static_cast<size_t>(i)]) continue;
+    const QueryId last = ComputeLast(instance, capacity, scan.order, i);
+    if (last == kNoQuery) continue;  // Window spans the list: pays 0.
+    const double last_load = LoadOf(instance, last, basis_);
+    STREAMBID_CHECK_GT(last_load, 0.0);
+    alloc.payments[static_cast<size_t>(i)] =
+        LoadOf(instance, i, basis_) * instance.bid(last) / last_load;
+  }
+  return alloc;
+}
+
+namespace {
+
+MechanismProperties DensityProps(bool sybil_immune) {
+  MechanismProperties p;
+  p.strategyproof = true;
+  p.sybil_immune = sybil_immune;
+  p.profit_guarantee = false;
+  p.randomized = false;
+  return p;
+}
+
+}  // namespace
+
+MechanismPtr MakeCaf() {
+  return std::make_unique<DensityMechanism>(
+      "caf", LoadBasis::kFairShare, MisfitPolicy::kStop,
+      DensityProps(/*sybil_immune=*/false));
+}
+
+MechanismPtr MakeCafPlus() {
+  return std::make_unique<DensityMechanism>(
+      "caf+", LoadBasis::kFairShare, MisfitPolicy::kSkip,
+      DensityProps(/*sybil_immune=*/false));
+}
+
+MechanismPtr MakeCat() {
+  return std::make_unique<DensityMechanism>(
+      "cat", LoadBasis::kTotal, MisfitPolicy::kStop,
+      DensityProps(/*sybil_immune=*/true));
+}
+
+MechanismPtr MakeCatPlus() {
+  return std::make_unique<DensityMechanism>(
+      "cat+", LoadBasis::kTotal, MisfitPolicy::kSkip,
+      DensityProps(/*sybil_immune=*/false));
+}
+
+MechanismPtr MakeGv() {
+  return std::make_unique<DensityMechanism>(
+      "gv", LoadBasis::kUnit, MisfitPolicy::kStop,
+      DensityProps(/*sybil_immune=*/false));
+}
+
+}  // namespace streambid::auction

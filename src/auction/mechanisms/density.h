@@ -1,0 +1,69 @@
+// Copyright 2026 The streambid Authors
+// The greedy density-based mechanisms of paper §IV-B/§IV-C and the GV
+// (Greedy-by-Valuation) mechanism of §IV-D, unified: each sorts queries by
+// Pr_i = b_i / C_i for a load basis C and admits down the list.
+//
+//   CAF  = fair-share basis, stop at first misfit, first-loser pricing
+//   CAF+ = fair-share basis, skip misfits,       movement-window pricing
+//   CAT  = total-load basis, stop at first misfit, first-loser pricing
+//   CAT+ = total-load basis, skip misfits,       movement-window pricing
+//   GV   = unit basis (raw bids), stop,           first-loser pricing
+//          (uniform price b_lost, since C_i = 1 for all i)
+//
+// First-loser pricing (Algorithm 1, step 5): every winner i pays
+// C_i * b_lost / C_lost where `lost` is the first rejected query; if no
+// query is rejected all payments are 0 (each winner's critical value).
+// Movement-window pricing (Algorithm 2, steps 4-5): winner i pays
+// C_i * b_last(i) / C_last(i) (see movement_window.h).
+
+#ifndef STREAMBID_AUCTION_MECHANISMS_DENSITY_H_
+#define STREAMBID_AUCTION_MECHANISMS_DENSITY_H_
+
+#include <string>
+
+#include "auction/greedy_common.h"
+#include "auction/mechanism.h"
+
+namespace streambid::auction {
+
+/// Shared implementation of CAF / CAF+ / CAT / CAT+ / GV.
+class DensityMechanism : public Mechanism {
+ public:
+  DensityMechanism(std::string name, LoadBasis basis, MisfitPolicy policy,
+                   MechanismProperties properties)
+      : name_(std::move(name)),
+        basis_(basis),
+        policy_(policy),
+        properties_(properties) {}
+
+  const std::string& name() const override { return name_; }
+  MechanismProperties properties() const override { return properties_; }
+
+  Allocation Run(const AuctionInstance& instance, double capacity,
+                 Rng& rng) const override;
+
+  LoadBasis basis() const { return basis_; }
+  MisfitPolicy policy() const { return policy_; }
+
+ private:
+  std::string name_;
+  LoadBasis basis_;
+  MisfitPolicy policy_;
+  MechanismProperties properties_;
+};
+
+/// CAF: CQ Admission based on static Fair-share load (Algorithm 1).
+MechanismPtr MakeCaf();
+/// CAF+: aggressive fair-share mechanism (Algorithm 2).
+MechanismPtr MakeCafPlus();
+/// CAT: CQ Admission based on Total load (§IV-C). Sybil-strategyproof
+/// (Theorem 19).
+MechanismPtr MakeCat();
+/// CAT+: aggressive total-load mechanism (§IV-C).
+MechanismPtr MakeCatPlus();
+/// GV: Greedy-by-Valuation (§IV-D) — k-unit-style uniform pricing.
+MechanismPtr MakeGv();
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_MECHANISMS_DENSITY_H_

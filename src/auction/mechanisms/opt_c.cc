@@ -1,0 +1,123 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/mechanisms/opt_c.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "auction/admitted_set.h"
+
+namespace streambid::auction {
+
+ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
+                                           double capacity) {
+  ConstantPriceResult best;
+  const int n = instance.num_queries();
+  if (n == 0) return best;
+
+  // Queries sorted by non-increasing valuation.
+  std::vector<QueryId> order(static_cast<size_t>(n));
+  for (QueryId i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
+    return instance.bid(a) > instance.bid(b);
+  });
+
+  // Walk distinct valuations from high to low, keeping the mandatory set
+  // {v > p} admitted incrementally.
+  AdmittedSet mandatory(instance);
+  std::vector<QueryId> mandatory_winners;
+  bool mandatory_valid = true;
+  size_t pos = 0;
+  while (pos < order.size() && mandatory_valid) {
+    const double price = instance.bid(order[pos]);
+    if (price <= 0.0) break;  // Zero price earns nothing.
+    // The tie class at this price.
+    size_t tie_end = pos;
+    while (tie_end < order.size() &&
+           instance.bid(order[tie_end]) == price) {
+      ++tie_end;
+    }
+
+    // Mandatory winners {v > price} are already admitted. Pack the tie
+    // class greedily by smallest remaining load.
+    AdmittedSet set = mandatory;
+    std::vector<QueryId> winners = mandatory_winners;
+    std::vector<QueryId> ties(order.begin() + static_cast<long>(pos),
+                              order.begin() + static_cast<long>(tie_end));
+    std::vector<bool> taken(ties.size(), false);
+    while (true) {
+      double best_load = std::numeric_limits<double>::infinity();
+      size_t best_k = ties.size();
+      for (size_t k = 0; k < ties.size(); ++k) {
+        if (taken[k]) continue;
+        const double rem = set.RemainingLoad(ties[k]);
+        if (rem < best_load) {
+          best_load = rem;
+          best_k = k;
+        }
+      }
+      if (best_k == ties.size()) break;
+      if (set.used() + best_load > capacity + kFitEpsilon) break;
+      set.Admit(ties[best_k]);
+      winners.push_back(ties[best_k]);
+      taken[best_k] = true;
+    }
+
+    const double profit = price * static_cast<double>(winners.size());
+    if (profit > best.profit) {
+      best.profit = profit;
+      best.price = price;
+      best.winners = winners;
+    }
+
+    // Advance: the tie class becomes mandatory for all lower prices.
+    for (size_t k = pos; k < tie_end; ++k) {
+      const QueryId q = order[k];
+      if (mandatory.used() + mandatory.RemainingLoad(q) >
+          capacity + kFitEpsilon) {
+        mandatory_valid = false;  // No lower price can be valid.
+        break;
+      }
+      mandatory.Admit(q);
+      mandatory_winners.push_back(q);
+    }
+    pos = tie_end;
+  }
+  return best;
+}
+
+namespace {
+
+class OptCMechanism : public Mechanism {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "opt-c";
+    return kName;
+  }
+
+  MechanismProperties properties() const override {
+    return MechanismProperties{};  // Benchmark only: no claims.
+  }
+
+  Allocation Run(const AuctionInstance& instance, double capacity,
+                 Rng& rng) const override {
+    (void)rng;
+    Allocation alloc =
+        MakeEmptyAllocation("opt-c", capacity, instance.num_queries());
+    const ConstantPriceResult r =
+        OptimalConstantPricing(instance, capacity);
+    for (QueryId q : r.winners) {
+      alloc.admitted[static_cast<size_t>(q)] = true;
+      alloc.payments[static_cast<size_t>(q)] = r.price;
+    }
+    return alloc;
+  }
+};
+
+}  // namespace
+
+MechanismPtr MakeOptC() { return std::make_unique<OptCMechanism>(); }
+
+}  // namespace streambid::auction

@@ -1,0 +1,46 @@
+// Copyright 2026 The streambid Authors
+// OPT_C — the optimal constant pricing profit benchmark (paper §IV-D).
+//
+// A constant pricing mechanism charges one price p: users bidding
+// strictly above p must win and pay p, users strictly below lose, ties
+// may go either way. A price is *valid* if all its winners fit within
+// server capacity (union load). OPT_C is the maximum profit over valid
+// constant prices; Two-price is competitive with it (Theorems 11/12).
+//
+// Under operator sharing, choosing which boundary-tied users to include
+// is itself a packing problem (the paper notes even special cases of the
+// CQ selection problem are densest-subgraph-hard); we pack ties greedily
+// by smallest remaining load, which is exact whenever ties are load-
+// disjoint and a documented approximation otherwise.
+
+#ifndef STREAMBID_AUCTION_MECHANISMS_OPT_C_H_
+#define STREAMBID_AUCTION_MECHANISMS_OPT_C_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/mechanism.h"
+
+namespace streambid::auction {
+
+/// Result of the constant-price search.
+struct ConstantPriceResult {
+  double price = 0.0;   ///< Best constant price found.
+  double profit = 0.0;  ///< price * number of winners.
+  std::vector<QueryId> winners;
+};
+
+/// Computes OPT_C for `instance` at `capacity` by trying every distinct
+/// valuation as the price.
+ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
+                                           double capacity);
+
+/// Mechanism adapter ("opt-c"): admits the OPT_C winners and charges each
+/// the constant price. Not strategyproof (it is a profit benchmark, not a
+/// deployable auction); exposed so the bench harness can run it alongside
+/// the real mechanisms, as the paper's evaluation platform did.
+MechanismPtr MakeOptC();
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_MECHANISMS_OPT_C_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/mechanisms/random_admission.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auction/greedy_common.h"
+
+namespace streambid::auction {
+namespace {
+
+class RandomAdmission : public Mechanism {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "random";
+    return kName;
+  }
+
+  MechanismProperties properties() const override {
+    MechanismProperties p;
+    p.randomized = true;
+    return p;
+  }
+
+  Allocation Run(const AuctionInstance& instance, double capacity,
+                 Rng& rng) const override {
+    const int n = instance.num_queries();
+    std::vector<QueryId> order(static_cast<size_t>(n));
+    for (QueryId i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+    rng.Shuffle(order);
+    const GreedyScan scan =
+        RunGreedyScan(instance, capacity, order, MisfitPolicy::kStop);
+    Allocation alloc = MakeEmptyAllocation("random", capacity, n);
+    alloc.admitted = scan.admitted;
+    return alloc;  // No pricing rule: payments stay 0.
+  }
+};
+
+}  // namespace
+
+MechanismPtr MakeRandomAdmission() {
+  return std::make_unique<RandomAdmission>();
+}
+
+}  // namespace streambid::auction

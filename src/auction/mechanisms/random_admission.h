@@ -1,0 +1,19 @@
+// Copyright 2026 The streambid Authors
+// Random admission baseline (paper §VI, Table IV): picks queries in a
+// uniformly random order and stops at the first query that does not fit
+// in the remaining capacity. Used as a runtime floor; it charges nothing
+// (it has no pricing rule in the paper).
+
+#ifndef STREAMBID_AUCTION_MECHANISMS_RANDOM_ADMISSION_H_
+#define STREAMBID_AUCTION_MECHANISMS_RANDOM_ADMISSION_H_
+
+#include "auction/mechanism.h"
+
+namespace streambid::auction {
+
+/// Builds the random-admission baseline.
+MechanismPtr MakeRandomAdmission();
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_MECHANISMS_RANDOM_ADMISSION_H_

@@ -1,0 +1,43 @@
+// Copyright 2026 The streambid Authors
+// The Two-price randomized mechanism (paper Algorithm 3, §IV-D): the only
+// proposed mechanism with a profit guarantee. Bid-strategyproof (Theorem
+// 10) and, since allocation and payments ignore query loads entirely,
+// strategyproof; expected profit is at least OPT_C - 2h with the
+// exhaustive duplicate-handling Step 3 (Theorem 11), and OPT_C - d*h
+// without it (Theorem 12), where h is the largest valuation and d the
+// number of users tied at the boundary valuation.
+
+#ifndef STREAMBID_AUCTION_MECHANISMS_TWO_PRICE_H_
+#define STREAMBID_AUCTION_MECHANISMS_TWO_PRICE_H_
+
+#include "auction/mechanism.h"
+
+namespace streambid::auction {
+
+/// Options for the Two-price mechanism.
+struct TwoPriceOptions {
+  /// Run the exhaustive Step 3 (subset search over the duplicate set D).
+  /// The paper notes this step is exponential in |D|; disabling it gives
+  /// the polynomial-time variant of Theorem 12.
+  bool exhaustive_step3 = true;
+
+  /// Step 3 cost cap: if |D| exceeds this, fall back to skipping Step 3
+  /// (documented substitution — with integer Zipf valuations the
+  /// boundary tie class can hold hundreds of queries, and 2^|D| subsets
+  /// are not enumerable; the paper's guarantee degrades gracefully to
+  /// the Theorem 12 bound in exactly this case).
+  int max_exhaustive_duplicates = 16;
+};
+
+/// Builds the Two-price mechanism ("two-price"), exhaustive Step 3.
+MechanismPtr MakeTwoPrice();
+
+/// Builds the polynomial-time variant ("two-price-poly"), Step 3 omitted.
+MechanismPtr MakeTwoPricePoly();
+
+/// Builds a Two-price mechanism with explicit options (ablation benches).
+MechanismPtr MakeTwoPriceWithOptions(const TwoPriceOptions& options);
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_MECHANISMS_TWO_PRICE_H_

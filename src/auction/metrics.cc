@@ -1,0 +1,64 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/metrics.h"
+
+#include "auction/admitted_set.h"
+#include "common/check.h"
+
+namespace streambid::auction {
+
+AllocationMetrics ComputeMetrics(const AuctionInstance& instance,
+                                 const Allocation& alloc) {
+  std::vector<double> values(static_cast<size_t>(instance.num_queries()));
+  for (QueryId i = 0; i < instance.num_queries(); ++i) {
+    values[static_cast<size_t>(i)] = instance.bid(i);
+  }
+  return ComputeMetricsWithValues(instance, alloc, values);
+}
+
+AllocationMetrics ComputeMetricsWithValues(
+    const AuctionInstance& instance, const Allocation& alloc,
+    const std::vector<double>& true_values) {
+  STREAMBID_CHECK_EQ(static_cast<int>(alloc.admitted.size()),
+                     instance.num_queries());
+  STREAMBID_CHECK_EQ(true_values.size(), alloc.admitted.size());
+  AllocationMetrics m;
+  int admitted = 0;
+  for (QueryId i = 0; i < instance.num_queries(); ++i) {
+    if (!alloc.IsAdmitted(i)) continue;
+    ++admitted;
+    m.profit += alloc.Payment(i);
+    m.total_payoff += true_values[static_cast<size_t>(i)] - alloc.Payment(i);
+  }
+  m.admission_rate =
+      instance.num_queries() > 0
+          ? static_cast<double>(admitted) / instance.num_queries()
+          : 0.0;
+  m.utilization = alloc.capacity > 0.0
+                      ? UsedCapacity(instance, alloc) / alloc.capacity
+                      : 0.0;
+  return m;
+}
+
+double UsedCapacity(const AuctionInstance& instance,
+                    const Allocation& alloc) {
+  AdmittedSet set(instance);
+  for (QueryId i = 0; i < instance.num_queries(); ++i) {
+    if (alloc.IsAdmitted(i)) set.Admit(i);
+  }
+  return set.used();
+}
+
+bool IsFeasible(const AuctionInstance& instance, const Allocation& alloc) {
+  if (static_cast<int>(alloc.admitted.size()) != instance.num_queries() ||
+      alloc.payments.size() != alloc.admitted.size()) {
+    return false;
+  }
+  for (QueryId i = 0; i < instance.num_queries(); ++i) {
+    if (alloc.Payment(i) < 0.0) return false;
+    if (!alloc.IsAdmitted(i) && alloc.Payment(i) != 0.0) return false;
+  }
+  return UsedCapacity(instance, alloc) <= alloc.capacity + kFitEpsilon;
+}
+
+}  // namespace streambid::auction

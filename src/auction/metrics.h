@@ -1,0 +1,45 @@
+// Copyright 2026 The streambid Authors
+// Performance metrics of an allocation (paper §VI-A): profit, admission
+// rate, total user payoff, and system utilization.
+
+#ifndef STREAMBID_AUCTION_METRICS_H_
+#define STREAMBID_AUCTION_METRICS_H_
+
+#include <vector>
+
+#include "auction/allocation.h"
+#include "auction/instance.h"
+
+namespace streambid::auction {
+
+/// The four §VI metrics for a single allocation.
+struct AllocationMetrics {
+  double profit = 0.0;          ///< Sum of winner payments.
+  double admission_rate = 0.0;  ///< Admitted queries / total queries.
+  double total_payoff = 0.0;    ///< Sum over winners of value - payment.
+  double utilization = 0.0;     ///< Union load of admitted ops / capacity.
+};
+
+/// Computes metrics assuming bids equal true valuations (the truthful
+/// setting of Figure 4).
+AllocationMetrics ComputeMetrics(const AuctionInstance& instance,
+                                 const Allocation& alloc);
+
+/// Computes metrics when bids may differ from valuations (the lying
+/// workloads of Figure 5): payoffs use `true_values`, indexed by QueryId.
+AllocationMetrics ComputeMetricsWithValues(
+    const AuctionInstance& instance, const Allocation& alloc,
+    const std::vector<double>& true_values);
+
+/// Union load of the operators of the admitted queries (capacity used).
+double UsedCapacity(const AuctionInstance& instance,
+                    const Allocation& alloc);
+
+/// Verifies the allocation is feasible (used capacity <= capacity) and
+/// internally consistent (rejected queries pay zero, no negative
+/// payments). Used by tests and by the DSMS center before installing.
+bool IsFeasible(const AuctionInstance& instance, const Allocation& alloc);
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_METRICS_H_

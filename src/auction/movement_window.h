@@ -1,0 +1,50 @@
+// Copyright 2026 The streambid Authors
+// Movement-window payments for the skip-greedy mechanisms CAF+ and CAT+
+// (paper Definitions 5 and 6).
+//
+// For a winning query i, the movement window is the span of priority-list
+// positions i could be demoted to (by lowering its bid) while still being
+// admitted. last(i) is the first query j after i in the priority list such
+// that, were i re-inserted directly after j, the skip-greedy scan would no
+// longer admit i. The winner's payment is C_i * b_last(i) / C_last(i) — its
+// critical value — or 0 if no such j exists (Definition 6: last(i) = null).
+//
+// Naively this costs a full re-run of the greedy scan per candidate
+// position, O(n^2) per winner. We instead exploit that when i is placed
+// directly after j, every query ranked before that slot is processed
+// exactly as in the scan over the list *without i*. One simulation of that
+// scan per winner suffices: we record the running used-capacity and, for
+// each of i's operators, the earliest position at which an admitted winner
+// first covers it; then "i fits directly after position k" reduces to
+// used_after[k] + remaining_load_i(k) <= capacity. Total cost is
+// O(n * |ops|) per winner, which is what makes the paper's Table IV
+// CAF+/CAT+ runtimes (~1000x CAF/CAT) tractable to reproduce.
+
+#ifndef STREAMBID_AUCTION_MOVEMENT_WINDOW_H_
+#define STREAMBID_AUCTION_MOVEMENT_WINDOW_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/types.h"
+
+namespace streambid::auction {
+
+/// Computes last(i) for winner `winner` of a skip-greedy run over
+/// `order` (the full priority order including the winner) at `capacity`.
+/// Returns kNoQuery when the movement window spans the remainder of the
+/// priority list.
+QueryId ComputeLast(const AuctionInstance& instance, double capacity,
+                    const std::vector<QueryId>& order, QueryId winner);
+
+/// Brute-force reference implementation used by tests: for each candidate
+/// position, physically reorders the list and re-runs the skip-greedy
+/// scan. O(n^2 * |ops|) per winner.
+QueryId ComputeLastBruteForce(const AuctionInstance& instance,
+                              double capacity,
+                              const std::vector<QueryId>& order,
+                              QueryId winner);
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_MOVEMENT_WINDOW_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/registry.h"
+
+#include "auction/mechanisms/car.h"
+#include "auction/mechanisms/density.h"
+#include "auction/mechanisms/opt_c.h"
+#include "auction/mechanisms/random_admission.h"
+#include "auction/mechanisms/two_price.h"
+
+namespace streambid::auction {
+
+std::vector<std::string> AllMechanismNames() {
+  return {"car",       "caf",   "caf+",          "cat",    "cat+",
+          "gv",        "two-price", "two-price-poly", "random", "opt-c"};
+}
+
+Result<MechanismPtr> MakeMechanism(std::string_view name) {
+  if (name == "car") return MakeCar();
+  if (name == "caf") return MakeCaf();
+  if (name == "caf+") return MakeCafPlus();
+  if (name == "cat") return MakeCat();
+  if (name == "cat+") return MakeCatPlus();
+  if (name == "gv") return MakeGv();
+  if (name == "two-price") return MakeTwoPrice();
+  if (name == "two-price-poly") return MakeTwoPricePoly();
+  if (name == "random") return MakeRandomAdmission();
+  if (name == "opt-c") return MakeOptC();
+  return Status::NotFound("unknown mechanism: " + std::string(name));
+}
+
+std::vector<MechanismPtr> MakeAllMechanisms() {
+  std::vector<MechanismPtr> out;
+  for (const std::string& name : AllMechanismNames()) {
+    out.push_back(std::move(MakeMechanism(name).value()));
+  }
+  return out;
+}
+
+std::vector<MechanismPtr> MakeFigure4Mechanisms() {
+  std::vector<MechanismPtr> out;
+  out.push_back(MakeCaf());
+  out.push_back(MakeCafPlus());
+  out.push_back(MakeCat());
+  out.push_back(MakeCatPlus());
+  out.push_back(MakeTwoPrice());
+  return out;
+}
+
+}  // namespace streambid::auction

@@ -1,0 +1,35 @@
+// Copyright 2026 The streambid Authors
+// Name-indexed construction of every mechanism, used by the bench harness
+// and examples ("give me caf+, cat, two-price, ...").
+
+#ifndef STREAMBID_AUCTION_REGISTRY_H_
+#define STREAMBID_AUCTION_REGISTRY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "common/status.h"
+
+namespace streambid::auction {
+
+/// Names of all registered mechanisms, in the paper's presentation order:
+/// car, caf, caf+, cat, cat+, gv, two-price, two-price-poly, random,
+/// opt-c.
+std::vector<std::string> AllMechanismNames();
+
+/// Builds a mechanism by name; kNotFound for unknown names.
+Result<MechanismPtr> MakeMechanism(std::string_view name);
+
+/// Builds every mechanism in AllMechanismNames() order.
+std::vector<MechanismPtr> MakeAllMechanisms();
+
+/// The five mechanisms plotted in Figure 4 (CAF, CAF+, CAT, CAT+,
+/// Two-price) — the paper omits GV and OPT_C "as they echo the behavior
+/// of Two-price".
+std::vector<MechanismPtr> MakeFigure4Mechanisms();
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_REGISTRY_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The streambid Authors
+// Basic identifier and spec types for the CQ admission auction (paper §II).
+
+#ifndef STREAMBID_AUCTION_TYPES_H_
+#define STREAMBID_AUCTION_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace streambid::auction {
+
+/// Index of an operator within an AuctionInstance (dense, 0-based).
+using OperatorId = int32_t;
+/// Index of a query within an AuctionInstance (dense, 0-based).
+using QueryId = int32_t;
+/// Identity of the (possibly sybil) user owning a query. Several queries
+/// may share a user; payoff accounting aggregates per user.
+using UserId = int32_t;
+
+/// Sentinel for "no query" (e.g., no losing query exists).
+inline constexpr QueryId kNoQuery = -1;
+
+/// An operator as the admission mechanism sees it (paper Figure 2): just a
+/// load, i.e., the fraction of server capacity it consumes, in the same
+/// units as the auction capacity.
+struct OperatorSpec {
+  double load = 0.0;
+};
+
+/// A continuous query submission: the owning user, the declared bid, and
+/// the set of operators the query comprises. Operator order is
+/// irrelevant to the mechanism (dependencies are abstracted away, §II).
+struct QuerySpec {
+  UserId user = 0;
+  double bid = 0.0;
+  std::vector<OperatorId> operators;
+};
+
+/// Absolute slack used in capacity-fit comparisons. Generated loads are
+/// small integers, but fair-share arithmetic introduces fractions; the
+/// epsilon forgives accumulated rounding without admitting real overloads.
+inline constexpr double kFitEpsilon = 1e-9;
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_TYPES_H_

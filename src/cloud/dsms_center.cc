@@ -1,0 +1,97 @@
+// Copyright 2026 The streambid Authors
+
+#include "cloud/dsms_center.h"
+
+#include <algorithm>
+
+#include "auction/metrics.h"
+#include "auction/registry.h"
+#include "common/check.h"
+
+namespace streambid::cloud {
+
+DsmsCenter::DsmsCenter(const DsmsCenterOptions& options,
+                       stream::Engine* engine)
+    : options_(options), engine_(engine), rng_(options.seed) {
+  STREAMBID_CHECK(engine != nullptr);
+  auto mechanism = auction::MakeMechanism(options.mechanism);
+  STREAMBID_CHECK(mechanism.ok());
+  mechanism_ = std::move(mechanism).value();
+}
+
+Status DsmsCenter::Submit(stream::QuerySubmission submission) {
+  if (submission.bid < 0.0) {
+    return Status::InvalidArgument("negative bid");
+  }
+  // Resubmitting a currently ACTIVE id is a renewal (the query is
+  // uninstalled at the period boundary before winners install), but two
+  // pending submissions with the same id are ambiguous.
+  for (const auto& p : pending_) {
+    if (p.query_id == submission.query_id) {
+      return Status::AlreadyExists("query id already pending: " +
+                                   std::to_string(submission.query_id));
+    }
+  }
+  // Validate the plan eagerly so users learn about malformed queries at
+  // submission time, not at the auction boundary.
+  STREAMBID_RETURN_IF_ERROR(
+      engine_->DeriveOutputSchema(submission.plan).status());
+  pending_.push_back(std::move(submission));
+  return Status::Ok();
+}
+
+Result<PeriodReport> DsmsCenter::RunPeriod() {
+  PeriodReport report;
+  report.period = static_cast<int>(history_.size());
+  report.submissions = static_cast<int>(pending_.size());
+
+  const double capacity = engine_->options().capacity;
+
+  // --- Auction over pending submissions. ---
+  auction::Allocation alloc;
+  stream::AuctionBuild build{
+      auction::AuctionInstance::Create({}, {}).value(), {}, {}};
+  if (!pending_.empty()) {
+    STREAMBID_ASSIGN_OR_RETURN(
+        build, stream::BuildAuctionInstance(*engine_, pending_,
+                                            options_.load_options));
+    alloc = mechanism_->Run(build.instance, capacity, rng_);
+    STREAMBID_CHECK(auction::IsFeasible(build.instance, alloc));
+    const auction::AllocationMetrics metrics =
+        auction::ComputeMetrics(build.instance, alloc);
+    report.total_payoff = metrics.total_payoff;
+    report.auction_utilization = metrics.utilization;
+  }
+
+  // --- Transition phase: expired queries out, winners in (§II). ---
+  engine_->BeginTransition();
+  for (int qid : active_) {
+    STREAMBID_RETURN_IF_ERROR(engine_->UninstallQuery(qid));
+  }
+  active_.clear();
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (!alloc.IsAdmitted(static_cast<auction::QueryId>(i))) continue;
+    const stream::QuerySubmission& sub = pending_[i];
+    STREAMBID_RETURN_IF_ERROR(
+        engine_->InstallQuery(sub.query_id, sub.plan));
+    active_.push_back(sub.query_id);
+    const double payment =
+        alloc.Payment(static_cast<auction::QueryId>(i));
+    ledger_.Charge(sub.user, payment);
+    report.revenue += payment;
+    report.payments[sub.query_id] = payment;
+    report.admitted_ids.push_back(sub.query_id);
+  }
+  report.admitted = static_cast<int>(report.admitted_ids.size());
+  STREAMBID_RETURN_IF_ERROR(engine_->CommitTransition());
+  pending_.clear();
+
+  // --- Execute the period. ---
+  engine_->Run(options_.period_length);
+  report.measured_utilization = engine_->LastRunUtilization();
+
+  history_.push_back(report);
+  return report;
+}
+
+}  // namespace streambid::cloud

@@ -1,0 +1,121 @@
+// Copyright 2026 The streambid Authors
+// The DSMS "cloud center" of paper §I-II: a for-profit service that, at
+// the end of each subscription period, auctions the next period's server
+// capacity among submitted continuous queries, installs the winners into
+// the stream engine through the §II transition phase, executes the
+// period, and bills the winners the mechanism's payments.
+
+#ifndef STREAMBID_CLOUD_DSMS_CENTER_H_
+#define STREAMBID_CLOUD_DSMS_CENTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "auction/mechanism.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "stream/engine.h"
+#include "stream/load_estimator.h"
+
+namespace streambid::cloud {
+
+/// Center configuration.
+struct DsmsCenterOptions {
+  /// Length of one subscription period in virtual seconds ("say, a
+  /// day" — we default to a compressed day for fast simulation).
+  stream::VirtualTime period_length = 3600.0;
+  /// Admission mechanism name (see auction::AllMechanismNames()).
+  std::string mechanism = "cat";
+  /// Load model used to derive operator loads for the auction.
+  stream::LoadEstimateOptions load_options;
+  /// Seed for randomized mechanisms.
+  uint64_t seed = 1;
+};
+
+/// Outcome of one subscription period.
+struct PeriodReport {
+  int period = 0;
+  int submissions = 0;
+  int admitted = 0;
+  double revenue = 0.0;
+  /// Winners' total payoff (bid - payment), assuming truthful bids.
+  double total_payoff = 0.0;
+  /// Utilization per the auction's load model.
+  double auction_utilization = 0.0;
+  /// Utilization actually measured by the engine over the period.
+  double measured_utilization = 0.0;
+  /// Engine query ids admitted this period.
+  std::vector<int> admitted_ids;
+  /// Payment charged per admitted engine query id.
+  std::map<int, double> payments;
+};
+
+/// Per-user cumulative billing ledger.
+class BillingLedger {
+ public:
+  void Charge(auction::UserId user, double amount) {
+    charges_[user] += amount;
+    total_ += amount;
+  }
+  double TotalCharged(auction::UserId user) const {
+    auto it = charges_.find(user);
+    return it == charges_.end() ? 0.0 : it->second;
+  }
+  double total() const { return total_; }
+  const std::map<auction::UserId, double>& charges() const {
+    return charges_;
+  }
+
+ private:
+  std::map<auction::UserId, double> charges_;
+  double total_ = 0.0;
+};
+
+/// The admission-controlled streaming service. Borrows an engine whose
+/// capacity defines the auction capacity.
+class DsmsCenter {
+ public:
+  /// `engine` must outlive the center.
+  DsmsCenter(const DsmsCenterOptions& options, stream::Engine* engine);
+
+  /// Queues a query submission (bid + plan) for the next period's
+  /// auction. Fails fast when the plan does not validate against the
+  /// engine (kInvalidArgument/kNotFound) or the id is already pending
+  /// or active (kAlreadyExists).
+  Status Submit(stream::QuerySubmission submission);
+
+  /// Ends the current period: runs the auction over pending
+  /// submissions, transitions the engine (expired queries out, winners
+  /// in), executes one period of stream processing, and bills winners.
+  /// Queries run for exactly one period; users must resubmit to renew
+  /// (see SubscriptionManager for the §VII multi-period extension).
+  Result<PeriodReport> RunPeriod();
+
+  /// Total revenue across periods.
+  double total_revenue() const { return ledger_.total(); }
+
+  const BillingLedger& ledger() const { return ledger_; }
+  const std::vector<PeriodReport>& history() const { return history_; }
+  const std::vector<int>& active_queries() const { return active_; }
+  int pending_submissions() const {
+    return static_cast<int>(pending_.size());
+  }
+  stream::Engine& engine() { return *engine_; }
+
+ private:
+  DsmsCenterOptions options_;
+  stream::Engine* engine_;
+  auction::MechanismPtr mechanism_;
+  Rng rng_;
+
+  std::vector<stream::QuerySubmission> pending_;
+  std::vector<int> active_;  // Engine query ids installed this period.
+  BillingLedger ledger_;
+  std::vector<PeriodReport> history_;
+};
+
+}  // namespace streambid::cloud
+
+#endif  // STREAMBID_CLOUD_DSMS_CENTER_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The streambid Authors
+
+#include "cloud/energy.h"
+
+#include "auction/metrics.h"
+#include "common/check.h"
+
+namespace streambid::cloud {
+
+std::vector<CapacityEvaluation> EvaluateCapacities(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance,
+    const std::vector<double>& candidate_capacities,
+    const EnergyModel& energy, Rng& rng, int trials) {
+  STREAMBID_CHECK_GT(trials, 0);
+  std::vector<CapacityEvaluation> out;
+  out.reserve(candidate_capacities.size());
+  for (double capacity : candidate_capacities) {
+    CapacityEvaluation eval;
+    eval.capacity = capacity;
+    double profit = 0.0, used = 0.0, admitted = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      const auction::Allocation alloc =
+          mechanism.Run(instance, capacity, rng);
+      const auction::AllocationMetrics m =
+          auction::ComputeMetrics(instance, alloc);
+      profit += m.profit;
+      used += auction::UsedCapacity(instance, alloc);
+      admitted += alloc.NumAdmitted();
+    }
+    eval.gross_profit = profit / trials;
+    const double mean_used = used / trials;
+    eval.utilization = capacity > 0.0 ? mean_used / capacity : 0.0;
+    eval.energy_cost = energy.PeriodCost(capacity, mean_used);
+    eval.net_profit = eval.gross_profit - eval.energy_cost;
+    eval.admitted = static_cast<int>(admitted / trials);
+    out.push_back(eval);
+  }
+  return out;
+}
+
+CapacityEvaluation OptimizeCapacity(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance,
+    const std::vector<double>& candidate_capacities,
+    const EnergyModel& energy, Rng& rng, int trials) {
+  STREAMBID_CHECK(!candidate_capacities.empty());
+  const std::vector<CapacityEvaluation> evals = EvaluateCapacities(
+      mechanism, instance, candidate_capacities, energy, rng, trials);
+  const CapacityEvaluation* best = &evals[0];
+  for (const CapacityEvaluation& e : evals) {
+    if (e.net_profit > best->net_profit ||
+        (e.net_profit == best->net_profit &&
+         e.capacity < best->capacity)) {
+      best = &e;
+    }
+  }
+  return *best;
+}
+
+}  // namespace streambid::cloud

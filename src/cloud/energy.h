@@ -1,0 +1,65 @@
+// Copyright 2026 The streambid Authors
+// The §VII energy discussion: "it might be more profitable not to fully
+// utilize the available capacity ... decide what is the most beneficial
+// capacity for a given auction, considering both the profit as well as
+// the savings from energy reduction." We model server power as an
+// affine-in-utilization curve and search candidate auction capacities
+// for the best net profit.
+
+#ifndef STREAMBID_CLOUD_ENERGY_H_
+#define STREAMBID_CLOUD_ENERGY_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/mechanism.h"
+#include "common/rng.h"
+
+namespace streambid::cloud {
+
+/// Energy cost of operating the DSMS server for one subscription period.
+struct EnergyModel {
+  /// Power draw at zero utilization, in cost-dollars per period per
+  /// unit of provisioned capacity (idle servers still burn energy).
+  double idle_cost_per_capacity = 0.002;
+  /// Additional dollars per period per unit of *used* capacity.
+  double active_cost_per_capacity = 0.004;
+
+  /// Dollars per period when `capacity` units are provisioned and
+  /// `used` of them are busy.
+  double PeriodCost(double capacity, double used) const {
+    return idle_cost_per_capacity * capacity +
+           active_cost_per_capacity * used;
+  }
+};
+
+/// Evaluation of one candidate capacity.
+struct CapacityEvaluation {
+  double capacity = 0.0;
+  double gross_profit = 0.0;  ///< Auction revenue.
+  double energy_cost = 0.0;
+  double net_profit = 0.0;
+  double utilization = 0.0;
+  int admitted = 0;
+};
+
+/// Runs `mechanism` over `instance` at each candidate capacity and
+/// returns all evaluations (net = revenue - energy). Randomized
+/// mechanisms are averaged over `trials` runs.
+std::vector<CapacityEvaluation> EvaluateCapacities(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance,
+    const std::vector<double>& candidate_capacities,
+    const EnergyModel& energy, Rng& rng, int trials = 1);
+
+/// The net-profit-maximizing candidate (ties go to the smaller, i.e.
+/// greener, capacity).
+CapacityEvaluation OptimizeCapacity(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance,
+    const std::vector<double>& candidate_capacities,
+    const EnergyModel& energy, Rng& rng, int trials = 1);
+
+}  // namespace streambid::cloud
+
+#endif  // STREAMBID_CLOUD_ENERGY_H_

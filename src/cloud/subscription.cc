@@ -1,0 +1,135 @@
+// Copyright 2026 The streambid Authors
+
+#include "cloud/subscription.h"
+
+#include <algorithm>
+
+#include "auction/registry.h"
+#include "common/check.h"
+
+namespace streambid::cloud {
+
+SubscriptionManager::SubscriptionManager(
+    std::vector<SubscriptionCategory> categories,
+    std::vector<auction::OperatorSpec> operator_pool, double total_capacity,
+    const std::string& mechanism, uint64_t seed)
+    : categories_(std::move(categories)),
+      pool_(std::move(operator_pool)),
+      total_capacity_(total_capacity),
+      rng_(seed) {
+  STREAMBID_CHECK(!categories_.empty());
+  STREAMBID_CHECK_GT(total_capacity_, 0.0);
+  double fractions = 0.0;
+  for (const auto& c : categories_) {
+    STREAMBID_CHECK_GT(c.length_days, 0);
+    STREAMBID_CHECK_GE(c.capacity_fraction, 0.0);
+    fractions += c.capacity_fraction;
+  }
+  STREAMBID_CHECK_LE(fractions, 1.0 + 1e-9);
+  auto m = auction::MakeMechanism(mechanism);
+  STREAMBID_CHECK(m.ok());
+  mechanism_ = std::move(m).value();
+}
+
+Status SubscriptionManager::Submit(const SubscriptionRequest& request) {
+  if (request.category < 0 ||
+      request.category >= static_cast<int>(categories_.size())) {
+    return Status::InvalidArgument("unknown category");
+  }
+  if (request.operators.empty()) {
+    return Status::InvalidArgument("request has no operators");
+  }
+  for (auction::OperatorId j : request.operators) {
+    if (j < 0 || j >= static_cast<auction::OperatorId>(pool_.size())) {
+      return Status::InvalidArgument("unknown operator " +
+                                     std::to_string(j));
+    }
+  }
+  if (request.bid < 0.0) {
+    return Status::InvalidArgument("negative bid");
+  }
+  pending_.push_back(request);
+  return Status::Ok();
+}
+
+double SubscriptionManager::CommittedLoad() const {
+  std::vector<bool> used(pool_.size(), false);
+  double load = 0.0;
+  for (const ActiveSubscription& sub : active_) {
+    for (auction::OperatorId j : sub.operators) {
+      auto idx = static_cast<size_t>(j);
+      if (!used[idx]) {
+        used[idx] = true;
+        load += pool_[idx].load;
+      }
+    }
+  }
+  return load;
+}
+
+SubscriptionDayReport SubscriptionManager::AdvanceDay() {
+  ++day_;
+  SubscriptionDayReport report;
+  report.day = day_;
+
+  // Expire subscriptions whose span ended; their capacity is reclaimed.
+  const auto expired_begin = std::stable_partition(
+      active_.begin(), active_.end(), [this](const ActiveSubscription& s) {
+        return s.expires_day > day_;
+      });
+  report.expired = static_cast<int>(active_.end() - expired_begin);
+  active_.erase(expired_begin, active_.end());
+
+  report.committed_load = CommittedLoad();
+  report.available_capacity =
+      std::max(0.0, total_capacity_ - report.committed_load);
+  report.admitted_per_category.assign(categories_.size(), 0);
+
+  // Partition the available capacity and auction each category
+  // independently (§VII: separate strategyproof auctions compose).
+  std::vector<SubscriptionRequest> leftover;
+  for (size_t c = 0; c < categories_.size(); ++c) {
+    const double category_capacity =
+        report.available_capacity * categories_[c].capacity_fraction;
+
+    std::vector<SubscriptionRequest> batch;
+    for (const SubscriptionRequest& r : pending_) {
+      if (r.category == static_cast<int>(c)) batch.push_back(r);
+    }
+    if (batch.empty()) continue;
+
+    std::vector<auction::QuerySpec> queries;
+    queries.reserve(batch.size());
+    for (const SubscriptionRequest& r : batch) {
+      queries.push_back({r.user, r.bid, r.operators});
+    }
+    auto instance = auction::AuctionInstance::Create(pool_, queries);
+    STREAMBID_CHECK(instance.ok());
+    const auction::Allocation alloc =
+        mechanism_->Run(*instance, category_capacity, rng_);
+
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto qid = static_cast<auction::QueryId>(i);
+      if (alloc.IsAdmitted(qid)) {
+        ActiveSubscription sub;
+        sub.request_id = batch[i].request_id;
+        sub.user = batch[i].user;
+        sub.category = static_cast<int>(c);
+        sub.expires_day = day_ + categories_[c].length_days;
+        sub.payment = alloc.Payment(qid);
+        sub.operators = batch[i].operators;
+        active_.push_back(std::move(sub));
+        total_revenue_ += alloc.Payment(qid);
+        report.revenue += alloc.Payment(qid);
+        ++report.admitted;
+        ++report.admitted_per_category[c];
+      } else {
+        ++report.rejected;
+      }
+    }
+  }
+  pending_.clear();
+  return report;
+}
+
+}  // namespace streambid::cloud

@@ -1,0 +1,49 @@
+// Copyright 2026 The streambid Authors
+// Invariant-checking macros. Library code does not use exceptions; fatal
+// violations abort with a source location, mirroring the CHECK idiom used
+// by production database engines.
+
+#ifndef STREAMBID_COMMON_CHECK_H_
+#define STREAMBID_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace streambid::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace streambid::internal
+
+/// Aborts the process if `expr` is false. Enabled in all build types:
+/// admission-control invariants guard billing correctness, so we never
+/// compile them out.
+#define STREAMBID_CHECK(expr)                                        \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::streambid::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                                \
+  } while (0)
+
+/// Convenience comparison checks (report the failing expression verbatim).
+#define STREAMBID_CHECK_EQ(a, b) STREAMBID_CHECK((a) == (b))
+#define STREAMBID_CHECK_NE(a, b) STREAMBID_CHECK((a) != (b))
+#define STREAMBID_CHECK_LT(a, b) STREAMBID_CHECK((a) < (b))
+#define STREAMBID_CHECK_LE(a, b) STREAMBID_CHECK((a) <= (b))
+#define STREAMBID_CHECK_GT(a, b) STREAMBID_CHECK((a) > (b))
+#define STREAMBID_CHECK_GE(a, b) STREAMBID_CHECK((a) >= (b))
+
+/// Debug-only check for hot paths (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define STREAMBID_DCHECK(expr) \
+  do {                         \
+  } while (0)
+#else
+#define STREAMBID_DCHECK(expr) STREAMBID_CHECK(expr)
+#endif
+
+#endif  // STREAMBID_COMMON_CHECK_H_

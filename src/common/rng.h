@@ -1,0 +1,115 @@
+// Copyright 2026 The streambid Authors
+// Deterministic pseudo-random number generation. All stochastic components
+// (workload generation, Two-price partitioning, stream sources) take an
+// explicit Rng so experiments are reproducible from a single seed.
+
+#ifndef STREAMBID_COMMON_RNG_H_
+#define STREAMBID_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streambid {
+
+/// Deterministic 64-bit PRNG (xoshiro256** by Blackman & Vigna).
+/// Not cryptographic; chosen for speed, quality, and full reproducibility
+/// across platforms (unlike std::mt19937 + std::uniform_*_distribution,
+/// whose outputs are not standardized identically across stdlib versions
+/// for all distributions).
+class Rng {
+ public:
+  /// Seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) for bound >= 1 (Lemire rejection-free
+  /// multiply-shift; bias is negligible for our bounds << 2^64).
+  uint64_t NextBounded(uint64_t bound) {
+    STREAMBID_CHECK_GT(bound, 0u);
+    // 128-bit multiply-high.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    STREAMBID_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Uniform double in [lo, hi).
+  double NextRange(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (partial Fisher-Yates on an
+  /// index vector; O(n) setup, used for operator->query assignment where
+  /// n is the number of queries).
+  std::vector<int> SampleDistinct(int n, int k) {
+    STREAMBID_CHECK_GE(n, k);
+    std::vector<int> idx(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) idx[static_cast<size_t>(i)] = i;
+    for (int i = 0; i < k; ++i) {
+      int j = i + static_cast<int>(NextBounded(static_cast<uint64_t>(n - i)));
+      std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+    }
+    idx.resize(static_cast<size_t>(k));
+    return idx;
+  }
+
+  /// Derives an independent child stream (for per-instance seeding).
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_RNG_H_

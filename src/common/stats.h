@@ -1,0 +1,111 @@
+// Copyright 2026 The streambid Authors
+// Streaming summary statistics (Welford) used by the bench harness to
+// average metrics over workload sets, and by the stream engine's load
+// estimator.
+
+#ifndef STREAMBID_COMMON_STATS_H_
+#define STREAMBID_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/check.h"
+
+namespace streambid {
+
+/// Accumulates count / mean / variance / min / max in one pass
+/// (numerically stable Welford update).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (parallel-safe combine).
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  int64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+  /// Standard error of the mean.
+  double sem() const {
+    return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exponentially weighted moving average, used for operator cost tracking
+/// in the stream engine (alpha = weight of the newest observation).
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    STREAMBID_CHECK(alpha > 0.0 && alpha <= 1.0);
+  }
+
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return initialized_ ? value_ : 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Relative comparison helper for floating-point metrics.
+inline bool ApproxEqual(double a, double b, double rel_tol = 1e-9,
+                        double abs_tol = 1e-12) {
+  const double diff = std::fabs(a - b);
+  if (diff <= abs_tol) return true;
+  return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_STATS_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The streambid Authors
+// Small string helpers shared by the workload/bench/example code.
+
+#ifndef STREAMBID_COMMON_STRING_UTIL_H_
+#define STREAMBID_COMMON_STRING_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace streambid {
+
+/// Splits `s` on `sep`, keeping empty fields.
+inline std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+/// Joins `parts` with `sep`.
+inline std::string Join(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Reads an integer environment variable, falling back to `fallback` when
+/// unset or unparsable. Used by the bench harness for knobs like
+/// STREAMBID_SETS (number of workload sets, paper default 50).
+inline int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int64_t>(v);
+}
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_STRING_UTIL_H_

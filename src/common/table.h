@@ -1,0 +1,97 @@
+// Copyright 2026 The streambid Authors
+// Plain-text table and CSV emitters used by the bench harness to print
+// the paper's figures (as CSV series) and tables (as aligned text).
+
+#ifndef STREAMBID_COMMON_TABLE_H_
+#define STREAMBID_COMMON_TABLE_H_
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace streambid {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for paper Tables) or CSV (for paper Figures, so the
+/// series can be re-plotted directly).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; must match the header arity.
+  void AddRow(std::vector<std::string> cells) {
+    STREAMBID_CHECK_EQ(cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with column alignment and a header separator.
+  std::string ToAligned() const {
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        out << std::left << std::setw(static_cast<int>(width[c]) + 2)
+            << row[c];
+      }
+      out << "\n";
+    };
+    emit_row(header_);
+    size_t total = 0;
+    for (size_t w : width) total += w + 2;
+    out << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+  }
+
+  /// Renders as CSV (header row + data rows).
+  std::string ToCsv() const {
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << ",";
+        out << row[c];
+      }
+      out << "\n";
+    };
+    emit_row(header_);
+    for (const auto& row : rows_) emit_row(row);
+    return out.str();
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+inline std::string FormatDouble(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// Formats an integer count.
+inline std::string FormatInt(int64_t v) { return std::to_string(v); }
+
+/// Formats a ratio as a percentage with `digits` fractional digits.
+inline std::string FormatPercent(double ratio, int digits = 1) {
+  return FormatDouble(ratio * 100.0, digits) + "%";
+}
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_TABLE_H_

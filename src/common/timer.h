@@ -1,0 +1,39 @@
+// Copyright 2026 The streambid Authors
+// Wall-clock timing for the Table IV runtime experiment.
+
+#ifndef STREAMBID_COMMON_TIMER_H_
+#define STREAMBID_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace streambid {
+
+/// Monotonic stopwatch. Start() resets; elapsed accessors may be called
+/// repeatedly while running.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  void Start() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_TIMER_H_

@@ -1,0 +1,83 @@
+// Copyright 2026 The streambid Authors
+// Bounded Zipf distribution sampler. The paper's workload (Table III) draws
+// bids, operator loads, and operator degrees of sharing from Zipf
+// distributions parameterized by a maximum value and a skew (theta).
+
+#ifndef STREAMBID_COMMON_ZIPF_H_
+#define STREAMBID_COMMON_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace streambid {
+
+/// Samples integers v in {1, ..., max_value} with P(v) proportional to
+/// 1 / v^theta. theta = 0 is uniform; larger theta skews mass toward 1.
+///
+/// Uses a precomputed CDF with binary search: O(max) setup, O(log max) per
+/// sample. Our maxima (10, 60, 100) make this both exact and fast.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int max_value, double theta)
+      : max_value_(max_value), theta_(theta) {
+    STREAMBID_CHECK_GE(max_value, 1);
+    STREAMBID_CHECK_GE(theta, 0.0);
+    cdf_.resize(static_cast<size_t>(max_value));
+    double sum = 0.0;
+    for (int v = 1; v <= max_value; ++v) {
+      sum += 1.0 / std::pow(static_cast<double>(v), theta);
+      cdf_[static_cast<size_t>(v - 1)] = sum;
+    }
+    const double total = sum;
+    for (auto& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+  }
+
+  /// Draws one sample in [1, max_value].
+  int Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // First index whose CDF weakly exceeds u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(lo) + 1;
+  }
+
+  /// Exact probability mass of value v.
+  double Pmf(int v) const {
+    STREAMBID_CHECK(v >= 1 && v <= max_value_);
+    const double prev = (v == 1) ? 0.0 : cdf_[static_cast<size_t>(v - 2)];
+    return cdf_[static_cast<size_t>(v - 1)] - prev;
+  }
+
+  /// Exact mean of the distribution.
+  double Mean() const {
+    double m = 0.0;
+    for (int v = 1; v <= max_value_; ++v) {
+      m += v * Pmf(v);
+    }
+    return m;
+  }
+
+  int max_value() const { return max_value_; }
+  double theta() const { return theta_; }
+
+ private:
+  int max_value_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_ZIPF_H_

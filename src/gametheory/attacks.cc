@@ -1,0 +1,87 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/attacks.h"
+
+#include "common/check.h"
+
+namespace streambid::gametheory {
+
+namespace {
+
+auction::AuctionInstance MustCreate(
+    std::vector<auction::OperatorSpec> ops,
+    std::vector<auction::QuerySpec> queries) {
+  auto result =
+      auction::AuctionInstance::Create(std::move(ops), std::move(queries));
+  STREAMBID_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+AttackScenario TableIIScenario(double epsilon) {
+  STREAMBID_CHECK_GT(epsilon, 0.0);
+  STREAMBID_CHECK_LT(epsilon, 0.1);
+  AttackScenario s{
+      MustCreate(
+          {{/*load=*/1.0}, {/*load=*/0.9}},
+          {{/*user=*/1, /*bid=*/100.0, {0}}, {/*user=*/2, /*bid=*/89.0, {1}}}),
+      /*capacity=*/1.0,
+      /*attacker=*/2,
+      {}};
+  // The fake "user 3": valuation 100*eps + eps, its own operator, load eps.
+  s.attack.new_operators.push_back({epsilon});
+  auction::QuerySpec fake;
+  fake.user = 2;  // Payoff attribution: user 2 pays for it.
+  fake.bid = 100.0 * epsilon + epsilon;
+  fake.operators = {2};  // First new operator (base has ops 0 and 1).
+  s.attack.fake_queries.push_back(fake);
+  return s;
+}
+
+AttackScenario FairShareScenario(int num_fakes, double fake_valuation) {
+  AttackScenario s{
+      MustCreate(
+          {{/*load=*/4.0}, {/*load=*/4.0}},
+          {{/*user=*/1, /*bid=*/12.0, {0}}, {/*user=*/2, /*bid=*/10.0, {1}}}),
+      /*capacity=*/4.0,
+      /*attacker=*/2,
+      {}};
+  for (int k = 0; k < num_fakes; ++k) {
+    auction::QuerySpec fake;
+    fake.user = 2;
+    fake.bid = fake_valuation;
+    fake.operators = {1};  // Shares the attacker's operator (§V-A).
+    s.attack.fake_queries.push_back(fake);
+  }
+  return s;
+}
+
+AttackScenario TwoPricePartitionScenario(double epsilon) {
+  AttackScenario s{
+      MustCreate(
+          {{/*load=*/1.0}, {/*load=*/1.0}},
+          {{/*user=*/1, /*bid=*/10.0, {0}}, {/*user=*/2, /*bid=*/5.0, {1}}}),
+      /*capacity=*/2.0 + epsilon,
+      /*attacker=*/1,
+      {}};
+  s.attack.new_operators.push_back({epsilon});
+  auction::QuerySpec fake;
+  fake.user = 1;
+  fake.bid = epsilon;
+  fake.operators = {2};
+  s.attack.fake_queries.push_back(fake);
+  return s;
+}
+
+auction::AuctionInstance Example1Instance() {
+  // Operators: A(4) shared by q1,q2; B(1) in q1; C(2) in q2; D+E (paper
+  // shows q3's two operators with total load 10; we use 6 and 4).
+  return MustCreate(
+      {{4.0}, {1.0}, {2.0}, {6.0}, {4.0}},
+      {{/*user=*/1, /*bid=*/55.0, {0, 1}},
+       {/*user=*/2, /*bid=*/72.0, {0, 2}},
+       {/*user=*/3, /*bid=*/100.0, {3, 4}}});
+}
+
+}  // namespace streambid::gametheory

@@ -1,0 +1,54 @@
+// Copyright 2026 The streambid Authors
+// The concrete attack scenarios the paper proves things with (§IV-A,
+// §V-A, §V-B Table II, §V-C), packaged for tests and the property bench.
+
+#ifndef STREAMBID_GAMETHEORY_ATTACKS_H_
+#define STREAMBID_GAMETHEORY_ATTACKS_H_
+
+#include "auction/instance.h"
+#include "gametheory/sybil.h"
+
+namespace streambid::gametheory {
+
+/// A ready-to-run attack scenario: base instance, capacity, attacker and
+/// her sybil attack.
+struct AttackScenario {
+  auction::AuctionInstance instance;
+  double capacity = 0.0;
+  auction::UserId attacker = 0;
+  SybilAttack attack;
+};
+
+/// Paper Table II (§V-B): the attack that beats CAT+ but not CAT.
+/// User 1: v=100, load 1. User 2 (attacker): v=89, load 0.9. The fake
+/// "user 3": v=101*epsilon, its own operator of load epsilon. Capacity 1.
+/// Under CAT+ the fake displaces user 1, the attacker wins free, and her
+/// payoff rises from 0 to 89 - 100*epsilon.
+AttackScenario TableIIScenario(double epsilon = 0.01);
+
+/// §V-A demo: the universal fair-share attack. Attacker (user 2, v=10,
+/// one private operator of load 4) loses to user 1 (v=12, load 4) at
+/// capacity 4 under CAF; three negligible fakes sharing her operator
+/// deflate her CSF from 4 to 1, making her win cheaply.
+AttackScenario FairShareScenario(int num_fakes = 3,
+                                 double fake_valuation = 1e-6);
+
+/// §V-C-style attack on Two-price (even-partition variant): user 1
+/// (v=10) and one rival (v=5), both load 1, capacity 2 + epsilon. A fake
+/// with negligible valuation and load perturbs the random partition: with
+/// probability 1/3 the fake is alone on one side and prices the
+/// attacker's side at ~0. Expected attacker payoff rises from 5 to ~6.67.
+AttackScenario TwoPricePartitionScenario(double epsilon = 1e-3);
+
+/// Paper Example 1 (§II Figures 1-2): queries q1 {A,B} bid 55,
+/// q2 {A,C} bid 72, q3 {D,E} bid 100; loads A=4, B=1, C=2, D+E=10;
+/// capacity 10. The worked example behind the CAR/CAF/CAT payment
+/// walkthroughs (§IV). Operators are indexed A=0, B=1, C=2, D=3, E=4.
+auction::AuctionInstance Example1Instance();
+
+/// Capacity used in Example 1.
+inline constexpr double kExample1Capacity = 10.0;
+
+}  // namespace streambid::gametheory
+
+#endif  // STREAMBID_GAMETHEORY_ATTACKS_H_

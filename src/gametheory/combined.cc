@@ -1,0 +1,88 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/combined.h"
+
+#include "gametheory/payoff.h"
+
+namespace streambid::gametheory {
+
+CombinedAttackReport SearchCombinedAttack(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    auction::QueryId attacker_query, const CombinedAttackOptions& options,
+    Rng& rng) {
+  CombinedAttackReport report;
+  report.attacker_query = attacker_query;
+  const auction::UserId attacker = instance.user(attacker_query);
+  const double true_value = instance.bid(attacker_query);
+  const std::vector<double> values = TruthfulValues(instance);
+
+  report.truthful_payoff =
+      ExpectedUserPayoff(mechanism, instance, capacity, values, attacker,
+                         rng, options.trials);
+  report.best_payoff = report.truthful_payoff;
+  report.best_bid = true_value;
+
+  for (double factor : options.bid_factors) {
+    const double bid = true_value * factor;
+    const auction::AuctionInstance lied =
+        instance.WithBid(attacker_query, bid);
+    for (int fakes : options.fake_counts) {
+      for (double fake_value : options.fake_values) {
+        double payoff;
+        if (fakes == 0) {
+          if (fake_value != options.fake_values.front()) continue;
+          payoff = ExpectedUserPayoff(mechanism, lied, capacity, values,
+                                      attacker, rng, options.trials);
+        } else {
+          const SybilAttack attack =
+              FairShareAttack(lied, attacker_query, fakes, fake_value);
+          auto attacked = lied.WithExtraQueries(attack.fake_queries);
+          if (!attacked.ok()) continue;
+          std::vector<double> attacked_values = values;
+          attacked_values.resize(
+              static_cast<size_t>(attacked->num_queries()), 0.0);
+          payoff = ExpectedUserPayoff(mechanism, *attacked, capacity,
+                                      attacked_values, attacker, rng,
+                                      options.trials);
+        }
+        if (payoff > report.best_payoff) {
+          report.best_payoff = payoff;
+          report.best_bid = bid;
+          report.best_num_fakes = fakes;
+          report.best_fake_value = fakes > 0 ? fake_value : 0.0;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+CombinedAttackReport SweepCombinedAttacks(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    const CombinedAttackOptions& options, Rng& rng, int max_attackers) {
+  std::vector<auction::QueryId> targets;
+  for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
+    targets.push_back(i);
+  }
+  rng.Shuffle(targets);
+  if (max_attackers > 0 &&
+      max_attackers < static_cast<int>(targets.size())) {
+    targets.resize(static_cast<size_t>(max_attackers));
+  }
+  CombinedAttackReport best;
+  bool first = true;
+  for (auction::QueryId q : targets) {
+    CombinedAttackReport r = SearchCombinedAttack(mechanism, instance,
+                                                  capacity, q, options,
+                                                  rng);
+    if (first || r.Gain() > best.Gain()) {
+      best = r;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace streambid::gametheory

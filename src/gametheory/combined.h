@@ -1,0 +1,66 @@
+// Copyright 2026 The streambid Authors
+// Combined manipulation search (paper Definition 18 / Theorem 19): a
+// mechanism is *sybil-strategyproof* when no user can improve her payoff
+// by lying about her valuation, perpetrating a sybil attack, or doing
+// both at once. CAT is proven sybil-strategyproof; this harness searches
+// the joint strategy space empirically.
+
+#ifndef STREAMBID_GAMETHEORY_COMBINED_H_
+#define STREAMBID_GAMETHEORY_COMBINED_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/mechanism.h"
+#include "common/rng.h"
+#include "gametheory/sybil.h"
+
+namespace streambid::gametheory {
+
+/// The best combined (bid-lie x sybil) strategy found for one attacker.
+struct CombinedAttackReport {
+  auction::QueryId attacker_query = auction::kNoQuery;
+  double truthful_payoff = 0.0;
+  double best_payoff = 0.0;
+  double best_bid = 0.0;       ///< Attacker's submitted bid.
+  int best_num_fakes = 0;      ///< 0 = pure bid deviation.
+  double best_fake_value = 0.0;
+
+  double Gain() const { return best_payoff - truthful_payoff; }
+  bool Profitable(double tolerance = 1e-7) const {
+    return Gain() > tolerance;
+  }
+};
+
+/// Options for the combined search.
+struct CombinedAttackOptions {
+  /// Attacker bids tried, as multiples of the true value.
+  std::vector<double> bid_factors = {0.25, 0.5, 0.75, 0.9, 1.0,
+                                     1.1, 1.5, 2.0};
+  /// Fake-query counts tried (0 = no sybil component).
+  std::vector<int> fake_counts = {0, 1, 3, 8};
+  /// Fake valuations tried.
+  std::vector<double> fake_values = {1e-6, 1.0};
+  /// Expectation trials for randomized mechanisms.
+  int trials = 1;
+};
+
+/// Searches the joint strategy grid for `attacker_query`: the attacker
+/// submits bid = factor * value and `k` fake queries replicating her
+/// operator set (the §V-A construction, the strongest known generic
+/// attack family). Everyone else is truthful.
+CombinedAttackReport SearchCombinedAttack(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    auction::QueryId attacker_query, const CombinedAttackOptions& options,
+    Rng& rng);
+
+/// Sweeps a sample of queries; returns the most profitable report.
+CombinedAttackReport SweepCombinedAttacks(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    const CombinedAttackOptions& options, Rng& rng, int max_attackers);
+
+}  // namespace streambid::gametheory
+
+#endif  // STREAMBID_GAMETHEORY_COMBINED_H_

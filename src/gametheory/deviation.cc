@@ -1,0 +1,108 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/deviation.h"
+
+#include <algorithm>
+
+#include "gametheory/payoff.h"
+
+namespace streambid::gametheory {
+namespace {
+
+/// Candidate deviant bids for `query`.
+std::vector<double> CandidateBids(const auction::AuctionInstance& instance,
+                                  auction::QueryId query,
+                                  const DeviationOptions& options) {
+  const double v = instance.bid(query);
+  std::vector<double> bids;
+  for (double f : options.bid_factors) bids.push_back(v * f);
+  if (options.probe_other_bids) {
+    for (auction::QueryId j = 0; j < instance.num_queries(); ++j) {
+      if (j == query) continue;
+      const double b = instance.bid(j);
+      bids.push_back(b);
+      bids.push_back(b * 0.999);
+      bids.push_back(b * 1.001);
+    }
+  }
+  std::sort(bids.begin(), bids.end());
+  bids.erase(std::unique(bids.begin(), bids.end()), bids.end());
+  // Negative bids are not legal inputs.
+  bids.erase(std::remove_if(bids.begin(), bids.end(),
+                            [](double b) { return b < 0.0; }),
+             bids.end());
+  return bids;
+}
+
+}  // namespace
+
+DeviationReport FindBestDeviation(const auction::Mechanism& mechanism,
+                                  const auction::AuctionInstance& instance,
+                                  double capacity, auction::QueryId query,
+                                  const DeviationOptions& options,
+                                  Rng& rng) {
+  (void)rng;  // Randomness is CRN-seeded per evaluation (see header).
+  DeviationReport report;
+  report.query = query;
+  report.true_value = instance.bid(query);
+
+  const std::vector<double> values = TruthfulValues(instance);
+  const auction::UserId user = instance.user(query);
+
+  // Common random numbers: every evaluation replays the same Rng
+  // stream, so randomized mechanisms see identical coin flips across
+  // candidate bids.
+  auto evaluate = [&](const auction::AuctionInstance& inst) {
+    Rng crn(options.crn_seed);
+    return ExpectedUserPayoff(mechanism, inst, capacity, values, user,
+                              crn, options.trials);
+  };
+
+  report.truthful_payoff = evaluate(instance);
+  report.best_deviant_payoff = report.truthful_payoff;
+  report.best_deviant_bid = report.true_value;
+
+  for (double bid : CandidateBids(instance, query, options)) {
+    if (bid == report.true_value) continue;
+    const auction::AuctionInstance deviant = instance.WithBid(query, bid);
+    // True values are unchanged by the lie.
+    const double payoff = evaluate(deviant);
+    if (payoff > report.best_deviant_payoff) {
+      report.best_deviant_payoff = payoff;
+      report.best_deviant_bid = bid;
+    }
+  }
+  report.profitable_deviation_found =
+      report.Gain() > options.tolerance;
+  return report;
+}
+
+DeviationReport SweepDeviations(const auction::Mechanism& mechanism,
+                                const auction::AuctionInstance& instance,
+                                double capacity,
+                                const DeviationOptions& options, Rng& rng,
+                                int max_queries) {
+  std::vector<auction::QueryId> targets;
+  for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
+    targets.push_back(i);
+  }
+  if (max_queries > 0 &&
+      max_queries < static_cast<int>(targets.size())) {
+    rng.Shuffle(targets);
+    targets.resize(static_cast<size_t>(max_queries));
+  }
+
+  DeviationReport worst;
+  bool first = true;
+  for (auction::QueryId q : targets) {
+    DeviationReport r =
+        FindBestDeviation(mechanism, instance, capacity, q, options, rng);
+    if (first || r.Gain() > worst.Gain()) {
+      worst = r;
+      first = false;
+    }
+  }
+  return worst;
+}
+
+}  // namespace streambid::gametheory

@@ -1,0 +1,71 @@
+// Copyright 2026 The streambid Authors
+// Bid-deviation search: the empirical test of bid-strategyproofness.
+// A mechanism is bid-strategyproof iff no user can raise her (expected)
+// payoff by bidding something other than her true value (§III). The
+// harness sweeps a grid of deviating bids for a chosen query and reports
+// the most profitable deviation found, if any.
+
+#ifndef STREAMBID_GAMETHEORY_DEVIATION_H_
+#define STREAMBID_GAMETHEORY_DEVIATION_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/mechanism.h"
+#include "common/rng.h"
+
+namespace streambid::gametheory {
+
+/// Outcome of a deviation search for one query.
+struct DeviationReport {
+  bool profitable_deviation_found = false;
+  auction::QueryId query = auction::kNoQuery;
+  double true_value = 0.0;
+  double best_deviant_bid = 0.0;
+  double truthful_payoff = 0.0;
+  double best_deviant_payoff = 0.0;
+
+  /// Gain from the best deviation (<= tolerance when strategyproof).
+  double Gain() const { return best_deviant_payoff - truthful_payoff; }
+};
+
+/// Options for the search.
+struct DeviationOptions {
+  /// Deviant bids tried, as multiples of the true value.
+  std::vector<double> bid_factors = {0.0,  0.1, 0.2,  0.3,  0.4,  0.5,
+                                     0.6,  0.7, 0.75, 0.8,  0.9,  0.95,
+                                     0.99, 1.01, 1.05, 1.1,  1.25, 1.5,
+                                     2.0,  5.0};
+  /// Also try bids just above/below every other query's bid (captures
+  /// reorder-sensitive manipulations like the CAR attack of §IV-A).
+  bool probe_other_bids = true;
+  /// Runs averaged per bid for randomized mechanisms.
+  int trials = 1;
+  /// Payoff slack treated as noise (exact arithmetic -> tiny; raise it
+  /// when sampling randomized mechanisms).
+  double tolerance = 1e-7;
+  /// Common-random-numbers seed: every candidate bid (and the truthful
+  /// baseline) is evaluated with an identically seeded Rng, so for
+  /// randomized mechanisms the comparison isolates the effect of the
+  /// bid rather than partition luck.
+  uint64_t crn_seed = 0x5EEDED;
+};
+
+/// Searches deviating bids for `query`, everyone else truthful.
+DeviationReport FindBestDeviation(const auction::Mechanism& mechanism,
+                                  const auction::AuctionInstance& instance,
+                                  double capacity, auction::QueryId query,
+                                  const DeviationOptions& options, Rng& rng);
+
+/// Sweeps every query (or a random sample of `max_queries`), returning
+/// the worst report. Strategyproof mechanisms should yield
+/// profitable_deviation_found == false.
+DeviationReport SweepDeviations(const auction::Mechanism& mechanism,
+                                const auction::AuctionInstance& instance,
+                                double capacity,
+                                const DeviationOptions& options, Rng& rng,
+                                int max_queries = -1);
+
+}  // namespace streambid::gametheory
+
+#endif  // STREAMBID_GAMETHEORY_DEVIATION_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/payoff.h"
+
+#include "common/check.h"
+
+namespace streambid::gametheory {
+
+double UserPayoff(const auction::AuctionInstance& instance,
+                  const auction::Allocation& alloc,
+                  const std::vector<double>& values,
+                  auction::UserId user) {
+  STREAMBID_CHECK_EQ(static_cast<int>(values.size()),
+                     instance.num_queries());
+  double payoff = 0.0;
+  for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
+    if (instance.user(i) != user) continue;
+    if (!alloc.IsAdmitted(i)) continue;
+    payoff += values[static_cast<size_t>(i)] - alloc.Payment(i);
+  }
+  return payoff;
+}
+
+double ExpectedUserPayoff(const auction::Mechanism& mechanism,
+                          const auction::AuctionInstance& instance,
+                          double capacity,
+                          const std::vector<double>& values,
+                          auction::UserId user, Rng& rng, int trials) {
+  STREAMBID_CHECK_GT(trials, 0);
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const auction::Allocation alloc =
+        mechanism.Run(instance, capacity, rng);
+    total += UserPayoff(instance, alloc, values, user);
+  }
+  return total / trials;
+}
+
+std::vector<double> TruthfulValues(
+    const auction::AuctionInstance& instance) {
+  std::vector<double> values(static_cast<size_t>(instance.num_queries()));
+  for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
+    values[static_cast<size_t>(i)] = instance.bid(i);
+  }
+  return values;
+}
+
+}  // namespace streambid::gametheory

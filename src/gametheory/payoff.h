@@ -1,0 +1,39 @@
+// Copyright 2026 The streambid Authors
+// Payoff accounting (paper §II): the payoff of the user who submitted
+// query q_i is v_i - p_i if admitted and 0 otherwise; a user owning
+// several queries (e.g., a sybil attacker and her fakes) earns the sum
+// over her queries, and is responsible for her fake queries' payments
+// (§V: fakes have value 0, so an admitted fake contributes -p).
+
+#ifndef STREAMBID_GAMETHEORY_PAYOFF_H_
+#define STREAMBID_GAMETHEORY_PAYOFF_H_
+
+#include <vector>
+
+#include "auction/allocation.h"
+#include "auction/instance.h"
+#include "auction/mechanism.h"
+#include "common/rng.h"
+
+namespace streambid::gametheory {
+
+/// Payoff of `user` under one allocation, with per-query true values.
+double UserPayoff(const auction::AuctionInstance& instance,
+                  const auction::Allocation& alloc,
+                  const std::vector<double>& values, auction::UserId user);
+
+/// Expected payoff of `user` under `mechanism`, averaging `trials` runs
+/// (one run suffices for deterministic mechanisms; the harness still
+/// averages so callers need not special-case randomized ones).
+double ExpectedUserPayoff(const auction::Mechanism& mechanism,
+                          const auction::AuctionInstance& instance,
+                          double capacity,
+                          const std::vector<double>& values,
+                          auction::UserId user, Rng& rng, int trials);
+
+/// True values when everyone is truthful: value_i = bid_i.
+std::vector<double> TruthfulValues(const auction::AuctionInstance& instance);
+
+}  // namespace streambid::gametheory
+
+#endif  // STREAMBID_GAMETHEORY_PAYOFF_H_

@@ -1,0 +1,130 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/properties.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streambid::gametheory {
+namespace {
+
+bool Wins(const auction::Mechanism& mechanism,
+          const auction::AuctionInstance& instance, double capacity,
+          auction::QueryId query, Rng& rng) {
+  const auction::Allocation alloc = mechanism.Run(instance, capacity, rng);
+  return alloc.IsAdmitted(query);
+}
+
+}  // namespace
+
+MonotonicityReport CheckMonotonicity(const auction::Mechanism& mechanism,
+                                     const auction::AuctionInstance& instance,
+                                     double capacity,
+                                     bool check_subset_monotonicity,
+                                     Rng& rng) {
+  MonotonicityReport report;
+  const auction::Allocation base = mechanism.Run(instance, capacity, rng);
+  for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
+    const double v = instance.bid(i);
+    if (base.IsAdmitted(i)) {
+      for (double factor : {1.5, 3.0, 10.0}) {
+        const auction::AuctionInstance raised =
+            instance.WithBid(i, v * factor);
+        if (!Wins(mechanism, raised, capacity, i, rng)) {
+          report.monotone = false;
+          report.violating_query = i;
+          report.violating_bid = v * factor;
+          return report;
+        }
+      }
+      if (check_subset_monotonicity &&
+          instance.query_operators(i).size() > 1) {
+        // Drop the last operator: a winner asking for a strict subset of
+        // her operators must still win (SMB monotonicity, §III).
+        std::vector<auction::QuerySpec> queries = instance.queries();
+        queries[static_cast<size_t>(i)].operators.pop_back();
+        auto shrunk = auction::AuctionInstance::Create(
+            instance.operators(), std::move(queries));
+        STREAMBID_CHECK(shrunk.ok());
+        if (!Wins(mechanism, *shrunk, capacity, i, rng)) {
+          report.monotone = false;
+          report.violating_query = i;
+          report.violating_bid = v;
+          return report;
+        }
+      }
+    } else if (v > 0.0) {
+      for (double factor : {0.5, 0.1}) {
+        const auction::AuctionInstance lowered =
+            instance.WithBid(i, v * factor);
+        if (Wins(mechanism, lowered, capacity, i, rng)) {
+          report.monotone = false;
+          report.violating_query = i;
+          report.violating_bid = v * factor;
+          return report;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+CriticalValue EstimateCriticalValue(const auction::Mechanism& mechanism,
+                                    const auction::AuctionInstance& instance,
+                                    double capacity, auction::QueryId query,
+                                    Rng& rng, double hi_hint,
+                                    int iterations) {
+  CriticalValue cv;
+  // Upper probe: if the query loses even at an enormous bid, it can
+  // never win (e.g., its own remaining load exceeds capacity).
+  double hi = std::max({hi_hint, instance.max_bid() * 4.0, 1.0});
+  if (!Wins(mechanism, instance.WithBid(query, hi), capacity, query, rng)) {
+    cv.unbounded = true;
+    return cv;
+  }
+  double lo = 0.0;
+  if (Wins(mechanism, instance.WithBid(query, 0.0), capacity, query, rng)) {
+    cv.value = 0.0;  // Wins for free.
+    return cv;
+  }
+  for (int it = 0; it < iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (Wins(mechanism, instance.WithBid(query, mid), capacity, query,
+             rng)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  cv.value = 0.5 * (lo + hi);
+  return cv;
+}
+
+double MaxCriticalValueDiscrepancy(const auction::Mechanism& mechanism,
+                                   const auction::AuctionInstance& instance,
+                                   double capacity, Rng& rng,
+                                   int max_queries) {
+  const auction::Allocation base = mechanism.Run(instance, capacity, rng);
+  std::vector<auction::QueryId> targets;
+  for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
+    if (base.IsAdmitted(i)) targets.push_back(i);
+  }
+  if (max_queries > 0 &&
+      max_queries < static_cast<int>(targets.size())) {
+    rng.Shuffle(targets);
+    targets.resize(static_cast<size_t>(max_queries));
+  }
+  double worst = 0.0;
+  for (auction::QueryId q : targets) {
+    const CriticalValue cv =
+        EstimateCriticalValue(mechanism, instance, capacity, q, rng);
+    if (cv.unbounded) continue;  // Winner that can't win: contradiction,
+                                 // but let the monotonicity check flag it.
+    worst = std::max(worst, std::fabs(cv.value - base.Payment(q)));
+  }
+  return worst;
+}
+
+}  // namespace streambid::gametheory

@@ -1,0 +1,61 @@
+// Copyright 2026 The streambid Authors
+// Structural property checks from the §III characterizations:
+// monotonicity (a winner keeps winning when raising her bid) and
+// critical-value pricing (a winner's payment equals the bid threshold at
+// which she stops winning) — together equivalent to
+// bid-strategyproofness in single-parameter settings [Nisan 2007].
+
+#ifndef STREAMBID_GAMETHEORY_PROPERTIES_H_
+#define STREAMBID_GAMETHEORY_PROPERTIES_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/mechanism.h"
+#include "common/rng.h"
+
+namespace streambid::gametheory {
+
+/// Result of a monotonicity sweep.
+struct MonotonicityReport {
+  bool monotone = true;
+  auction::QueryId violating_query = auction::kNoQuery;
+  double violating_bid = 0.0;
+};
+
+/// Checks (deterministic mechanisms only): every winner still wins after
+/// multiplying her bid by each factor > 1; every loser still loses after
+/// multiplying by each factor < 1. Checks the SMB extension too when
+/// `check_subset_monotonicity`: a winner restricted to a strict subset of
+/// her operators still wins (§III, Lehmann et al. characterization).
+MonotonicityReport CheckMonotonicity(const auction::Mechanism& mechanism,
+                                     const auction::AuctionInstance& instance,
+                                     double capacity,
+                                     bool check_subset_monotonicity,
+                                     Rng& rng);
+
+/// Binary-searches the critical bid of `query`: the threshold value c
+/// such that bidding above c wins and below c loses. Requires a monotone
+/// deterministic mechanism. Returns 0 when the query wins even with bid
+/// ~0, and +inf (represented as `unbounded=true`) when it never wins.
+struct CriticalValue {
+  double value = 0.0;
+  bool unbounded = false;
+};
+CriticalValue EstimateCriticalValue(const auction::Mechanism& mechanism,
+                                    const auction::AuctionInstance& instance,
+                                    double capacity, auction::QueryId query,
+                                    Rng& rng, double hi_hint = 0.0,
+                                    int iterations = 60);
+
+/// Verifies that each winner's payment equals her critical value within
+/// `tolerance` (the §III bid-strategyproofness characterization).
+/// Returns the worst absolute discrepancy observed.
+double MaxCriticalValueDiscrepancy(const auction::Mechanism& mechanism,
+                                   const auction::AuctionInstance& instance,
+                                   double capacity, Rng& rng,
+                                   int max_queries = -1);
+
+}  // namespace streambid::gametheory
+
+#endif  // STREAMBID_GAMETHEORY_PROPERTIES_H_

@@ -1,0 +1,84 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/sybil.h"
+
+#include <algorithm>
+
+#include "gametheory/payoff.h"
+
+namespace streambid::gametheory {
+
+SybilAttack FairShareAttack(const auction::AuctionInstance& instance,
+                            auction::QueryId attacker_query, int num_fakes,
+                            double fake_valuation) {
+  SybilAttack attack;
+  const auction::UserId attacker = instance.user(attacker_query);
+  for (int k = 0; k < num_fakes; ++k) {
+    auction::QuerySpec fake;
+    fake.user = attacker;  // Payoff attribution only.
+    fake.bid = fake_valuation;
+    fake.operators = instance.query_operators(attacker_query);
+    attack.fake_queries.push_back(std::move(fake));
+  }
+  return attack;
+}
+
+Result<SybilReport> EvaluateSybilAttack(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    auction::UserId attacker, const SybilAttack& attack, Rng& rng,
+    int trials) {
+  SybilReport report;
+  const std::vector<double> values = TruthfulValues(instance);
+  report.payoff_without_attack = ExpectedUserPayoff(
+      mechanism, instance, capacity, values, attacker, rng, trials);
+
+  STREAMBID_ASSIGN_OR_RETURN(
+      auction::AuctionInstance attacked,
+      instance.WithExtraOperators(attack.new_operators,
+                                  attack.fake_queries));
+  // Fake queries are worth nothing to the attacker.
+  std::vector<double> attacked_values = values;
+  attacked_values.resize(static_cast<size_t>(attacked.num_queries()), 0.0);
+  report.payoff_with_attack =
+      ExpectedUserPayoff(mechanism, attacked, capacity, attacked_values,
+                         attacker, rng, trials);
+  return report;
+}
+
+SybilReport SearchSybilAttacks(const auction::Mechanism& mechanism,
+                               const auction::AuctionInstance& instance,
+                               double capacity, Rng& rng,
+                               int max_attackers, int trials) {
+  std::vector<auction::QueryId> attackers;
+  for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
+    attackers.push_back(i);
+  }
+  rng.Shuffle(attackers);
+  if (max_attackers > 0 &&
+      max_attackers < static_cast<int>(attackers.size())) {
+    attackers.resize(static_cast<size_t>(max_attackers));
+  }
+
+  SybilReport best;
+  bool first = true;
+  for (auction::QueryId q : attackers) {
+    for (int fakes : {1, 2, 5, 10}) {
+      for (double fake_value : {1e-6, 0.5, 1.0}) {
+        const SybilAttack attack =
+            FairShareAttack(instance, q, fakes, fake_value);
+        auto result = EvaluateSybilAttack(
+            mechanism, instance, capacity, instance.user(q), attack, rng,
+            trials);
+        if (!result.ok()) continue;
+        if (first || result->Gain() > best.Gain()) {
+          best = *result;
+          first = false;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace streambid::gametheory

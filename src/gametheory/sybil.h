@@ -1,0 +1,66 @@
+// Copyright 2026 The streambid Authors
+// Sybil-attack harness (paper §V). A sybil attack submits additional
+// fake queries under forged identities; the attacker pays admitted fakes'
+// payments and values them at zero, so her payoff is
+//   sum over her real queries (v - p) - sum over admitted fakes (p).
+// A mechanism is sybil immune iff no attack ever raises this payoff
+// (Definition 16).
+
+#ifndef STREAMBID_GAMETHEORY_SYBIL_H_
+#define STREAMBID_GAMETHEORY_SYBIL_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/mechanism.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace streambid::gametheory {
+
+/// A sybil attack: fake queries (attributed to the attacker's user id for
+/// payoff accounting — the mechanism itself cannot link them) and any new
+/// operators the fakes reference (offsets are relative to the base
+/// instance's operator count).
+struct SybilAttack {
+  std::vector<auction::OperatorSpec> new_operators;
+  std::vector<auction::QuerySpec> fake_queries;
+};
+
+/// Result of evaluating one attack.
+struct SybilReport {
+  double payoff_without_attack = 0.0;
+  double payoff_with_attack = 0.0;
+  double Gain() const { return payoff_with_attack - payoff_without_attack; }
+  bool Profitable(double tolerance = 1e-7) const {
+    return Gain() > tolerance;
+  }
+};
+
+/// The §V-A universal attack against the fair-share mechanisms: fake
+/// queries with negligible valuations replicating the attacker's operator
+/// set, which deflates her CSF (and her fair-share payment) while the
+/// fakes rank too low to win.
+SybilAttack FairShareAttack(const auction::AuctionInstance& instance,
+                            auction::QueryId attacker_query, int num_fakes,
+                            double fake_valuation = 1e-6);
+
+/// Evaluates `attack` by `attacker` (expected payoffs over `trials` runs
+/// for randomized mechanisms). All other users bid truthfully.
+Result<SybilReport> EvaluateSybilAttack(
+    const auction::Mechanism& mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    auction::UserId attacker, const SybilAttack& attack, Rng& rng,
+    int trials = 1);
+
+/// Randomized attack search: tries fair-share-style attacks of various
+/// sizes/valuations for `max_attackers` random attackers; returns the
+/// best gain found (<= tolerance for a sybil-immune mechanism).
+SybilReport SearchSybilAttacks(const auction::Mechanism& mechanism,
+                               const auction::AuctionInstance& instance,
+                               double capacity, Rng& rng,
+                               int max_attackers, int trials = 1);
+
+}  // namespace streambid::gametheory
+
+#endif  // STREAMBID_GAMETHEORY_SYBIL_H_

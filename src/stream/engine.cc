@@ -1,0 +1,484 @@
+// Copyright 2026 The streambid Authors
+
+#include "stream/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "stream/operators/distinct.h"
+#include "stream/operators/join.h"
+#include "stream/operators/project.h"
+#include "stream/operators/topk.h"
+#include "stream/operators/union_op.h"
+
+namespace streambid::stream {
+
+/// One runtime graph node: either a source tap (op == nullptr) or an
+/// operator instance. Nodes are owned by the signature map; topo_ holds
+/// raw pointers in creation (= topological) order.
+struct Engine::Node {
+  std::string signature;
+  OperatorPtr op;          // Null for source taps.
+  int source_index = -1;   // Valid for source taps.
+  SchemaPtr schema;        // Output schema.
+  std::vector<std::pair<Node*, int>> downstream;  // (consumer, port).
+  std::deque<std::pair<int, Tuple>> inbox;        // (port, tuple).
+  std::set<int> subscribers;  // Query ids whose plans include this node.
+  std::set<int> sink_of;      // Query ids whose output node is this.
+  double run_cost = 0.0;      // Cost consumed during the current Run().
+  double total_cost = 0.0;
+  int64_t processed = 0;
+};
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  STREAMBID_CHECK_GT(options_.capacity, 0.0);
+  STREAMBID_CHECK_GT(options_.tick, 0.0);
+}
+
+Engine::~Engine() = default;
+
+Status Engine::RegisterSource(StreamSourcePtr source) {
+  STREAMBID_CHECK(source != nullptr);
+  const std::string& name = source->name();
+  if (source_index_.count(name) > 0) {
+    return Status::AlreadyExists("source already registered: " + name);
+  }
+  source_index_[name] = static_cast<int>(sources_.size());
+  sources_.push_back(std::move(source));
+  held_.emplace_back();
+  return Status::Ok();
+}
+
+const StreamSource* Engine::source(const std::string& name) const {
+  auto it = source_index_.find(name);
+  return it == source_index_.end() ? nullptr
+                                   : sources_[static_cast<size_t>(it->second)]
+                                         .get();
+}
+
+Result<OperatorPtr> Engine::MakeOperator(
+    const OpSpec& spec, const std::vector<SchemaPtr>& inputs) const {
+  auto cost = [&spec](double fallback) {
+    return spec.cost_override > 0.0 ? spec.cost_override : fallback;
+  };
+  switch (spec.kind) {
+    case OpKind::kSource:
+      return Status::Internal("source specs have no operator");
+    case OpKind::kSelect: {
+      if (!inputs[0]->HasField(spec.field)) {
+        return Status::InvalidArgument("select: unknown field " +
+                                       spec.field);
+      }
+      return OperatorPtr(new SelectOperator(inputs[0], spec.field,
+                                            spec.compare_op, spec.operand,
+                                            cost(DefaultCosts::kSelect)));
+    }
+    case OpKind::kProject: {
+      for (const std::string& f : spec.fields) {
+        if (!inputs[0]->HasField(f)) {
+          return Status::InvalidArgument("project: unknown field " + f);
+        }
+      }
+      return OperatorPtr(new ProjectOperator(inputs[0], spec.fields,
+                                             cost(DefaultCosts::kProject)));
+    }
+    case OpKind::kMap: {
+      if (!inputs[0]->HasField(spec.field)) {
+        return Status::InvalidArgument("map: unknown field " + spec.field);
+      }
+      return OperatorPtr(new MapOperator(inputs[0], spec.field, spec.map_fn,
+                                         spec.map_operand,
+                                         spec.output_field,
+                                         cost(DefaultCosts::kMap)));
+    }
+    case OpKind::kAggregate: {
+      if (spec.agg_fn != AggFn::kCount || !spec.field.empty()) {
+        if (!inputs[0]->HasField(spec.field)) {
+          return Status::InvalidArgument("aggregate: unknown field " +
+                                         spec.field);
+        }
+      }
+      if (!spec.group_field.empty() &&
+          !inputs[0]->HasField(spec.group_field)) {
+        return Status::InvalidArgument("aggregate: unknown group field " +
+                                       spec.group_field);
+      }
+      return OperatorPtr(new AggregateOperator(
+          inputs[0], spec.agg_fn, spec.field, spec.group_field, spec.window,
+          cost(DefaultCosts::kAggregate)));
+    }
+    case OpKind::kJoin: {
+      if (!inputs[0]->HasField(spec.left_key)) {
+        return Status::InvalidArgument("join: unknown left key " +
+                                       spec.left_key);
+      }
+      if (!inputs[1]->HasField(spec.right_key)) {
+        return Status::InvalidArgument("join: unknown right key " +
+                                       spec.right_key);
+      }
+      return OperatorPtr(new JoinOperator(inputs[0], inputs[1],
+                                          spec.left_key, spec.right_key,
+                                          spec.join_window,
+                                          cost(DefaultCosts::kJoin)));
+    }
+    case OpKind::kUnion: {
+      if (!(*inputs[0] == *inputs[1])) {
+        return Status::InvalidArgument("union: input schemas differ");
+      }
+      return OperatorPtr(
+          new UnionOperator(inputs[0], inputs[1],
+                            cost(DefaultCosts::kUnion)));
+    }
+    case OpKind::kTopK: {
+      if (!inputs[0]->HasField(spec.field)) {
+        return Status::InvalidArgument("topk: unknown rank field " +
+                                       spec.field);
+      }
+      if (spec.top_k <= 0) {
+        return Status::InvalidArgument("topk: k must be positive");
+      }
+      return OperatorPtr(new TopKOperator(inputs[0], spec.top_k,
+                                          spec.field, spec.window.size,
+                                          cost(DefaultCosts::kTopK)));
+    }
+    case OpKind::kDistinct: {
+      if (!inputs[0]->HasField(spec.field)) {
+        return Status::InvalidArgument("distinct: unknown key field " +
+                                       spec.field);
+      }
+      return OperatorPtr(new DistinctOperator(inputs[0], spec.field,
+                                              spec.window.size,
+                                              cost(DefaultCosts::kDistinct)));
+    }
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+Result<Engine::Node*> Engine::Instantiate(int query_id,
+                                          const QueryPlan& plan, int idx) {
+  const QueryPlan::Node& pn = plan.nodes[static_cast<size_t>(idx)];
+  const std::string sig = plan.NodeSignature(idx);
+
+  // Instantiate (or revisit) children first so subscribers propagate
+  // through the whole subtree.
+  std::vector<Node*> children;
+  std::vector<SchemaPtr> child_schemas;
+  for (int in : pn.inputs) {
+    STREAMBID_ASSIGN_OR_RETURN(Node * child,
+                               Instantiate(query_id, plan, in));
+    children.push_back(child);
+    child_schemas.push_back(child->schema);
+  }
+
+  auto it = nodes_.find(sig);
+  if (it != nodes_.end()) {
+    it->second->subscribers.insert(query_id);
+    return it->second.get();
+  }
+
+  auto node = std::make_unique<Node>();
+  node->signature = sig;
+  if (pn.spec.kind == OpKind::kSource) {
+    auto src = source_index_.find(pn.spec.source_name);
+    if (src == source_index_.end()) {
+      return Status::NotFound("unknown source: " + pn.spec.source_name);
+    }
+    node->source_index = src->second;
+    node->schema = sources_[static_cast<size_t>(src->second)]->schema();
+  } else {
+    STREAMBID_ASSIGN_OR_RETURN(OperatorPtr op,
+                               MakeOperator(pn.spec, child_schemas));
+    node->schema = op->output_schema();
+    node->op = std::move(op);
+  }
+  node->subscribers.insert(query_id);
+
+  Node* raw = node.get();
+  for (size_t port = 0; port < children.size(); ++port) {
+    children[port]->downstream.push_back({raw, static_cast<int>(port)});
+  }
+  nodes_.emplace(sig, std::move(node));
+  topo_.push_back(raw);
+  return raw;
+}
+
+Result<SchemaPtr> Engine::DeriveOutputSchema(const QueryPlan& plan) const {
+  STREAMBID_RETURN_IF_ERROR(plan.Validate());
+  // Derive schemas bottom-up without touching engine state.
+  std::vector<SchemaPtr> schemas(plan.nodes.size());
+  for (size_t i = 0; i < plan.nodes.size(); ++i) {
+    const QueryPlan::Node& pn = plan.nodes[i];
+    if (pn.spec.kind == OpKind::kSource) {
+      const StreamSource* src = source(pn.spec.source_name);
+      if (src == nullptr) {
+        return Status::NotFound("unknown source: " + pn.spec.source_name);
+      }
+      schemas[i] = src->schema();
+      continue;
+    }
+    std::vector<SchemaPtr> inputs;
+    for (int in : pn.inputs) {
+      inputs.push_back(schemas[static_cast<size_t>(in)]);
+    }
+    STREAMBID_ASSIGN_OR_RETURN(OperatorPtr op,
+                               MakeOperator(pn.spec, inputs));
+    schemas[i] = op->output_schema();
+  }
+  return schemas[static_cast<size_t>(plan.output_node)];
+}
+
+Status Engine::InstallQuery(int query_id, const QueryPlan& plan) {
+  if (sinks_.count(query_id) > 0) {
+    return Status::AlreadyExists("query id already installed: " +
+                                 std::to_string(query_id));
+  }
+  STREAMBID_RETURN_IF_ERROR(plan.Validate());
+  // Validate fully (fields, sources) before mutating shared state.
+  STREAMBID_RETURN_IF_ERROR(DeriveOutputSchema(plan).status());
+
+  STREAMBID_ASSIGN_OR_RETURN(
+      Node * out, Instantiate(query_id, plan, plan.output_node));
+  out->sink_of.insert(query_id);
+  sinks_[query_id] = SinkStats{};
+  return Status::Ok();
+}
+
+Status Engine::UninstallQuery(int query_id) {
+  if (sinks_.erase(query_id) == 0) {
+    return Status::NotFound("query not installed: " +
+                            std::to_string(query_id));
+  }
+  for (Node* node : topo_) {
+    node->subscribers.erase(query_id);
+    node->sink_of.erase(query_id);
+  }
+  // Destroy orphaned nodes (reverse topological order so downstream
+  // edges are unhooked before their targets die).
+  for (auto it = topo_.rbegin(); it != topo_.rend();) {
+    Node* node = *it;
+    if (!node->subscribers.empty()) {
+      ++it;
+      continue;
+    }
+    // Unhook from upstream.
+    for (Node* up : topo_) {
+      auto& ds = up->downstream;
+      ds.erase(std::remove_if(ds.begin(), ds.end(),
+                              [node](const std::pair<Node*, int>& e) {
+                                return e.first == node;
+                              }),
+               ds.end());
+    }
+    const std::string sig = node->signature;
+    it = decltype(it)(topo_.erase(std::next(it).base()));
+    nodes_.erase(sig);
+  }
+  return Status::Ok();
+}
+
+bool Engine::IsInstalled(int query_id) const {
+  return sinks_.count(query_id) > 0;
+}
+
+std::vector<int> Engine::InstalledQueries() const {
+  std::vector<int> out;
+  out.reserve(sinks_.size());
+  for (const auto& [id, stats] : sinks_) out.push_back(id);
+  return out;
+}
+
+void Engine::BeginTransition() {
+  if (in_transition_) return;
+  in_transition_ = true;
+  // Drain in-flight tuples through the network before modification
+  // (§II: subnetwork queues empty through downstream connection
+  // points).
+  ProcessPass(now_);
+}
+
+Status Engine::CommitTransition() {
+  if (!in_transition_) {
+    return Status::FailedPrecondition("no transition in progress");
+  }
+  // Replay held tuples into the modified network before new arrivals.
+  for (size_t s = 0; s < held_.size(); ++s) {
+    for (Node* node : topo_) {
+      if (node->source_index == static_cast<int>(s)) {
+        for (const Tuple& t : held_[s]) {
+          node->inbox.push_back({0, t});
+        }
+      }
+    }
+    held_[s].clear();
+  }
+  in_transition_ = false;
+  ProcessPass(now_);
+  return Status::Ok();
+}
+
+void Engine::Deliver(Node* node, const Tuple& tuple) {
+  for (auto& [consumer, port] : node->downstream) {
+    consumer->inbox.push_back({port, tuple});
+  }
+  if (!node->sink_of.empty()) {
+    for (int qid : node->sink_of) {
+      SinkStats& sink = sinks_[qid];
+      ++sink.tuples;
+      sink.recent.push_back(tuple);
+      while (static_cast<int>(sink.recent.size()) > options_.sink_history) {
+        sink.recent.pop_front();
+      }
+    }
+  }
+}
+
+double Engine::ProcessPass(VirtualTime now) {
+  // Edges always point from earlier to later topo_ entries, so one
+  // ordered pass drains everything, including window emissions.
+  double pass_cost = 0.0;
+  std::vector<Tuple> outputs;
+  for (Node* node : topo_) {
+    if (node->op == nullptr) {
+      // Source tap: forward.
+      while (!node->inbox.empty()) {
+        const Tuple tuple = std::move(node->inbox.front().second);
+        node->inbox.pop_front();
+        ++node->processed;
+        Deliver(node, tuple);
+      }
+      continue;
+    }
+    while (!node->inbox.empty()) {
+      auto [port, tuple] = std::move(node->inbox.front());
+      node->inbox.pop_front();
+      outputs.clear();
+      node->op->Process(port, tuple, &outputs);
+      node->op->RecordInput(1);
+      node->op->RecordOutput(static_cast<int64_t>(outputs.size()));
+      node->run_cost += node->op->cost_per_tuple();
+      node->total_cost += node->op->cost_per_tuple();
+      pass_cost += node->op->cost_per_tuple();
+      ++node->processed;
+      for (const Tuple& out : outputs) Deliver(node, out);
+    }
+    outputs.clear();
+    node->op->AdvanceTime(now, &outputs);
+    if (!outputs.empty()) {
+      node->op->RecordOutput(static_cast<int64_t>(outputs.size()));
+      for (const Tuple& out : outputs) Deliver(node, out);
+    }
+  }
+  return pass_cost;
+}
+
+void Engine::Run(VirtualTime duration) {
+  STREAMBID_CHECK_GE(duration, 0.0);
+  for (Node* node : topo_) node->run_cost = 0.0;
+  last_run_duration_ = duration;
+  last_run_shed_ = 0;
+  last_run_ingested_ = 0;
+  shed_probability_ = 0.0;
+  const double tick_budget = options_.capacity * options_.tick;
+  const VirtualTime end = now_ + duration;
+  while (now_ < end) {
+    now_ = std::min(now_ + options_.tick, end);
+    for (size_t s = 0; s < sources_.size(); ++s) {
+      std::vector<Tuple> batch = sources_[s]->EmitUntil(now_);
+      if (batch.empty()) continue;
+      if (in_transition_) {
+        // Connection point holds arrivals during the transition.
+        held_[s].insert(held_[s].end(), batch.begin(), batch.end());
+        continue;
+      }
+      for (Node* node : topo_) {
+        if (node->source_index == static_cast<int>(s)) {
+          for (const Tuple& t : batch) {
+            // Closed-loop tuple shedding (Aurora-style random drops):
+            // the drop probability tracks last tick's overload ratio.
+            if (options_.shed_on_overload && shed_probability_ > 0.0 &&
+                shed_rng_.NextBool(shed_probability_)) {
+              ++last_run_shed_;
+              continue;
+            }
+            node->inbox.push_back({0, t});
+            ++last_run_ingested_;
+          }
+        }
+      }
+    }
+    if (!in_transition_) {
+      const double tick_cost = ProcessPass(now_);
+      if (options_.shed_on_overload && tick_budget > 0.0) {
+        // The measured cost already reflects the current drop rate;
+        // de-bias it to estimate the offered demand, then aim the drop
+        // probability so post-shedding cost equals the budget.
+        const double kept = 1.0 - shed_probability_;
+        const double offered =
+            kept > 1e-6 ? tick_cost / kept : tick_cost;
+        const double target =
+            offered > tick_budget ? 1.0 - tick_budget / offered : 0.0;
+        // Fast-attack, fast-release controller.
+        shed_probability_ = 0.5 * shed_probability_ + 0.5 * target;
+      }
+    }
+  }
+  last_run_cost_ = 0.0;
+  for (Node* node : topo_) last_run_cost_ += node->run_cost;
+}
+
+const SinkStats* Engine::sink(int query_id) const {
+  auto it = sinks_.find(query_id);
+  return it == sinks_.end() ? nullptr : &it->second;
+}
+
+std::vector<OperatorLoadInfo> Engine::OperatorLoads() const {
+  std::vector<OperatorLoadInfo> out;
+  out.reserve(topo_.size());
+  for (const Node* node : topo_) {
+    OperatorLoadInfo info;
+    info.signature = node->signature;
+    info.is_source = node->op == nullptr;
+    info.name = info.is_source
+                    ? "source(" +
+                          sources_[static_cast<size_t>(node->source_index)]
+                              ->name() +
+                          ")"
+                    : node->op->name();
+    info.cost_per_tuple =
+        info.is_source ? 0.0 : node->op->cost_per_tuple();
+    info.tuples_processed = node->processed;
+    info.measured_load = last_run_duration_ > 0.0
+                             ? node->run_cost / last_run_duration_
+                             : 0.0;
+    info.sharing_degree = static_cast<int>(node->subscribers.size());
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<double> Engine::MeasuredLoad(const std::string& signature) const {
+  auto it = nodes_.find(signature);
+  if (it == nodes_.end()) {
+    return Status::NotFound("no such operator: " + signature);
+  }
+  if (last_run_duration_ <= 0.0) {
+    return Status::FailedPrecondition("engine has not run yet");
+  }
+  return it->second->run_cost / last_run_duration_;
+}
+
+double Engine::LastRunUtilization() const {
+  if (last_run_duration_ <= 0.0) return 0.0;
+  return last_run_cost_ / (last_run_duration_ * options_.capacity);
+}
+
+int Engine::num_shared_nodes() const {
+  int n = 0;
+  for (const Node* node : topo_) {
+    if (node->subscribers.size() > 1) ++n;
+  }
+  return n;
+}
+
+}  // namespace streambid::stream

@@ -1,0 +1,205 @@
+// Copyright 2026 The streambid Authors
+// The stream execution engine: an Aurora-model DSMS (paper §II) driven in
+// virtual time. Installed queries are instantiated into a shared runtime
+// graph — any node whose spec-and-inputs subtree matches an existing one
+// is reused, so shared operators are processed once regardless of how
+// many queries subscribe to them. The engine measures per-operator load
+// (cost units per second), which is exactly the c_j the admission
+// auction prices, and implements the paper's transition phase: at a
+// subscription-period boundary, upstream connection points hold new
+// tuples, in-flight tuples are drained, the query network is modified,
+// and held tuples are replayed before new arrivals.
+
+#ifndef STREAMBID_STREAM_ENGINE_H_
+#define STREAMBID_STREAM_ENGINE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/operator.h"
+#include "stream/query.h"
+#include "stream/stream_source.h"
+
+namespace streambid::stream {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Capacity in cost units per second of virtual time (same units as
+  /// the auction capacities).
+  double capacity = 1000.0;
+  /// Scheduler step in virtual seconds: sources are polled and windows
+  /// advanced once per tick.
+  VirtualTime tick = 1.0;
+  /// Tuples retained per query sink for inspection.
+  int sink_history = 32;
+  /// Tuple-level load shedding: when true, each tick enforces the
+  /// capacity budget (capacity * tick cost units) by dropping source
+  /// tuples that arrive after the budget is exhausted. This is the
+  /// classic DSMS overload response the paper's conclusion contrasts
+  /// with query-level admission control ("most data stream admission
+  /// control (load shedding) algorithms work at the tuple level").
+  /// With admission control doing its job, shedding should never fire.
+  bool shed_on_overload = false;
+};
+
+/// Snapshot of one runtime operator's state and measured load.
+struct OperatorLoadInfo {
+  std::string signature;   ///< Sharing key (spec + input subtree).
+  std::string name;        ///< Human-readable operator descriptor.
+  bool is_source = false;
+  double cost_per_tuple = 0.0;
+  int64_t tuples_processed = 0;
+  /// Measured load over the last Run(): cost consumed / run duration
+  /// (capacity units).
+  double measured_load = 0.0;
+  /// Number of installed queries whose plans include this node.
+  int sharing_degree = 0;
+};
+
+/// Per-query output statistics.
+struct SinkStats {
+  int64_t tuples = 0;
+  std::deque<Tuple> recent;  ///< Last `sink_history` output tuples.
+};
+
+/// Virtual-time stream engine. Not thread-safe; one engine per
+/// simulation.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Sources -----------------------------------------------------
+
+  /// Registers an input stream. Fails with kAlreadyExists on duplicate
+  /// names.
+  Status RegisterSource(StreamSourcePtr source);
+
+  /// Looks up a registered source (nullptr when absent).
+  const StreamSource* source(const std::string& name) const;
+
+  // --- Query management ---------------------------------------------
+
+  /// Validates `plan` against the registered sources and derives its
+  /// output schema without installing anything.
+  Result<SchemaPtr> DeriveOutputSchema(const QueryPlan& plan) const;
+
+  /// Instantiates `plan` for `query_id`, sharing identical subtrees
+  /// with already-installed queries. Errors: kAlreadyExists (id in
+  /// use), kInvalidArgument / kNotFound (bad plan or unknown source or
+  /// field).
+  Status InstallQuery(int query_id, const QueryPlan& plan);
+
+  /// Removes the query; operators no longer referenced by any query are
+  /// destroyed (their state is discarded).
+  Status UninstallQuery(int query_id);
+
+  bool IsInstalled(int query_id) const;
+  std::vector<int> InstalledQueries() const;
+
+  // --- Transition phase (§II) ----------------------------------------
+
+  /// Enters the transition: upstream connection points begin holding
+  /// newly arriving tuples, and all in-flight tuples are drained
+  /// through the network first.
+  void BeginTransition();
+
+  /// Ends the transition: held tuples are replayed into the (modified)
+  /// network before any new arrivals. kFailedPrecondition if not in a
+  /// transition.
+  Status CommitTransition();
+
+  bool in_transition() const { return in_transition_; }
+
+  // --- Execution ------------------------------------------------------
+
+  /// Advances virtual time by `duration`, pulling sources, scheduling
+  /// operators, and closing windows.
+  void Run(VirtualTime duration);
+
+  VirtualTime now() const { return now_; }
+
+  // --- Introspection ---------------------------------------------------
+
+  /// Output statistics of an installed query (nullptr when unknown).
+  const SinkStats* sink(int query_id) const;
+
+  /// Per-operator loads measured over the last Run().
+  std::vector<OperatorLoadInfo> OperatorLoads() const;
+
+  /// Measured load of the node with `signature` (kNotFound if the node
+  /// does not exist or nothing ran yet).
+  Result<double> MeasuredLoad(const std::string& signature) const;
+
+  /// Total cost consumed in the last Run() divided by duration *
+  /// capacity.
+  double LastRunUtilization() const;
+
+  /// Cost units consumed during the last Run().
+  double LastRunCost() const { return last_run_cost_; }
+
+  /// Source tuples dropped by overload shedding during the last Run()
+  /// (always 0 unless options.shed_on_overload).
+  int64_t LastRunShedTuples() const { return last_run_shed_; }
+
+  /// Fraction of arriving source tuples shed during the last Run().
+  double LastRunShedFraction() const {
+    const int64_t total = last_run_shed_ + last_run_ingested_;
+    return total > 0 ? static_cast<double>(last_run_shed_) / total : 0.0;
+  }
+
+  int num_runtime_nodes() const { return static_cast<int>(topo_.size()); }
+  /// Nodes referenced by two or more queries.
+  int num_shared_nodes() const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Node;
+
+  /// Recursively instantiates plan node `idx` for `query_id`; returns
+  /// the runtime node (shared or fresh).
+  Result<Node*> Instantiate(int query_id, const QueryPlan& plan, int idx);
+
+  /// Builds the concrete operator for `spec` (validating fields).
+  Result<OperatorPtr> MakeOperator(const OpSpec& spec,
+                                   const std::vector<SchemaPtr>& inputs) const;
+
+  /// Pushes `tuple` into `node`'s downstream inboxes and sinks.
+  void Deliver(Node* node, const Tuple& tuple);
+
+  /// One full pass over the topological order, draining every inbox and
+  /// advancing windows to `now`. Returns the cost consumed.
+  double ProcessPass(VirtualTime now);
+
+  EngineOptions options_;
+  std::vector<StreamSourcePtr> sources_;
+  std::map<std::string, int> source_index_;
+
+  std::map<std::string, std::unique_ptr<Node>> nodes_;  // By signature.
+  std::vector<Node*> topo_;  // Creation order == topological order.
+  std::map<int, SinkStats> sinks_;
+
+  bool in_transition_ = false;
+  std::vector<std::vector<Tuple>> held_;  // Per source, during transition.
+
+  VirtualTime now_ = 0.0;
+  double last_run_cost_ = 0.0;
+  VirtualTime last_run_duration_ = 0.0;
+  int64_t last_run_shed_ = 0;
+  int64_t last_run_ingested_ = 0;
+  double shed_probability_ = 0.0;  // Closed-loop shedding control.
+  Rng shed_rng_{0x5EED5EEDull};
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_ENGINE_H_

@@ -1,0 +1,140 @@
+// Copyright 2026 The streambid Authors
+
+#include "stream/operators/aggregate.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streambid::stream {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+double AggregateOperator::Accumulator::Final(AggFn fn) const {
+  switch (fn) {
+    case AggFn::kCount:
+      return static_cast<double>(count);
+    case AggFn::kSum:
+      return sum;
+    case AggFn::kAvg:
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    case AggFn::kMin:
+      return min;
+    case AggFn::kMax:
+      return max;
+  }
+  return 0.0;
+}
+
+AggregateOperator::AggregateOperator(const SchemaPtr& input_schema,
+                                     AggFn fn, std::string agg_field,
+                                     std::string group_field,
+                                     WindowSpec window,
+                                     double cost_per_tuple)
+    : OperatorBase(std::string("agg(") + AggFnName(fn) + "(" + agg_field +
+                       ")" +
+                       (group_field.empty() ? "" : " by " + group_field) +
+                       " w=" + std::to_string(window.size) + "/" +
+                       std::to_string(window.slide) + ")",
+                   cost_per_tuple),
+      fn_(fn),
+      agg_field_index_(fn == AggFn::kCount && agg_field.empty()
+                           ? -1
+                           : input_schema->FieldIndex(agg_field)),
+      group_field_index_(group_field.empty()
+                             ? -1
+                             : input_schema->FieldIndex(group_field)),
+      window_(window) {
+  STREAMBID_CHECK(fn == AggFn::kCount || agg_field_index_ >= 0);
+  STREAMBID_CHECK(group_field.empty() || group_field_index_ >= 0);
+  STREAMBID_CHECK_GT(window.size, 0.0);
+  STREAMBID_CHECK_GT(window.slide, 0.0);
+  STREAMBID_CHECK_LE(window.slide, window.size);
+
+  std::vector<Field> fields;
+  if (group_field_index_ >= 0) {
+    fields.push_back(input_schema->field(group_field_index_));
+  }
+  fields.push_back({"window_end", ValueType::kDouble});
+  fields.push_back({"value", ValueType::kDouble});
+  output_schema_ = MakeSchema(std::move(fields));
+}
+
+std::vector<VirtualTime> AggregateOperator::WindowStartsFor(
+    VirtualTime ts) const {
+  // Windows are aligned at multiples of slide. A tuple at ts belongs to
+  // every window [s, s+size) with s <= ts < s+size and s = k*slide.
+  std::vector<VirtualTime> starts;
+  const double first_k = std::floor(ts / window_.slide);
+  for (double k = first_k;; k -= 1.0) {
+    const VirtualTime s = k * window_.slide;
+    if (s < 0.0 && k < 0.0) break;
+    if (s + window_.size <= ts) break;
+    starts.push_back(s);
+    if (k == 0.0) break;
+  }
+  return starts;
+}
+
+void AggregateOperator::Process(int port, const Tuple& tuple,
+                                std::vector<Tuple>* out) {
+  STREAMBID_DCHECK(port == 0);
+  (void)port;
+  (void)out;  // Emission happens on AdvanceTime.
+  const double x =
+      agg_field_index_ >= 0 ? tuple.value(agg_field_index_).AsDouble()
+                            : 1.0;
+  std::string key;
+  Value key_value;
+  if (group_field_index_ >= 0) {
+    key_value = tuple.value(group_field_index_);
+    key = key_value.ToKey();
+  }
+  for (VirtualTime s : WindowStartsFor(tuple.timestamp())) {
+    OpenWindow& w = open_[s];
+    w.start = s;
+    w.groups[key].Add(x);
+    if (group_field_index_ >= 0) w.group_values[key] = key_value;
+  }
+}
+
+void AggregateOperator::EmitWindow(const OpenWindow& w,
+                                   std::vector<Tuple>* out) {
+  const VirtualTime end = w.start + window_.size;
+  for (const auto& [key, acc] : w.groups) {
+    std::vector<Value> values;
+    if (group_field_index_ >= 0) {
+      values.push_back(w.group_values.at(key));
+    }
+    values.emplace_back(end);
+    values.emplace_back(acc.Final(fn_));
+    out->emplace_back(output_schema_, std::move(values), end);
+  }
+}
+
+void AggregateOperator::AdvanceTime(VirtualTime now,
+                                    std::vector<Tuple>* out) {
+  auto it = open_.begin();
+  while (it != open_.end() && it->first + window_.size <= now) {
+    EmitWindow(it->second, out);
+    it = open_.erase(it);
+  }
+}
+
+void AggregateOperator::Reset() { open_.clear(); }
+
+}  // namespace streambid::stream

@@ -1,0 +1,92 @@
+// Copyright 2026 The streambid Authors
+// Windowed aggregation: tumbling or sliding time windows, optional
+// group-by, with count/sum/avg/min/max. Emission is driven by
+// AdvanceTime: a window [start, start+size) closes once virtual time
+// passes its end, emitting one tuple per (window, group).
+
+#ifndef STREAMBID_STREAM_OPERATORS_AGGREGATE_H_
+#define STREAMBID_STREAM_OPERATORS_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace streambid::stream {
+
+/// Aggregate functions.
+enum class AggFn { kCount, kSum, kAvg, kMin, kMax };
+
+/// Stable name ("count", "sum", ...).
+const char* AggFnName(AggFn fn);
+
+/// Time-window specification. slide == size gives tumbling windows;
+/// slide < size gives overlapping (sliding) windows.
+struct WindowSpec {
+  VirtualTime size = 60.0;
+  VirtualTime slide = 60.0;
+};
+
+/// aggregate(FN(field) group-by g over window).
+/// Output schema: [group (if grouped), window_end:double, value:double].
+class AggregateOperator : public OperatorBase {
+ public:
+  AggregateOperator(const SchemaPtr& input_schema, AggFn fn,
+                    std::string agg_field, std::string group_field,
+                    WindowSpec window,
+                    double cost_per_tuple = DefaultCosts::kAggregate);
+
+  SchemaPtr output_schema() const override { return output_schema_; }
+
+  void Process(int port, const Tuple& tuple,
+               std::vector<Tuple>* out) override;
+
+  void AdvanceTime(VirtualTime now, std::vector<Tuple>* out) override;
+
+  void Reset() override;
+
+ private:
+  struct Accumulator {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void Add(double x) {
+      if (count == 0) {
+        min = max = x;
+      } else {
+        if (x < min) min = x;
+        if (x > max) max = x;
+      }
+      ++count;
+      sum += x;
+    }
+
+    double Final(AggFn fn) const;
+  };
+
+  // One open window instance.
+  struct OpenWindow {
+    VirtualTime start = 0.0;
+    // Group key -> accumulator ("" for ungrouped).
+    std::map<std::string, Accumulator> groups;
+    std::map<std::string, Value> group_values;
+  };
+
+  void EmitWindow(const OpenWindow& w, std::vector<Tuple>* out);
+  /// Window start times whose window [s, s+size) contains `ts`.
+  std::vector<VirtualTime> WindowStartsFor(VirtualTime ts) const;
+
+  SchemaPtr output_schema_;
+  AggFn fn_;
+  int agg_field_index_;    // -1 for count-only.
+  int group_field_index_;  // -1 when ungrouped.
+  WindowSpec window_;
+  std::map<VirtualTime, OpenWindow> open_;  // keyed by window start.
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_OPERATORS_AGGREGATE_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 The streambid Authors
+// Windowed duplicate elimination: forwards a tuple only if no tuple with
+// the same key field was seen within the trailing window (dedup for
+// alert-style queries: "notify once per company per hour").
+
+#ifndef STREAMBID_STREAM_OPERATORS_DISTINCT_H_
+#define STREAMBID_STREAM_OPERATORS_DISTINCT_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "stream/operator.h"
+
+namespace streambid::stream {
+
+/// distinct(field within window seconds).
+class DistinctOperator : public OperatorBase {
+ public:
+  DistinctOperator(SchemaPtr input_schema, std::string key_field,
+                   VirtualTime window,
+                   double cost_per_tuple = DefaultCosts::kDistinct);
+
+  SchemaPtr output_schema() const override { return schema_; }
+
+  void Process(int port, const Tuple& tuple,
+               std::vector<Tuple>* out) override;
+
+  void AdvanceTime(VirtualTime now, std::vector<Tuple>* out) override;
+
+  void Reset() override;
+
+  /// Keys currently suppressed (tests/monitoring).
+  size_t TrackedKeys() const { return last_seen_.size(); }
+
+ private:
+  SchemaPtr schema_;
+  int key_index_;
+  VirtualTime window_;
+  std::unordered_map<std::string, VirtualTime> last_seen_;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_OPERATORS_DISTINCT_H_

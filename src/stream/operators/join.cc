@@ -1,0 +1,83 @@
+// Copyright 2026 The streambid Authors
+
+#include "stream/operators/join.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace streambid::stream {
+
+JoinOperator::JoinOperator(const SchemaPtr& left_schema,
+                           const SchemaPtr& right_schema,
+                           const std::string& left_key,
+                           const std::string& right_key,
+                           VirtualTime window, double cost_per_tuple)
+    : OperatorBase("join(" + left_key + "==" + right_key +
+                       " w=" + std::to_string(window) + ")",
+                   cost_per_tuple),
+      window_(window) {
+  STREAMBID_CHECK_GT(window, 0.0);
+  sides_[0].key_index = left_schema->FieldIndex(left_key);
+  sides_[1].key_index = right_schema->FieldIndex(right_key);
+  STREAMBID_CHECK_GE(sides_[0].key_index, 0);
+  STREAMBID_CHECK_GE(sides_[1].key_index, 0);
+
+  std::vector<Field> fields = left_schema->fields();
+  for (const Field& f : right_schema->fields()) {
+    Field out = f;
+    if (left_schema->HasField(out.name)) out.name = "r_" + out.name;
+    fields.push_back(std::move(out));
+  }
+  output_schema_ = MakeSchema(std::move(fields));
+}
+
+void JoinOperator::Emit(const Tuple& left, const Tuple& right,
+                        std::vector<Tuple>* out) {
+  std::vector<Value> values = left.values();
+  values.insert(values.end(), right.values().begin(),
+                right.values().end());
+  out->emplace_back(output_schema_, std::move(values),
+                    std::max(left.timestamp(), right.timestamp()));
+}
+
+void JoinOperator::Process(int port, const Tuple& tuple,
+                           std::vector<Tuple>* out) {
+  STREAMBID_DCHECK(port == 0 || port == 1);
+  Side& mine = sides_[port];
+  Side& other = sides_[1 - port];
+
+  const std::string key = tuple.value(mine.key_index).ToKey();
+  // Probe the other side within the window.
+  auto it = other.table.find(key);
+  if (it != other.table.end()) {
+    for (const Tuple& match : it->second) {
+      if (match.timestamp() >= tuple.timestamp() - window_) {
+        if (port == 0) {
+          Emit(tuple, match, out);
+        } else {
+          Emit(match, tuple, out);
+        }
+      }
+    }
+  }
+  mine.Insert(key, tuple);
+}
+
+void JoinOperator::AdvanceTime(VirtualTime now, std::vector<Tuple>* out) {
+  (void)out;  // Joins emit only on arrival.
+  for (Side& side : sides_) side.EvictOlderThan(now - window_);
+}
+
+void JoinOperator::Reset() {
+  for (Side& side : sides_) {
+    side.table.clear();
+    side.buffered = 0;
+  }
+}
+
+size_t JoinOperator::BufferedTuples() const {
+  return sides_[0].buffered + sides_[1].buffered;
+}
+
+}  // namespace streambid::stream

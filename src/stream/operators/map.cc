@@ -1,0 +1,64 @@
+// Copyright 2026 The streambid Authors
+
+#include "stream/operators/map.h"
+
+#include "common/check.h"
+
+namespace streambid::stream {
+
+const char* MapFnToken(MapFn fn) {
+  switch (fn) {
+    case MapFn::kAdd:
+      return "+";
+    case MapFn::kSub:
+      return "-";
+    case MapFn::kMul:
+      return "*";
+    case MapFn::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+MapOperator::MapOperator(const SchemaPtr& input_schema, std::string field,
+                         MapFn fn, double operand,
+                         std::string output_field, double cost_per_tuple)
+    : OperatorBase("map(" + output_field + "=" + field + MapFnToken(fn) +
+                       std::to_string(operand) + ")",
+                   cost_per_tuple),
+      field_index_(input_schema->FieldIndex(field)),
+      fn_(fn),
+      operand_(operand) {
+  STREAMBID_CHECK_GE(field_index_, 0);
+  STREAMBID_CHECK(fn != MapFn::kDiv || operand != 0.0);
+  std::vector<Field> fields = input_schema->fields();
+  fields.push_back({std::move(output_field), ValueType::kDouble});
+  output_schema_ = MakeSchema(std::move(fields));
+}
+
+void MapOperator::Process(int port, const Tuple& tuple,
+                          std::vector<Tuple>* out) {
+  STREAMBID_DCHECK(port == 0);
+  (void)port;
+  const double x = tuple.value(field_index_).AsDouble();
+  double y = 0.0;
+  switch (fn_) {
+    case MapFn::kAdd:
+      y = x + operand_;
+      break;
+    case MapFn::kSub:
+      y = x - operand_;
+      break;
+    case MapFn::kMul:
+      y = x * operand_;
+      break;
+    case MapFn::kDiv:
+      y = x / operand_;
+      break;
+  }
+  std::vector<Value> values = tuple.values();
+  values.emplace_back(y);
+  out->emplace_back(output_schema_, std::move(values), tuple.timestamp());
+}
+
+}  // namespace streambid::stream

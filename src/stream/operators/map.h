@@ -1,0 +1,42 @@
+// Copyright 2026 The streambid Authors
+// Map operator: computes one new numeric field from an existing field
+// and a constant (the streaming analogue of a scalar expression).
+
+#ifndef STREAMBID_STREAM_OPERATORS_MAP_H_
+#define STREAMBID_STREAM_OPERATORS_MAP_H_
+
+#include <string>
+
+#include "stream/operator.h"
+
+namespace streambid::stream {
+
+/// Arithmetic applied by MapOperator.
+enum class MapFn { kAdd, kSub, kMul, kDiv };
+
+/// Stable token for signatures ("+", "-", "*", "/").
+const char* MapFnToken(MapFn fn);
+
+/// map(out = field FN constant): appends the result as a new double
+/// field named `output_field`.
+class MapOperator : public OperatorBase {
+ public:
+  MapOperator(const SchemaPtr& input_schema, std::string field, MapFn fn,
+              double operand, std::string output_field,
+              double cost_per_tuple = DefaultCosts::kMap);
+
+  SchemaPtr output_schema() const override { return output_schema_; }
+
+  void Process(int port, const Tuple& tuple,
+               std::vector<Tuple>* out) override;
+
+ private:
+  SchemaPtr output_schema_;
+  int field_index_;
+  MapFn fn_;
+  double operand_;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_OPERATORS_MAP_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The streambid Authors
+
+#include "stream/operators/project.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace streambid::stream {
+
+ProjectOperator::ProjectOperator(const SchemaPtr& input_schema,
+                                 std::vector<std::string> fields,
+                                 double cost_per_tuple)
+    : OperatorBase("project(" + Join(fields, ",") + ")", cost_per_tuple) {
+  std::vector<Field> out_fields;
+  for (const std::string& f : fields) {
+    const int idx = input_schema->FieldIndex(f);
+    STREAMBID_CHECK_GE(idx, 0);
+    indices_.push_back(idx);
+    out_fields.push_back(input_schema->field(idx));
+  }
+  output_schema_ = MakeSchema(std::move(out_fields));
+}
+
+void ProjectOperator::Process(int port, const Tuple& tuple,
+                              std::vector<Tuple>* out) {
+  STREAMBID_DCHECK(port == 0);
+  (void)port;
+  std::vector<Value> values;
+  values.reserve(indices_.size());
+  for (int idx : indices_) values.push_back(tuple.value(idx));
+  out->emplace_back(output_schema_, std::move(values), tuple.timestamp());
+}
+
+}  // namespace streambid::stream

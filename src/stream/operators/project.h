@@ -1,0 +1,33 @@
+// Copyright 2026 The streambid Authors
+// Projection operator: keeps a subset of fields (in the given order).
+
+#ifndef STREAMBID_STREAM_OPERATORS_PROJECT_H_
+#define STREAMBID_STREAM_OPERATORS_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace streambid::stream {
+
+/// project(f1,f2,...).
+class ProjectOperator : public OperatorBase {
+ public:
+  ProjectOperator(const SchemaPtr& input_schema,
+                  std::vector<std::string> fields,
+                  double cost_per_tuple = DefaultCosts::kProject);
+
+  SchemaPtr output_schema() const override { return output_schema_; }
+
+  void Process(int port, const Tuple& tuple,
+               std::vector<Tuple>* out) override;
+
+ private:
+  SchemaPtr output_schema_;
+  std::vector<int> indices_;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_OPERATORS_PROJECT_H_

@@ -1,0 +1,44 @@
+// Copyright 2026 The streambid Authors
+// Selection (filter) operator: passes tuples matching a comparison
+// predicate on one field.
+
+#ifndef STREAMBID_STREAM_OPERATORS_SELECT_H_
+#define STREAMBID_STREAM_OPERATORS_SELECT_H_
+
+#include <string>
+
+#include "stream/operator.h"
+
+namespace streambid::stream {
+
+/// Comparison predicates supported by Select.
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Stable token for signatures ("<", "<=", ...).
+const char* CompareOpToken(CompareOp op);
+
+/// Evaluates `lhs OP rhs`.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// select(field OP constant).
+class SelectOperator : public OperatorBase {
+ public:
+  SelectOperator(SchemaPtr input_schema, std::string field, CompareOp op,
+                 Value operand,
+                 double cost_per_tuple = DefaultCosts::kSelect);
+
+  SchemaPtr output_schema() const override { return schema_; }
+
+  void Process(int port, const Tuple& tuple,
+               std::vector<Tuple>* out) override;
+
+ private:
+  SchemaPtr schema_;
+  int field_index_;
+  CompareOp op_;
+  Value operand_;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_OPERATORS_SELECT_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The streambid Authors
+// Windowed top-k: at each tumbling-window close, emits the k tuples with
+// the largest value of `rank_field` (ties broken by arrival order). The
+// classic "top movers" query of stock monitoring dashboards.
+
+#ifndef STREAMBID_STREAM_OPERATORS_TOPK_H_
+#define STREAMBID_STREAM_OPERATORS_TOPK_H_
+
+#include <map>
+#include <vector>
+
+#include "stream/operator.h"
+#include "stream/operators/aggregate.h"
+
+namespace streambid::stream {
+
+/// topk(k by field over tumbling window). Output schema = input schema
+/// (the winning tuples are re-emitted, stamped with the window end).
+class TopKOperator : public OperatorBase {
+ public:
+  TopKOperator(SchemaPtr input_schema, int k, std::string rank_field,
+               VirtualTime window_size,
+               double cost_per_tuple = DefaultCosts::kTopK);
+
+  SchemaPtr output_schema() const override { return schema_; }
+
+  void Process(int port, const Tuple& tuple,
+               std::vector<Tuple>* out) override;
+
+  void AdvanceTime(VirtualTime now, std::vector<Tuple>* out) override;
+
+  void Reset() override;
+
+ private:
+  struct OpenWindow {
+    // Kept sorted ascending by rank value; holds at most k entries.
+    std::vector<Tuple> best;
+  };
+
+  VirtualTime WindowStart(VirtualTime ts) const;
+
+  SchemaPtr schema_;
+  int k_;
+  int rank_index_;
+  VirtualTime window_size_;
+  std::map<VirtualTime, OpenWindow> open_;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_OPERATORS_TOPK_H_

@@ -1,0 +1,37 @@
+// Copyright 2026 The streambid Authors
+// Union operator: merges two streams with identical schemas.
+
+#ifndef STREAMBID_STREAM_OPERATORS_UNION_OP_H_
+#define STREAMBID_STREAM_OPERATORS_UNION_OP_H_
+
+#include "common/check.h"
+#include "stream/operator.h"
+
+namespace streambid::stream {
+
+/// union(left, right) — pass-through merge.
+class UnionOperator : public OperatorBase {
+ public:
+  UnionOperator(const SchemaPtr& left_schema, const SchemaPtr& right_schema,
+                double cost_per_tuple = DefaultCosts::kUnion)
+      : OperatorBase("union", cost_per_tuple), schema_(left_schema) {
+    STREAMBID_CHECK(*left_schema == *right_schema);
+  }
+
+  SchemaPtr output_schema() const override { return schema_; }
+  int num_inputs() const override { return 2; }
+
+  void Process(int port, const Tuple& tuple,
+               std::vector<Tuple>* out) override {
+    STREAMBID_DCHECK(port == 0 || port == 1);
+    (void)port;
+    out->push_back(tuple);
+  }
+
+ private:
+  SchemaPtr schema_;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_OPERATORS_UNION_OP_H_

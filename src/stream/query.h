@@ -1,0 +1,120 @@
+// Copyright 2026 The streambid Authors
+// Declarative continuous-query plans. A plan is a small DAG of operator
+// specs; the engine instantiates plans into runtime operators, *sharing*
+// any node whose spec-and-inputs subtree is identical to one already
+// installed (the operator sharing the paper's auction prices, §II).
+
+#ifndef STREAMBID_STREAM_QUERY_H_
+#define STREAMBID_STREAM_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/operators/aggregate.h"
+#include "stream/operators/map.h"
+#include "stream/operators/select.h"
+#include "stream/tuple.h"
+
+namespace streambid::stream {
+
+/// Operator kinds available in plans.
+enum class OpKind {
+  kSource,
+  kSelect,
+  kProject,
+  kMap,
+  kAggregate,
+  kJoin,
+  kUnion,
+  kTopK,
+  kDistinct,
+};
+
+/// Stable name for `kind`.
+const char* OpKindName(OpKind kind);
+
+/// Parameters of one plan node (a tagged union; only the fields of the
+/// active kind are meaningful).
+struct OpSpec {
+  OpKind kind = OpKind::kSelect;
+
+  // kSource.
+  std::string source_name;
+
+  // kSelect / kMap / kAggregate field operand.
+  std::string field;
+
+  // kSelect.
+  CompareOp compare_op = CompareOp::kGt;
+  Value operand;
+
+  // kProject.
+  std::vector<std::string> fields;
+
+  // kMap.
+  MapFn map_fn = MapFn::kMul;
+  double map_operand = 1.0;
+  std::string output_field;
+
+  // kAggregate.
+  AggFn agg_fn = AggFn::kCount;
+  std::string group_field;
+  WindowSpec window;
+
+  // kJoin.
+  std::string left_key;
+  std::string right_key;
+  VirtualTime join_window = 60.0;
+
+  // kTopK (rank field in `field`, window in `window.size`).
+  int top_k = 10;
+
+  // kDistinct uses `field` (key) and `window.size` (dedup horizon).
+
+  /// Per-tuple cost override; 0 uses the kind's default cost.
+  double cost_override = 0.0;
+
+  /// Number of inputs this spec requires (2 for join/union, 0 for
+  /// source, else 1).
+  int expected_inputs() const {
+    switch (kind) {
+      case OpKind::kSource:
+        return 0;
+      case OpKind::kJoin:
+      case OpKind::kUnion:
+        return 2;
+      default:
+        return 1;
+    }
+  }
+
+  /// Canonical parameter signature (excludes inputs), e.g.
+  /// "select(price>100)". Two nodes with equal signatures and equal
+  /// input subtrees are shared.
+  std::string Signature() const;
+};
+
+/// A query plan: nodes with input edges (indices into `nodes`, which
+/// must point to earlier entries, making the vector a topological
+/// order), plus the index of the output (sink) node.
+struct QueryPlan {
+  struct Node {
+    OpSpec spec;
+    std::vector<int> inputs;
+  };
+
+  std::vector<Node> nodes;
+  int output_node = -1;
+
+  /// Structural validation: input arity and ordering, output in range,
+  /// at least one source.
+  Status Validate() const;
+
+  /// Recursive subtree signature of `node` (the engine's sharing key).
+  std::string NodeSignature(int node) const;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_QUERY_H_

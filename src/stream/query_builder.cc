@@ -1,0 +1,117 @@
+// Copyright 2026 The streambid Authors
+
+#include "stream/query_builder.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace streambid::stream {
+
+int QueryBuilder::AddNode(OpSpec spec, std::vector<int> inputs) {
+  QueryPlan::Node node;
+  node.spec = std::move(spec);
+  node.inputs = std::move(inputs);
+  plan_.nodes.push_back(std::move(node));
+  return static_cast<int>(plan_.nodes.size()) - 1;
+}
+
+int QueryBuilder::Source(const std::string& name) {
+  OpSpec spec;
+  spec.kind = OpKind::kSource;
+  spec.source_name = name;
+  return AddNode(std::move(spec), {});
+}
+
+int QueryBuilder::Select(int input, const std::string& field, CompareOp op,
+                         Value operand) {
+  OpSpec spec;
+  spec.kind = OpKind::kSelect;
+  spec.field = field;
+  spec.compare_op = op;
+  spec.operand = std::move(operand);
+  return AddNode(std::move(spec), {input});
+}
+
+int QueryBuilder::Project(int input, std::vector<std::string> fields) {
+  OpSpec spec;
+  spec.kind = OpKind::kProject;
+  spec.fields = std::move(fields);
+  return AddNode(std::move(spec), {input});
+}
+
+int QueryBuilder::Map(int input, const std::string& field, MapFn fn,
+                      double operand, const std::string& output_field) {
+  OpSpec spec;
+  spec.kind = OpKind::kMap;
+  spec.field = field;
+  spec.map_fn = fn;
+  spec.map_operand = operand;
+  spec.output_field = output_field;
+  return AddNode(std::move(spec), {input});
+}
+
+int QueryBuilder::Aggregate(int input, AggFn fn, const std::string& field,
+                            const std::string& group_field,
+                            WindowSpec window) {
+  OpSpec spec;
+  spec.kind = OpKind::kAggregate;
+  spec.agg_fn = fn;
+  spec.field = field;
+  spec.group_field = group_field;
+  spec.window = window;
+  return AddNode(std::move(spec), {input});
+}
+
+int QueryBuilder::Join(int left, int right, const std::string& left_key,
+                       const std::string& right_key, VirtualTime window) {
+  OpSpec spec;
+  spec.kind = OpKind::kJoin;
+  spec.left_key = left_key;
+  spec.right_key = right_key;
+  spec.join_window = window;
+  return AddNode(std::move(spec), {left, right});
+}
+
+int QueryBuilder::Union(int left, int right) {
+  OpSpec spec;
+  spec.kind = OpKind::kUnion;
+  return AddNode(std::move(spec), {left, right});
+}
+
+int QueryBuilder::TopK(int input, int k, const std::string& rank_field,
+                       VirtualTime window_size) {
+  OpSpec spec;
+  spec.kind = OpKind::kTopK;
+  spec.top_k = k;
+  spec.field = rank_field;
+  spec.window.size = window_size;
+  spec.window.slide = window_size;
+  return AddNode(std::move(spec), {input});
+}
+
+int QueryBuilder::Distinct(int input, const std::string& key_field,
+                           VirtualTime window) {
+  OpSpec spec;
+  spec.kind = OpKind::kDistinct;
+  spec.field = key_field;
+  spec.window.size = window;
+  spec.window.slide = window;
+  return AddNode(std::move(spec), {input});
+}
+
+void QueryBuilder::SetCostOverride(double cost) {
+  STREAMBID_CHECK(!plan_.nodes.empty());
+  plan_.nodes.back().spec.cost_override = cost;
+}
+
+QueryPlan QueryBuilder::Build(int output) {
+  STREAMBID_CHECK_GE(output, 0);
+  STREAMBID_CHECK_LT(output, static_cast<int>(plan_.nodes.size()));
+  plan_.output_node = output;
+  QueryPlan out = std::move(plan_);
+  plan_ = QueryPlan{};
+  return out;
+}
+
+}  // namespace streambid::stream

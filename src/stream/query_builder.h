@@ -1,0 +1,75 @@
+// Copyright 2026 The streambid Authors
+// Fluent construction of QueryPlans.
+//
+//   QueryBuilder b;
+//   auto quotes = b.Source("stock_quotes");
+//   auto high = b.Select(quotes, "price", CompareOp::kGt, 100.0);
+//   auto news = b.Source("news");
+//   auto story = b.Select(news, "listed", CompareOp::kEq, int64_t{1});
+//   auto joined = b.Join(high, story, "symbol", "symbol", 300.0);
+//   QueryPlan plan = b.Build(joined);
+
+#ifndef STREAMBID_STREAM_QUERY_BUILDER_H_
+#define STREAMBID_STREAM_QUERY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/query.h"
+
+namespace streambid::stream {
+
+/// Builds QueryPlans incrementally. Node handles are plain ints.
+class QueryBuilder {
+ public:
+  /// Reads from the named registered stream.
+  int Source(const std::string& name);
+
+  /// Filters on `field OP operand`.
+  int Select(int input, const std::string& field, CompareOp op,
+             Value operand);
+
+  /// Keeps only `fields`.
+  int Project(int input, std::vector<std::string> fields);
+
+  /// Appends `output_field = field FN operand` as a new double field.
+  int Map(int input, const std::string& field, MapFn fn, double operand,
+          const std::string& output_field);
+
+  /// Windowed aggregate of `field` (optionally grouped by
+  /// `group_field`).
+  int Aggregate(int input, AggFn fn, const std::string& field,
+                const std::string& group_field, WindowSpec window);
+
+  /// Equi-join within `window` seconds.
+  int Join(int left, int right, const std::string& left_key,
+           const std::string& right_key, VirtualTime window);
+
+  /// Merges two same-schema inputs.
+  int Union(int left, int right);
+
+  /// Emits the k largest tuples by `rank_field` per tumbling window.
+  int TopK(int input, int k, const std::string& rank_field,
+           VirtualTime window_size);
+
+  /// Suppresses repeated `key_field` values within `window` seconds.
+  int Distinct(int input, const std::string& key_field,
+               VirtualTime window);
+
+  /// Overrides the per-tuple cost of the most recently added node (used
+  /// by workload generators to diversify operator loads).
+  void SetCostOverride(double cost);
+
+  /// Finalizes with `output` as the sink node. The builder can be
+  /// reused afterwards (state is reset).
+  QueryPlan Build(int output);
+
+ private:
+  int AddNode(OpSpec spec, std::vector<int> inputs);
+
+  QueryPlan plan_;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_QUERY_BUILDER_H_

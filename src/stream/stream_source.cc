@@ -1,0 +1,136 @@
+// Copyright 2026 The streambid Authors
+
+#include "stream/stream_source.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace streambid::stream {
+
+std::vector<Tuple> StreamSource::EmitUntil(VirtualTime until) {
+  std::vector<Tuple> out;
+  if (rate_ <= 0.0) return out;
+  const VirtualTime step = 1.0 / rate_;
+  while (next_ts_ <= until) {
+    out.emplace_back(schema_, Generate(next_ts_, rng_), next_ts_);
+    next_ts_ += step;
+    ++emitted_;
+  }
+  return out;
+}
+
+namespace {
+
+class StockQuoteSource final : public StreamSource {
+ public:
+  StockQuoteSource(std::string name, std::vector<std::string> symbols,
+                   double rate, uint64_t seed)
+      : StreamSource(std::move(name),
+                     MakeSchema({{"symbol", ValueType::kString},
+                                 {"price", ValueType::kDouble},
+                                 {"volume", ValueType::kInt64}}),
+                     rate, seed),
+        symbols_(std::move(symbols)),
+        prices_(symbols_.size(), 100.0) {
+    STREAMBID_CHECK(!symbols_.empty());
+  }
+
+ protected:
+  std::vector<Value> Generate(VirtualTime ts, Rng& rng) override {
+    (void)ts;
+    const size_t k = rng.NextBounded(symbols_.size());
+    // Geometric random walk with ~1% step volatility.
+    prices_[k] *= std::exp((rng.NextDouble() - 0.5) * 0.02);
+    const int64_t volume = 100 + static_cast<int64_t>(rng.NextBounded(10000));
+    return {Value(symbols_[k]), Value(prices_[k]), Value(volume)};
+  }
+
+ private:
+  std::vector<std::string> symbols_;
+  std::vector<double> prices_;
+};
+
+class NewsSource final : public StreamSource {
+ public:
+  NewsSource(std::string name, std::vector<std::string> companies,
+             double listed_fraction, double rate, uint64_t seed)
+      : StreamSource(std::move(name),
+                     MakeSchema({{"company", ValueType::kString},
+                                 {"category", ValueType::kString},
+                                 {"listed", ValueType::kInt64},
+                                 {"sentiment", ValueType::kDouble}}),
+                     rate, seed),
+        companies_(std::move(companies)),
+        listed_fraction_(listed_fraction) {
+    STREAMBID_CHECK(!companies_.empty());
+  }
+
+ protected:
+  std::vector<Value> Generate(VirtualTime ts, Rng& rng) override {
+    (void)ts;
+    static const char* kCategories[] = {"earnings", "merger", "product",
+                                        "regulation", "markets"};
+    const size_t k = rng.NextBounded(companies_.size());
+    const int64_t listed = rng.NextBool(listed_fraction_) ? 1 : 0;
+    const double sentiment = rng.NextRange(-1.0, 1.0);
+    return {Value(companies_[k]),
+            Value(std::string(kCategories[rng.NextBounded(5)])),
+            Value(listed), Value(sentiment)};
+  }
+
+ private:
+  std::vector<std::string> companies_;
+  double listed_fraction_;
+};
+
+class SensorSource final : public StreamSource {
+ public:
+  SensorSource(std::string name, int num_sensors, double rate,
+               uint64_t seed)
+      : StreamSource(std::move(name),
+                     MakeSchema({{"sensor", ValueType::kInt64},
+                                 {"reading", ValueType::kDouble}}),
+                     rate, seed),
+        readings_(static_cast<size_t>(num_sensors), 20.0) {
+    STREAMBID_CHECK_GT(num_sensors, 0);
+  }
+
+ protected:
+  std::vector<Value> Generate(VirtualTime ts, Rng& rng) override {
+    (void)ts;
+    const size_t k = rng.NextBounded(readings_.size());
+    // Mean-reverting walk around 20.0.
+    readings_[k] += 0.1 * (20.0 - readings_[k]) + rng.NextRange(-0.5, 0.5);
+    return {Value(static_cast<int64_t>(k)), Value(readings_[k])};
+  }
+
+ private:
+  std::vector<double> readings_;
+};
+
+}  // namespace
+
+StreamSourcePtr MakeStockQuoteSource(std::string name,
+                                     std::vector<std::string> symbols,
+                                     double rate, uint64_t seed) {
+  return std::make_unique<StockQuoteSource>(std::move(name),
+                                            std::move(symbols), rate, seed);
+}
+
+StreamSourcePtr MakeNewsSource(std::string name,
+                               std::vector<std::string> companies,
+                               double listed_fraction, double rate,
+                               uint64_t seed) {
+  return std::make_unique<NewsSource>(std::move(name), std::move(companies),
+                                      listed_fraction, rate, seed);
+}
+
+StreamSourcePtr MakeSensorSource(std::string name, int num_sensors,
+                                 double rate, uint64_t seed) {
+  return std::make_unique<SensorSource>(std::move(name), num_sensors, rate,
+                                        seed);
+}
+
+}  // namespace streambid::stream

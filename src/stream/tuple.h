@@ -1,0 +1,68 @@
+// Copyright 2026 The streambid Authors
+// Timestamped data tuples.
+
+#ifndef STREAMBID_STREAM_TUPLE_H_
+#define STREAMBID_STREAM_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "stream/schema.h"
+
+namespace streambid::stream {
+
+/// Virtual time in seconds since the start of the simulation.
+using VirtualTime = double;
+
+/// One stream element: a schema, field values, and an event timestamp in
+/// virtual time. Tuples are value types; the schema is shared.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(SchemaPtr schema, std::vector<Value> values, VirtualTime timestamp)
+      : schema_(std::move(schema)),
+        values_(std::move(values)),
+        timestamp_(timestamp) {
+    STREAMBID_DCHECK(schema_ != nullptr);
+    STREAMBID_DCHECK(static_cast<int>(values_.size()) ==
+                     schema_->num_fields());
+  }
+
+  const SchemaPtr& schema() const { return schema_; }
+  VirtualTime timestamp() const { return timestamp_; }
+
+  const Value& value(int i) const {
+    STREAMBID_DCHECK(i >= 0 &&
+                     i < static_cast<int>(values_.size()));
+    return values_[static_cast<size_t>(i)];
+  }
+
+  /// Value of the field named `name` (CHECK-fails when absent).
+  const Value& field(const std::string& name) const {
+    const int idx = schema_->FieldIndex(name);
+    STREAMBID_CHECK_GE(idx, 0);
+    return value(idx);
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  /// "(ts=1.5 sym=IBM price=42)" — debugging and sinks.
+  std::string ToString() const {
+    std::string out = "(ts=" + std::to_string(timestamp_);
+    for (int i = 0; i < schema_->num_fields(); ++i) {
+      out += " " + schema_->field(i).name + "=" + value(i).ToString();
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Value> values_;
+  VirtualTime timestamp_ = 0.0;
+};
+
+}  // namespace streambid::stream
+
+#endif  // STREAMBID_STREAM_TUPLE_H_

@@ -1,0 +1,86 @@
+// Copyright 2026 The streambid Authors
+
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/zipf.h"
+
+namespace streambid::workload {
+
+RawWorkload GenerateBaseWorkload(const WorkloadParams& params, Rng& rng) {
+  STREAMBID_CHECK_GT(params.num_queries, 0);
+  STREAMBID_CHECK_GT(params.base_num_operators, 0);
+  STREAMBID_CHECK_GE(params.base_max_sharing, 1);
+  STREAMBID_CHECK_GE(params.bid_load_correlation, 0.0);
+
+  const ZipfDistribution bid_dist(params.max_bid, params.bid_skew);
+  const ZipfDistribution load_dist(params.max_operator_load,
+                                   params.load_skew);
+  const ZipfDistribution degree_dist(params.base_max_sharing,
+                                     params.sharing_skew);
+
+  RawWorkload w;
+  w.valuations.resize(static_cast<size_t>(params.num_queries));
+  w.users.resize(static_cast<size_t>(params.num_queries));
+  for (int i = 0; i < params.num_queries; ++i) {
+    w.users[static_cast<size_t>(i)] = i;  // One user per query.
+  }
+
+  // Operators first: valuations may depend on the query loads they
+  // imply (bid_load_correlation).
+  std::vector<bool> covered(static_cast<size_t>(params.num_queries), false);
+  for (int j = 0; j < params.base_num_operators; ++j) {
+    RawOperator op;
+    op.load = load_dist.Sample(rng);
+    const int degree =
+        std::min(degree_dist.Sample(rng), params.num_queries);
+    const std::vector<int> chosen =
+        rng.SampleDistinct(params.num_queries, degree);
+    op.subscribers.reserve(chosen.size());
+    for (int q : chosen) {
+      op.subscribers.push_back(static_cast<auction::QueryId>(q));
+      covered[static_cast<size_t>(q)] = true;
+    }
+    w.operators.push_back(std::move(op));
+  }
+
+  // Coverage pass: a query with no operators would be malformed (and
+  // could never be priced); give each a private operator.
+  for (int q = 0; q < params.num_queries; ++q) {
+    if (covered[static_cast<size_t>(q)]) continue;
+    RawOperator op;
+    op.load = load_dist.Sample(rng);
+    op.subscribers.push_back(static_cast<auction::QueryId>(q));
+    w.operators.push_back(std::move(op));
+  }
+
+  // Total loads CT_i (invariant under the splitting procedure, so the
+  // valuations below are consistent across the whole sharing sweep).
+  std::vector<double> total_load(static_cast<size_t>(params.num_queries),
+                                 0.0);
+  double demand = 0.0;
+  for (const RawOperator& op : w.operators) {
+    for (auction::QueryId q : op.subscribers) {
+      total_load[static_cast<size_t>(q)] += op.load;
+      demand += op.load;
+    }
+  }
+  const double mean_load = demand / params.num_queries;
+
+  for (int i = 0; i < params.num_queries; ++i) {
+    const double base = bid_dist.Sample(rng);
+    double bid = base;
+    if (params.bid_load_correlation > 0.0) {
+      bid = base * std::pow(total_load[static_cast<size_t>(i)] / mean_load,
+                            params.bid_load_correlation);
+    }
+    w.valuations[static_cast<size_t>(i)] = std::max(1.0, bid);
+  }
+  return w;
+}
+
+}  // namespace streambid::workload

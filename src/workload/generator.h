@@ -1,0 +1,28 @@
+// Copyright 2026 The streambid Authors
+// Synthetic workload generation per paper §VI-A / Table III.
+
+#ifndef STREAMBID_WORKLOAD_GENERATOR_H_
+#define STREAMBID_WORKLOAD_GENERATOR_H_
+
+#include "common/rng.h"
+#include "workload/params.h"
+#include "workload/raw_workload.h"
+
+namespace streambid::workload {
+
+/// Generates the base workload at the highest maximum degree of sharing
+/// (params.base_max_sharing, default 60):
+///  - one valuation per query ~ Zipf(max_bid, bid_skew);
+///  - base_num_operators operators, each with load ~ Zipf(max_operator_
+///    load, load_skew) and degree of sharing ~ Zipf(base_max_sharing,
+///    sharing_skew), assigned to that many distinct random queries;
+///  - every query left without an operator receives one dedicated
+///    (degree-1) operator so the instance is well-formed.
+/// Lower-sharing instances are derived from this one by SplitToMaxDegree
+/// (splitting.h), never regenerated, so average query load is identical
+/// across the sweep — exactly the paper's methodology.
+RawWorkload GenerateBaseWorkload(const WorkloadParams& params, Rng& rng);
+
+}  // namespace streambid::workload
+
+#endif  // STREAMBID_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,37 @@
+// Copyright 2026 The streambid Authors
+// Plain-text serialization of workloads, so a generated instance can be
+// archived next to experiment results and replayed bit-exactly (the
+// reproducibility companion to the seeded generator).
+//
+// Format (line-oriented, '#' comments allowed):
+//   streambid-workload v1
+//   queries <n>
+//   v <query> <valuation> <user>          (one per query)
+//   o <load> <subscriber> <subscriber>... (one per operator)
+
+#ifndef STREAMBID_WORKLOAD_IO_H_
+#define STREAMBID_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/raw_workload.h"
+
+namespace streambid::workload {
+
+/// Serializes `workload` to the v1 text format.
+std::string SerializeWorkload(const RawWorkload& workload);
+
+/// Parses the v1 text format. Errors: kInvalidArgument with a
+/// line-numbered message.
+Result<RawWorkload> ParseWorkload(const std::string& text);
+
+/// Writes the workload to `path` (kInternal on I/O failure).
+Status SaveWorkload(const RawWorkload& workload, const std::string& path);
+
+/// Reads a workload from `path`.
+Result<RawWorkload> LoadWorkload(const std::string& path);
+
+}  // namespace streambid::workload
+
+#endif  // STREAMBID_WORKLOAD_IO_H_

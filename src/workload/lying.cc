@@ -1,0 +1,29 @@
+// Copyright 2026 The streambid Authors
+
+#include "workload/lying.h"
+
+namespace streambid::workload {
+
+LyingProfile ModerateLying() { return {0.25, 0.5, 0.5}; }
+
+LyingProfile AggressiveLying() { return {0.35, 0.7, 0.3}; }
+
+std::vector<double> ApplyLying(const auction::AuctionInstance& truthful,
+                               const LyingProfile& profile, Rng& rng) {
+  const int n = truthful.num_queries();
+  std::vector<double> bids(static_cast<size_t>(n));
+  for (auction::QueryId i = 0; i < n; ++i) {
+    const double value = truthful.bid(i);
+    const double ratio =
+        truthful.total_load(i) > 0.0
+            ? truthful.fair_share_load(i) / truthful.total_load(i)
+            : 1.0;
+    const bool lies = ratio < profile.ratio_threshold &&
+                      rng.NextBool(profile.lying_probability);
+    bids[static_cast<size_t>(i)] =
+        lies ? value * profile.lying_factor : value;
+  }
+  return bids;
+}
+
+}  // namespace streambid::workload

@@ -1,0 +1,40 @@
+// Copyright 2026 The streambid Authors
+// Strategizing-user (lying) workloads for the Figure 5 experiment.
+//
+// Paper §VI: a user whose query shares many operators (static fair share
+// much smaller than total load) can gain under the non-strategyproof CAR
+// mechanism by underbidding. The simulation gives each such user an
+// alternative bid = valuation * lying_factor, submitted with probability
+// lying_probability whenever CSF_i / CT_i < ratio_threshold.
+
+#ifndef STREAMBID_WORKLOAD_LYING_H_
+#define STREAMBID_WORKLOAD_LYING_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "common/rng.h"
+
+namespace streambid::workload {
+
+/// Parameters of the lying model.
+struct LyingProfile {
+  double ratio_threshold = 0.0;   ///< Lie iff CSF/CT < threshold.
+  double lying_probability = 0.0; ///< P(lie | eligible).
+  double lying_factor = 1.0;      ///< Submitted bid = value * factor.
+};
+
+/// Moderate Lying workload (threshold .25, probability .5, factor .5).
+LyingProfile ModerateLying();
+
+/// Aggressive Lying workload (threshold .35, probability .7, factor .3).
+LyingProfile AggressiveLying();
+
+/// Computes the bids users submit under `profile` given the truthful
+/// instance (whose bids are the true valuations). Indexed by QueryId.
+std::vector<double> ApplyLying(const auction::AuctionInstance& truthful,
+                               const LyingProfile& profile, Rng& rng);
+
+}  // namespace streambid::workload
+
+#endif  // STREAMBID_WORKLOAD_LYING_H_

@@ -1,0 +1,33 @@
+// Copyright 2026 The streambid Authors
+
+#include "workload/raw_workload.h"
+
+#include "common/check.h"
+
+namespace streambid::workload {
+
+Result<auction::AuctionInstance> RawWorkload::ToInstanceWithBids(
+    const std::vector<double>& bids) const {
+  STREAMBID_CHECK_EQ(bids.size(), valuations.size());
+  STREAMBID_CHECK_EQ(users.size(), valuations.size());
+
+  std::vector<auction::OperatorSpec> ops;
+  ops.reserve(operators.size());
+  // Per-query operator lists, rebuilt from the subscriber lists.
+  std::vector<auction::QuerySpec> queries(valuations.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].user = users[i];
+    queries[i].bid = bids[i];
+  }
+  for (size_t j = 0; j < operators.size(); ++j) {
+    ops.push_back({operators[j].load});
+    for (auction::QueryId q : operators[j].subscribers) {
+      queries[static_cast<size_t>(q)].operators.push_back(
+          static_cast<auction::OperatorId>(j));
+    }
+  }
+  return auction::AuctionInstance::Create(std::move(ops),
+                                          std::move(queries));
+}
+
+}  // namespace streambid::workload

@@ -1,0 +1,57 @@
+// Copyright 2026 The streambid Authors
+// Mutable intermediate representation of a workload: operators with
+// explicit subscriber lists. The splitting procedure (§VI-A) rewrites
+// this representation; AuctionInstance is derived from it on demand.
+
+#ifndef STREAMBID_WORKLOAD_RAW_WORKLOAD_H_
+#define STREAMBID_WORKLOAD_RAW_WORKLOAD_H_
+
+#include <vector>
+
+#include "auction/instance.h"
+#include "auction/types.h"
+#include "common/status.h"
+
+namespace streambid::workload {
+
+/// One operator: its load and the queries subscribed to it. The degree of
+/// sharing of the operator is subscribers.size().
+struct RawOperator {
+  double load = 0.0;
+  std::vector<auction::QueryId> subscribers;
+};
+
+/// A workload before conversion to the immutable AuctionInstance form.
+struct RawWorkload {
+  std::vector<RawOperator> operators;
+  /// True valuation of each query (bids equal valuations unless a lying
+  /// transformation is applied).
+  std::vector<double> valuations;
+  /// Owning user of each query (defaults to one user per query).
+  std::vector<auction::UserId> users;
+
+  int num_queries() const { return static_cast<int>(valuations.size()); }
+
+  /// Largest degree of sharing over all operators (0 when empty).
+  int MaxSharingDegree() const {
+    size_t m = 0;
+    for (const RawOperator& op : operators) {
+      m = std::max(m, op.subscribers.size());
+    }
+    return static_cast<int>(m);
+  }
+
+  /// Builds the immutable auction instance with bids = `bids` (pass
+  /// valuations for the truthful setting, or lying bids for Figure 5).
+  Result<auction::AuctionInstance> ToInstanceWithBids(
+      const std::vector<double>& bids) const;
+
+  /// Builds the truthful instance (bids = valuations).
+  Result<auction::AuctionInstance> ToInstance() const {
+    return ToInstanceWithBids(valuations);
+  }
+};
+
+}  // namespace streambid::workload
+
+#endif  // STREAMBID_WORKLOAD_RAW_WORKLOAD_H_

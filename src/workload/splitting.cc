@@ -1,0 +1,72 @@
+// Copyright 2026 The streambid Authors
+
+#include "workload/splitting.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace streambid::workload {
+
+std::vector<int> HalvingChain(int d, int max_degree) {
+  STREAMBID_CHECK_GE(d, 1);
+  STREAMBID_CHECK_GE(max_degree, 1);
+  if (d <= max_degree) return {d};
+  // One halving-chain pass: d -> d/2, d/4, ..., 1, 1 (floors; the tail
+  // "1, 1" appears because the final remainder of 1 joins the chain).
+  std::vector<int> parts;
+  int remaining = d;
+  while (remaining > 1) {
+    const int part = remaining / 2;
+    parts.push_back(part);
+    remaining -= part;
+  }
+  parts.push_back(remaining);  // The final 1.
+  // Recurse on any part still above the target (happens when
+  // max_degree < d/2).
+  std::vector<int> out;
+  for (int part : parts) {
+    if (part > max_degree) {
+      std::vector<int> sub = HalvingChain(part, max_degree);
+      out.insert(out.end(), sub.begin(), sub.end());
+    } else {
+      out.push_back(part);
+    }
+  }
+  return out;
+}
+
+RawWorkload SplitToMaxDegree(const RawWorkload& base, int max_degree,
+                             Rng& rng) {
+  STREAMBID_CHECK_GE(max_degree, 1);
+  RawWorkload out;
+  out.valuations = base.valuations;
+  out.users = base.users;
+  out.operators.reserve(base.operators.size());
+
+  for (const RawOperator& op : base.operators) {
+    const int degree = static_cast<int>(op.subscribers.size());
+    if (degree <= max_degree) {
+      out.operators.push_back(op);
+      continue;
+    }
+    const std::vector<int> parts = HalvingChain(degree, max_degree);
+    // Distribute the subscribers randomly across the parts.
+    std::vector<auction::QueryId> shuffled = op.subscribers;
+    rng.Shuffle(shuffled);
+    size_t next = 0;
+    for (int part : parts) {
+      RawOperator piece;
+      piece.load = op.load;  // Same load as the original (§VI-A).
+      piece.subscribers.assign(
+          shuffled.begin() + static_cast<long>(next),
+          shuffled.begin() + static_cast<long>(next + part));
+      next += static_cast<size_t>(part);
+      out.operators.push_back(std::move(piece));
+    }
+    STREAMBID_CHECK_EQ(next, shuffled.size());
+  }
+  return out;
+}
+
+}  // namespace streambid::workload

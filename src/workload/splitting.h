@@ -1,0 +1,33 @@
+// Copyright 2026 The streambid Authors
+// The operator-splitting procedure of paper §VI-A: derives an instance
+// with a lower maximum degree of sharing from the base instance while
+// keeping every query's total load unchanged.
+
+#ifndef STREAMBID_WORKLOAD_SPLITTING_H_
+#define STREAMBID_WORKLOAD_SPLITTING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/raw_workload.h"
+
+namespace streambid::workload {
+
+/// Decomposes a degree `d` into the paper's halving chain:
+/// 8 -> {4, 2, 1, 1}; 7 -> {3, 2, 1, 1}; re-splitting any part that still
+/// exceeds `max_degree`. Parts are positive and sum to d; every part is
+/// <= max_degree. d <= max_degree returns {d}.
+std::vector<int> HalvingChain(int d, int max_degree);
+
+/// Returns a copy of `base` where every operator of degree > max_degree
+/// is split into halving-chain parts. Each part keeps the ORIGINAL load
+/// and receives a random disjoint slice of the original subscriber list
+/// (so each subscriber still pays for exactly one copy: per-query total
+/// load CT_i is invariant, the paper's "average query load stays the
+/// same"). Degrees of sharing shrink; the number of operators grows.
+RawWorkload SplitToMaxDegree(const RawWorkload& base, int max_degree,
+                             Rng& rng);
+
+}  // namespace streambid::workload
+
+#endif  // STREAMBID_WORKLOAD_SPLITTING_H_

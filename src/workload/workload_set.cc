@@ -1,0 +1,55 @@
+// Copyright 2026 The streambid Authors
+
+#include "workload/workload_set.h"
+
+#include "common/check.h"
+#include "workload/generator.h"
+#include "workload/splitting.h"
+
+namespace streambid::workload {
+
+WorkloadSet::WorkloadSet(const WorkloadParams& params, uint64_t seed)
+    : params_(params), seed_(seed), derive_rng_(seed ^ 0xD15EA5E5u) {
+  Rng gen_rng(seed);
+  base_ = GenerateBaseWorkload(params, gen_rng);
+}
+
+const RawWorkload& WorkloadSet::RawAt(int max_degree) {
+  STREAMBID_CHECK_GE(max_degree, 1);
+  auto it = raw_cache_.find(max_degree);
+  if (it == raw_cache_.end()) {
+    // Derivation must be deterministic per (seed, degree) regardless of
+    // the order degrees are requested in: fork a degree-specific stream.
+    Rng split_rng(seed_ * 0x9E3779B97F4A7C15ull +
+                  static_cast<uint64_t>(max_degree));
+    it = raw_cache_
+             .emplace(max_degree,
+                      SplitToMaxDegree(base_, max_degree, split_rng))
+             .first;
+  }
+  return it->second;
+}
+
+const auction::AuctionInstance& WorkloadSet::InstanceAt(int max_degree) {
+  auto it = instance_cache_.find(max_degree);
+  if (it == instance_cache_.end()) {
+    auto result = RawAt(max_degree).ToInstance();
+    STREAMBID_CHECK(result.ok());
+    it = instance_cache_.emplace(max_degree, std::move(result).value())
+             .first;
+  }
+  return it->second;
+}
+
+std::vector<int> WorkloadSet::SharingSweep(int base_max, int step) {
+  STREAMBID_CHECK_GE(step, 1);
+  std::vector<int> degrees;
+  degrees.push_back(1);
+  for (int s = step; s <= base_max; s += step) {
+    if (s != 1) degrees.push_back(s);
+  }
+  if (degrees.back() != base_max) degrees.push_back(base_max);
+  return degrees;
+}
+
+}  // namespace streambid::workload

@@ -1,0 +1,84 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/admitted_set.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid::auction {
+namespace {
+
+AuctionInstance SharedPairInstance() {
+  // q0 = {op0(4), op1(1)}, q1 = {op0(4), op2(2)}.
+  auto r = AuctionInstance::Create(
+      {{4.0}, {1.0}, {2.0}}, {{0, 10.0, {0, 1}}, {1, 20.0, {0, 2}}});
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(AdmittedSetTest, RemainingLoadBeforeAnyAdmission) {
+  AuctionInstance inst = SharedPairInstance();
+  AdmittedSet set(inst);
+  EXPECT_DOUBLE_EQ(set.RemainingLoad(0), 5.0);
+  EXPECT_DOUBLE_EQ(set.RemainingLoad(1), 6.0);
+  EXPECT_DOUBLE_EQ(set.used(), 0.0);
+}
+
+TEST(AdmittedSetTest, SharedOperatorCountedOnce) {
+  AuctionInstance inst = SharedPairInstance();
+  AdmittedSet set(inst);
+  EXPECT_DOUBLE_EQ(set.Admit(0), 5.0);
+  EXPECT_DOUBLE_EQ(set.used(), 5.0);
+  // op0 already admitted: q1 only needs op2.
+  EXPECT_DOUBLE_EQ(set.RemainingLoad(1), 2.0);
+  EXPECT_DOUBLE_EQ(set.Admit(1), 2.0);
+  EXPECT_DOUBLE_EQ(set.used(), 7.0);
+}
+
+TEST(AdmittedSetTest, FitsRespectsCapacity) {
+  AuctionInstance inst = SharedPairInstance();
+  AdmittedSet set(inst);
+  EXPECT_TRUE(set.Fits(0, 5.0));
+  EXPECT_FALSE(set.Fits(0, 4.9));
+  set.Admit(0);
+  EXPECT_TRUE(set.Fits(1, 7.0));
+  EXPECT_FALSE(set.Fits(1, 6.9));
+}
+
+TEST(AdmittedSetTest, ReadmissionIsIdempotent) {
+  AuctionInstance inst = SharedPairInstance();
+  AdmittedSet set(inst);
+  set.Admit(0);
+  EXPECT_DOUBLE_EQ(set.Admit(0), 0.0);
+  EXPECT_DOUBLE_EQ(set.used(), 5.0);
+}
+
+TEST(AdmittedSetTest, OperatorFlags) {
+  AuctionInstance inst = SharedPairInstance();
+  AdmittedSet set(inst);
+  EXPECT_FALSE(set.IsOperatorAdmitted(0));
+  set.Admit(0);
+  EXPECT_TRUE(set.IsOperatorAdmitted(0));
+  EXPECT_TRUE(set.IsOperatorAdmitted(1));
+  EXPECT_FALSE(set.IsOperatorAdmitted(2));
+}
+
+TEST(AdmittedSetTest, CopyIsIndependent) {
+  AuctionInstance inst = SharedPairInstance();
+  AdmittedSet a(inst);
+  a.Admit(0);
+  AdmittedSet b = a;
+  b.Admit(1);
+  EXPECT_DOUBLE_EQ(a.used(), 5.0);
+  EXPECT_DOUBLE_EQ(b.used(), 7.0);
+}
+
+TEST(AdmittedSetTest, FitEpsilonForgivesRounding) {
+  AuctionInstance inst = SharedPairInstance();
+  AdmittedSet set(inst);
+  // Exactly-full capacity fits despite floating-point equality.
+  EXPECT_TRUE(set.Fits(0, 5.0 + 1e-13));
+  EXPECT_TRUE(set.Fits(0, 5.0 - 1e-13));
+}
+
+}  // namespace
+}  // namespace streambid::auction

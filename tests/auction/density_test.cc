@@ -1,0 +1,172 @@
+// Copyright 2026 The streambid Authors
+// Behavioural tests for CAF/CAF+/CAT/CAT+/GV beyond the Example 1
+// walkthrough: skip semantics, pricing edge cases, and the paper's
+// qualitative claims (CAF+ admits at least as many queries as CAF, etc.).
+
+#include "auction/mechanisms/density.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/metrics.h"
+#include "auction/registry.h"
+
+namespace streambid::auction {
+namespace {
+
+AuctionInstance Make(std::vector<double> op_loads,
+                     std::vector<QuerySpec> queries) {
+  std::vector<OperatorSpec> ops;
+  for (double l : op_loads) ops.push_back({l});
+  auto r = AuctionInstance::Create(std::move(ops), std::move(queries));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(DensityTest, PlusVariantAdmitsSupersetOnStopInstance) {
+  // CAT stops at the big query; CAT+ skips it and admits the small one.
+  AuctionInstance inst = Make(
+      {5.0, 6.0, 1.0},
+      {{0, 50.0, {0}}, {1, 54.0, {1}}, {2, 6.0, {2}}});
+  Rng rng(1);
+  const Allocation cat = MakeCat()->Run(inst, 7.0, rng);
+  const Allocation cat_plus = MakeCatPlus()->Run(inst, 7.0, rng);
+  EXPECT_EQ(cat.NumAdmitted(), 1);
+  EXPECT_EQ(cat_plus.NumAdmitted(), 2);
+  for (QueryId i = 0; i < inst.num_queries(); ++i) {
+    if (cat.IsAdmitted(i)) {
+      EXPECT_TRUE(cat_plus.IsAdmitted(i));
+    }
+  }
+}
+
+TEST(DensityTest, AllAdmittedMeansZeroPayments) {
+  AuctionInstance inst = Make({1.0, 2.0}, {{0, 5.0, {0}}, {1, 9.0, {1}}});
+  Rng rng(1);
+  for (auto make : {MakeCaf, MakeCat, MakeCafPlus, MakeCatPlus, MakeGv}) {
+    const Allocation alloc = make()->Run(inst, 100.0, rng);
+    EXPECT_EQ(alloc.NumAdmitted(), 2) << alloc.mechanism;
+    EXPECT_DOUBLE_EQ(alloc.Payment(0), 0.0) << alloc.mechanism;
+    EXPECT_DOUBLE_EQ(alloc.Payment(1), 0.0) << alloc.mechanism;
+  }
+}
+
+TEST(DensityTest, FirstLoserPricingProportionalToLoad) {
+  // Winners pay the same per-unit price; heavier queries pay more.
+  AuctionInstance inst = Make(
+      {2.0, 4.0, 8.0},
+      {{0, 20.0, {0}}, {1, 30.0, {1}}, {2, 30.0, {2}}});
+  // Densities (CT): 10, 7.5, 3.75. Capacity 6 admits q0 and q1 only.
+  Rng rng(1);
+  const Allocation cat = MakeCat()->Run(inst, 6.0, rng);
+  EXPECT_TRUE(cat.IsAdmitted(0));
+  EXPECT_TRUE(cat.IsAdmitted(1));
+  EXPECT_FALSE(cat.IsAdmitted(2));
+  // Unit price = 30/8 = 3.75.
+  EXPECT_DOUBLE_EQ(cat.Payment(0), 2.0 * 3.75);
+  EXPECT_DOUBLE_EQ(cat.Payment(1), 4.0 * 3.75);
+}
+
+TEST(DensityTest, WinnerPaysAtMostBid) {
+  // First-loser pricing never exceeds a winner's own bid: the winner has
+  // weakly higher density than the loser.
+  AuctionInstance inst = Make(
+      {3.0, 5.0, 4.0, 2.0},
+      {{0, 30.0, {0}}, {1, 35.0, {1}}, {2, 20.0, {2}}, {3, 4.0, {3}}});
+  Rng rng(1);
+  for (auto make : {MakeCaf, MakeCat, MakeGv, MakeCafPlus, MakeCatPlus}) {
+    const Allocation alloc = make()->Run(inst, 9.0, rng);
+    for (QueryId i = 0; i < inst.num_queries(); ++i) {
+      if (alloc.IsAdmitted(i)) {
+        EXPECT_LE(alloc.Payment(i), inst.bid(i) + 1e-9)
+            << alloc.mechanism << " query " << i;
+      }
+    }
+  }
+}
+
+TEST(DensityTest, GvChargesUniformPrice) {
+  AuctionInstance inst = Make(
+      {3.0, 3.0, 3.0},
+      {{0, 50.0, {0}}, {1, 40.0, {1}}, {2, 30.0, {2}}});
+  Rng rng(1);
+  const Allocation gv = MakeGv()->Run(inst, 6.0, rng);
+  EXPECT_TRUE(gv.IsAdmitted(0));
+  EXPECT_TRUE(gv.IsAdmitted(1));
+  EXPECT_FALSE(gv.IsAdmitted(2));
+  EXPECT_DOUBLE_EQ(gv.Payment(0), 30.0);
+  EXPECT_DOUBLE_EQ(gv.Payment(1), 30.0);
+}
+
+TEST(DensityTest, CafPlusPaymentUsesMovementWindow) {
+  // Three unit-load queries, capacity 2: the last query prices the first
+  // two under skip semantics.
+  AuctionInstance inst = Make(
+      {1.0, 1.0, 1.0},
+      {{0, 9.0, {0}}, {1, 8.0, {1}}, {2, 5.0, {2}}});
+  Rng rng(1);
+  const Allocation alloc = MakeCafPlus()->Run(inst, 2.0, rng);
+  EXPECT_TRUE(alloc.IsAdmitted(0));
+  EXPECT_TRUE(alloc.IsAdmitted(1));
+  EXPECT_FALSE(alloc.IsAdmitted(2));
+  // Moving q0 below q2 would lose (q1 and q2 fill capacity): last(0)=q2.
+  // CSF are all 1 so payment = bid of q2 = 5.
+  EXPECT_DOUBLE_EQ(alloc.Payment(0), 5.0);
+  EXPECT_DOUBLE_EQ(alloc.Payment(1), 5.0);
+}
+
+TEST(DensityTest, SkipPricingCanDifferPerWinner) {
+  // q0 big, q1 small, q2 medium, q3 small. Windows differ.
+  AuctionInstance inst = Make(
+      {4.0, 1.0, 3.0, 1.0},
+      {{0, 40.0, {0}}, {1, 9.0, {1}}, {2, 21.0, {2}}, {3, 5.0, {3}}});
+  // Densities (CT): 10, 9, 7, 5. Capacity 5: q0 (4), q1 (1) admitted;
+  // q2 misfit; q3 misfit (5+1 > 5).
+  Rng rng(1);
+  const Allocation alloc = MakeCatPlus()->Run(inst, 5.0, rng);
+  EXPECT_TRUE(alloc.IsAdmitted(0));
+  EXPECT_TRUE(alloc.IsAdmitted(1));
+  EXPECT_FALSE(alloc.IsAdmitted(2));
+  EXPECT_FALSE(alloc.IsAdmitted(3));
+  // q0: placed after q1 -> used 1 + 4 = 5 fits; after q2: q2 admitted
+  // without q0 (1+3=4), then q0 needs 4 -> 8 > 5: last(q0) = q2.
+  // Payment = CT0 * b2/CT2 = 4 * 7 = 28.
+  EXPECT_DOUBLE_EQ(alloc.Payment(0), 28.0);
+  // q1: after q2: {q0 4, q2 misfit(7>5)} wait - without q1, q0=4, q2
+  // needs 3 -> 7 > 5 skipped; q1 after q2 -> 4+1=5 fits; after q3:
+  // q3 admitted (4+1=5), q1 -> 6 > 5: last(q1) = q3.
+  // Payment = CT1 * b3/CT3 = 1 * 5 = 5.
+  EXPECT_DOUBLE_EQ(alloc.Payment(1), 5.0);
+}
+
+TEST(DensityTest, PropertiesMatchPaperTableI) {
+  EXPECT_TRUE(MakeCaf()->properties().strategyproof);
+  EXPECT_FALSE(MakeCaf()->properties().sybil_immune);
+  EXPECT_TRUE(MakeCafPlus()->properties().strategyproof);
+  EXPECT_FALSE(MakeCafPlus()->properties().sybil_immune);
+  EXPECT_TRUE(MakeCat()->properties().strategyproof);
+  EXPECT_TRUE(MakeCat()->properties().sybil_immune);
+  EXPECT_TRUE(MakeCatPlus()->properties().strategyproof);
+  EXPECT_FALSE(MakeCatPlus()->properties().sybil_immune);
+  EXPECT_FALSE(MakeCaf()->properties().profit_guarantee);
+}
+
+TEST(DensityTest, EmptyInstance) {
+  auto inst = AuctionInstance::Create({}, {});
+  ASSERT_TRUE(inst.ok());
+  Rng rng(1);
+  for (auto make : {MakeCaf, MakeCat, MakeCafPlus, MakeCatPlus, MakeGv}) {
+    const Allocation alloc = make()->Run(*inst, 10.0, rng);
+    EXPECT_EQ(alloc.NumAdmitted(), 0);
+  }
+}
+
+TEST(DensityTest, NamesAreStable) {
+  EXPECT_EQ(MakeCaf()->name(), "caf");
+  EXPECT_EQ(MakeCafPlus()->name(), "caf+");
+  EXPECT_EQ(MakeCat()->name(), "cat");
+  EXPECT_EQ(MakeCatPlus()->name(), "cat+");
+  EXPECT_EQ(MakeGv()->name(), "gv");
+}
+
+}  // namespace
+}  // namespace streambid::auction

@@ -1,0 +1,111 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/greedy_common.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid::auction {
+namespace {
+
+AuctionInstance Make(std::vector<double> op_loads,
+                     std::vector<QuerySpec> queries) {
+  std::vector<OperatorSpec> ops;
+  for (double l : op_loads) ops.push_back({l});
+  auto r = AuctionInstance::Create(std::move(ops), std::move(queries));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(GreedyCommonTest, LoadOfBases) {
+  AuctionInstance inst =
+      Make({4.0, 2.0}, {{0, 10.0, {0, 1}}, {1, 8.0, {0}}});
+  EXPECT_DOUBLE_EQ(LoadOf(inst, 0, LoadBasis::kTotal), 6.0);
+  EXPECT_DOUBLE_EQ(LoadOf(inst, 0, LoadBasis::kFairShare), 4.0);  // 2+2.
+  EXPECT_DOUBLE_EQ(LoadOf(inst, 0, LoadBasis::kUnit), 1.0);
+}
+
+TEST(GreedyCommonTest, PriorityOrderSortsByDensity) {
+  // Bids 10/6, 8/4 -> densities 1.67, 2.0: q1 first under kTotal.
+  AuctionInstance inst =
+      Make({6.0, 4.0}, {{0, 10.0, {0}}, {1, 8.0, {1}}});
+  const auto order = PriorityOrder(inst, LoadBasis::kTotal);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(GreedyCommonTest, PriorityOrderUnitIsBidOrder) {
+  AuctionInstance inst =
+      Make({6.0, 4.0, 1.0},
+           {{0, 10.0, {0}}, {1, 80.0, {1}}, {2, 30.0, {2}}});
+  const auto order = PriorityOrder(inst, LoadBasis::kUnit);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(GreedyCommonTest, TieBrokenByQueryId) {
+  AuctionInstance inst = Make({2.0, 2.0}, {{0, 4.0, {0}}, {1, 4.0, {1}}});
+  const auto order = PriorityOrder(inst, LoadBasis::kTotal);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(GreedyCommonTest, StopPolicyHaltsAtFirstMisfit) {
+  // Order: q0 (load 5), q1 (load 6, misfit), q2 (load 1, would fit).
+  AuctionInstance inst = Make({5.0, 6.0, 1.0}, {{0, 50.0, {0}},
+                                                {1, 54.0, {1}},
+                                                {2, 6.0, {2}}});
+  const GreedyScan scan =
+      RunGreedy(inst, 7.0, LoadBasis::kTotal, MisfitPolicy::kStop);
+  EXPECT_TRUE(scan.admitted[0]);
+  EXPECT_FALSE(scan.admitted[1]);
+  EXPECT_FALSE(scan.admitted[2]);  // Never reached.
+  EXPECT_EQ(scan.first_loser_pos, 1);
+  EXPECT_DOUBLE_EQ(scan.used, 5.0);
+}
+
+TEST(GreedyCommonTest, SkipPolicyContinuesPastMisfit) {
+  AuctionInstance inst = Make({5.0, 6.0, 1.0}, {{0, 50.0, {0}},
+                                                {1, 54.0, {1}},
+                                                {2, 6.0, {2}}});
+  const GreedyScan scan =
+      RunGreedy(inst, 7.0, LoadBasis::kTotal, MisfitPolicy::kSkip);
+  EXPECT_TRUE(scan.admitted[0]);
+  EXPECT_FALSE(scan.admitted[1]);
+  EXPECT_TRUE(scan.admitted[2]);  // Skipped over q1.
+  EXPECT_EQ(scan.first_loser_pos, 1);
+  EXPECT_DOUBLE_EQ(scan.used, 6.0);
+}
+
+TEST(GreedyCommonTest, SharedOperatorsReduceConsumption) {
+  // Both queries contain op0; admitting the second costs only its
+  // private op.
+  AuctionInstance inst =
+      Make({4.0, 1.0, 2.0}, {{0, 55.0, {0, 1}}, {1, 72.0, {0, 2}}});
+  const GreedyScan scan =
+      RunGreedy(inst, 7.0, LoadBasis::kTotal, MisfitPolicy::kStop);
+  EXPECT_TRUE(scan.admitted[0]);
+  EXPECT_TRUE(scan.admitted[1]);
+  EXPECT_DOUBLE_EQ(scan.used, 7.0);
+  EXPECT_EQ(scan.first_loser_pos, -1);
+}
+
+TEST(GreedyCommonTest, NoLoserWhenAllFit) {
+  AuctionInstance inst = Make({1.0}, {{0, 5.0, {0}}});
+  const GreedyScan scan =
+      RunGreedy(inst, 10.0, LoadBasis::kTotal, MisfitPolicy::kStop);
+  EXPECT_EQ(scan.first_loser_pos, -1);
+  EXPECT_TRUE(scan.admitted[0]);
+}
+
+TEST(GreedyCommonTest, ZeroCapacityRejectsAll) {
+  AuctionInstance inst = Make({1.0}, {{0, 5.0, {0}}});
+  const GreedyScan scan =
+      RunGreedy(inst, 0.0, LoadBasis::kTotal, MisfitPolicy::kSkip);
+  EXPECT_FALSE(scan.admitted[0]);
+  EXPECT_EQ(scan.first_loser_pos, 0);
+}
+
+}  // namespace
+}  // namespace streambid::auction

@@ -1,0 +1,134 @@
+// Copyright 2026 The streambid Authors
+// Reproduces the paper's worked Example 1 (§II, §IV) exactly:
+//   q1 = {A, B}, bid $55;  q2 = {A, C}, bid $72;  q3 = {D, E}, bid $100;
+//   loads A=4 B=1 C=2, D+E=10; capacity 10; A shared by q1 and q2.
+// Expected outcomes (quoted from the paper):
+//   CAR: winners {q1, q2}, payments $10 and $60, q3 lost at $10/unit.
+//   CAF: priorities 18.34/18/10, winners {q1, q2}, payments $30 and $40.
+//   CAT: priorities 11/12/10, winners {q1, q2}, payments $50 and $60.
+
+#include <gtest/gtest.h>
+
+#include "auction/metrics.h"
+#include "auction/registry.h"
+#include "gametheory/attacks.h"
+
+namespace streambid::auction {
+namespace {
+
+using gametheory::Example1Instance;
+using gametheory::kExample1Capacity;
+
+class Example1Test : public ::testing::Test {
+ protected:
+  Allocation RunMechanism(const std::string& name) {
+    auto mechanism = MakeMechanism(name);
+    EXPECT_TRUE(mechanism.ok());
+    Rng rng(42);
+    return (*mechanism)->Run(instance_, kExample1Capacity, rng);
+  }
+
+  AuctionInstance instance_ = Example1Instance();
+};
+
+TEST_F(Example1Test, DerivedLoadsMatchPaper) {
+  // CT: q1 = 4+1 = 5, q2 = 4+2 = 6, q3 = 10.
+  EXPECT_DOUBLE_EQ(instance_.total_load(0), 5.0);
+  EXPECT_DOUBLE_EQ(instance_.total_load(1), 6.0);
+  EXPECT_DOUBLE_EQ(instance_.total_load(2), 10.0);
+  // CSF: q1 = 4/2 + 1 = 3, q2 = 4/2 + 2 = 4, q3 = 10.
+  EXPECT_DOUBLE_EQ(instance_.fair_share_load(0), 3.0);
+  EXPECT_DOUBLE_EQ(instance_.fair_share_load(1), 4.0);
+  EXPECT_DOUBLE_EQ(instance_.fair_share_load(2), 10.0);
+  // Operator A is shared by two queries.
+  EXPECT_EQ(instance_.sharing_degree(0), 2);
+  EXPECT_EQ(instance_.sharing_degree(3), 1);
+}
+
+TEST_F(Example1Test, CarAdmitsQ1Q2AndChargesTenAndSixty) {
+  const Allocation alloc = RunMechanism("car");
+  EXPECT_TRUE(alloc.IsAdmitted(0));
+  EXPECT_TRUE(alloc.IsAdmitted(1));
+  EXPECT_FALSE(alloc.IsAdmitted(2));
+  // q2 picked first (priority 12); q1's remaining load drops to 1
+  // (operator A already admitted), priority 55. Price: $10 per unit of
+  // remaining load (q3: bid 100 / CR 10).
+  EXPECT_DOUBLE_EQ(alloc.Payment(0), 10.0);
+  EXPECT_DOUBLE_EQ(alloc.Payment(1), 60.0);
+  EXPECT_DOUBLE_EQ(alloc.Payment(2), 0.0);
+}
+
+TEST_F(Example1Test, CafAdmitsQ1Q2AndChargesThirtyAndForty) {
+  const Allocation alloc = RunMechanism("caf");
+  EXPECT_TRUE(alloc.IsAdmitted(0));
+  EXPECT_TRUE(alloc.IsAdmitted(1));
+  EXPECT_FALSE(alloc.IsAdmitted(2));
+  // $10 per unit of static fair-share load (q3: bid 100 / CSF 10).
+  EXPECT_DOUBLE_EQ(alloc.Payment(0), 30.0);
+  EXPECT_DOUBLE_EQ(alloc.Payment(1), 40.0);
+}
+
+TEST_F(Example1Test, CatAdmitsQ1Q2AndChargesFiftyAndSixty) {
+  const Allocation alloc = RunMechanism("cat");
+  EXPECT_TRUE(alloc.IsAdmitted(0));
+  EXPECT_TRUE(alloc.IsAdmitted(1));
+  EXPECT_FALSE(alloc.IsAdmitted(2));
+  // $10 per unit of total load (q3: bid 100 / CT 10).
+  EXPECT_DOUBLE_EQ(alloc.Payment(0), 50.0);
+  EXPECT_DOUBLE_EQ(alloc.Payment(1), 60.0);
+}
+
+TEST_F(Example1Test, PlusVariantsAdmitSameWinnersHere) {
+  // With capacity 10 and q3 needing 10 fresh units, skipping does not
+  // change the outcome of this instance; only payments differ (movement
+  // windows extend to the end of the list -> q1/q2 still pay based on
+  // q3, the first query whose admission would displace them).
+  for (const char* name : {"caf+", "cat+"}) {
+    const Allocation alloc = RunMechanism(name);
+    EXPECT_TRUE(alloc.IsAdmitted(0)) << name;
+    EXPECT_TRUE(alloc.IsAdmitted(1)) << name;
+    EXPECT_FALSE(alloc.IsAdmitted(2)) << name;
+  }
+  // CAF+ movement windows: placing q1 after q2 still wins (A covered, B
+  // fits); placing q1 after q3 is impossible since q3 can never be
+  // admitted after q2+q1... but the window simulation drops q1, so after
+  // {q2, q3-rejected}: q1 still fits => last(q1) = null? No: with q1
+  // absent, q2 (6) is admitted, then q3 (10) does not fit and is
+  // skipped; q1 placed after q3 occupies 6+... A covered, so +1 = 7
+  // <= 10: q1 still wins. Window spans the list: q1 pays 0.
+  const Allocation caf_plus = RunMechanism("caf+");
+  EXPECT_DOUBLE_EQ(caf_plus.Payment(0), 0.0);
+  // q2 after q3: with q2 absent, q1 (5) admitted, q3 (10) skipped; q2
+  // placed after q3 needs 2 fresh units (A covered): wins. Pays 0.
+  EXPECT_DOUBLE_EQ(caf_plus.Payment(1), 0.0);
+}
+
+TEST_F(Example1Test, GvAdmitsOnlyQ3) {
+  // Greedy by valuation: q3 ($100, load 10) exactly fills capacity;
+  // q2 no longer fits, so the scan stops. Winners pay the first losing
+  // bid, $72.
+  const Allocation alloc = RunMechanism("gv");
+  EXPECT_FALSE(alloc.IsAdmitted(0));
+  EXPECT_FALSE(alloc.IsAdmitted(1));
+  EXPECT_TRUE(alloc.IsAdmitted(2));
+  EXPECT_DOUBLE_EQ(alloc.Payment(2), 72.0);
+}
+
+TEST_F(Example1Test, AllocationsAreFeasible) {
+  for (const auto& name : AllMechanismNames()) {
+    const Allocation alloc = RunMechanism(name);
+    EXPECT_TRUE(IsFeasible(instance_, alloc)) << name;
+  }
+}
+
+TEST_F(Example1Test, MetricsMatchHandComputation) {
+  const Allocation cat = RunMechanism("cat");
+  const AllocationMetrics m = ComputeMetrics(instance_, cat);
+  EXPECT_DOUBLE_EQ(m.profit, 110.0);            // 50 + 60.
+  EXPECT_NEAR(m.admission_rate, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.total_payoff, (55 - 50) + (72 - 60));
+  EXPECT_DOUBLE_EQ(m.utilization, 0.7);         // (4+1+2) / 10.
+}
+
+}  // namespace
+}  // namespace streambid::auction

@@ -1,0 +1,88 @@
+// Copyright 2026 The streambid Authors
+
+#include "auction/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid::auction {
+namespace {
+
+AuctionInstance SmallInstance() {
+  auto r = AuctionInstance::Create(
+      {{4.0}, {1.0}, {2.0}}, {{0, 10.0, {0, 1}}, {1, 20.0, {0, 2}}});
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(MetricsTest, AllRejectedGivesZeroes) {
+  AuctionInstance inst = SmallInstance();
+  Allocation alloc = MakeEmptyAllocation("test", 10.0, 2);
+  const AllocationMetrics m = ComputeMetrics(inst, alloc);
+  EXPECT_DOUBLE_EQ(m.profit, 0.0);
+  EXPECT_DOUBLE_EQ(m.admission_rate, 0.0);
+  EXPECT_DOUBLE_EQ(m.total_payoff, 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.0);
+}
+
+TEST(MetricsTest, HandComputedValues) {
+  AuctionInstance inst = SmallInstance();
+  Allocation alloc = MakeEmptyAllocation("test", 10.0, 2);
+  alloc.admitted = {true, true};
+  alloc.payments = {3.0, 8.0};
+  const AllocationMetrics m = ComputeMetrics(inst, alloc);
+  EXPECT_DOUBLE_EQ(m.profit, 11.0);
+  EXPECT_DOUBLE_EQ(m.admission_rate, 1.0);
+  EXPECT_DOUBLE_EQ(m.total_payoff, (10 - 3) + (20 - 8));
+  EXPECT_DOUBLE_EQ(m.utilization, 0.7);  // Union 4+1+2 over 10.
+}
+
+TEST(MetricsTest, ValuesOverrideBidsForPayoff) {
+  AuctionInstance inst = SmallInstance();
+  Allocation alloc = MakeEmptyAllocation("test", 10.0, 2);
+  alloc.admitted = {true, false};
+  alloc.payments = {3.0, 0.0};
+  // Lying scenario: submitted bid 10 but true value 30.
+  const AllocationMetrics m =
+      ComputeMetricsWithValues(inst, alloc, {30.0, 20.0});
+  EXPECT_DOUBLE_EQ(m.total_payoff, 27.0);
+  EXPECT_DOUBLE_EQ(m.profit, 3.0);
+}
+
+TEST(MetricsTest, UsedCapacityCountsSharedOpsOnce) {
+  AuctionInstance inst = SmallInstance();
+  Allocation alloc = MakeEmptyAllocation("test", 10.0, 2);
+  alloc.admitted = {true, true};
+  EXPECT_DOUBLE_EQ(UsedCapacity(inst, alloc), 7.0);
+}
+
+TEST(MetricsTest, FeasibilityChecks) {
+  AuctionInstance inst = SmallInstance();
+  Allocation ok = MakeEmptyAllocation("test", 7.0, 2);
+  ok.admitted = {true, true};
+  EXPECT_TRUE(IsFeasible(inst, ok));
+
+  Allocation overload = MakeEmptyAllocation("test", 6.0, 2);
+  overload.admitted = {true, true};
+  EXPECT_FALSE(IsFeasible(inst, overload));
+
+  Allocation bad_payment = MakeEmptyAllocation("test", 10.0, 2);
+  bad_payment.payments[0] = 5.0;  // Rejected query paying.
+  EXPECT_FALSE(IsFeasible(inst, bad_payment));
+
+  Allocation negative = MakeEmptyAllocation("test", 10.0, 2);
+  negative.admitted = {true, false};
+  negative.payments[0] = -1.0;
+  EXPECT_FALSE(IsFeasible(inst, negative));
+}
+
+TEST(MetricsTest, EmptyInstance) {
+  auto inst = AuctionInstance::Create({}, {});
+  ASSERT_TRUE(inst.ok());
+  Allocation alloc = MakeEmptyAllocation("test", 10.0, 0);
+  const AllocationMetrics m = ComputeMetrics(*inst, alloc);
+  EXPECT_DOUBLE_EQ(m.admission_rate, 0.0);
+  EXPECT_TRUE(IsFeasible(*inst, alloc));
+}
+
+}  // namespace
+}  // namespace streambid::auction

@@ -1,0 +1,120 @@
+// Copyright 2026 The streambid Authors
+// The fast incremental ComputeLast must agree with the brute-force
+// re-simulation on hand-built cases and on randomized instances
+// (parameterized sweep over seeds).
+
+#include "auction/movement_window.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/greedy_common.h"
+#include "common/rng.h"
+
+namespace streambid::auction {
+namespace {
+
+AuctionInstance Make(std::vector<double> op_loads,
+                     std::vector<QuerySpec> queries) {
+  std::vector<OperatorSpec> ops;
+  for (double l : op_loads) ops.push_back({l});
+  auto r = AuctionInstance::Create(std::move(ops), std::move(queries));
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(MovementWindowTest, WindowSpansListWhenUncontested) {
+  // Capacity ample: no position loses; last = kNoQuery.
+  AuctionInstance inst = Make(
+      {1.0, 1.0, 1.0},
+      {{0, 9.0, {0}}, {1, 8.0, {1}}, {2, 7.0, {2}}});
+  const auto order = PriorityOrder(inst, LoadBasis::kTotal);
+  EXPECT_EQ(ComputeLast(inst, 100.0, order, 0), kNoQuery);
+  EXPECT_EQ(ComputeLast(inst, 100.0, order, 1), kNoQuery);
+}
+
+TEST(MovementWindowTest, TightCapacityEndsWindowImmediately) {
+  // Capacity 2, three unit queries: moving any winner below the next
+  // query loses (the other two fill the server).
+  AuctionInstance inst = Make(
+      {1.0, 1.0, 1.0},
+      {{0, 9.0, {0}}, {1, 8.0, {1}}, {2, 7.0, {2}}});
+  const auto order = PriorityOrder(inst, LoadBasis::kTotal);
+  // Winner 0 moved after 1: {1, 2} admitted first -> full. last(0) = 2?
+  // After q1: used 1 + rem 1 = 2 fits. After q2: used 2 + 1 = 3 > 2.
+  EXPECT_EQ(ComputeLast(inst, 2.0, order, 0), 2);
+  EXPECT_EQ(ComputeLast(inst, 2.0, order, 1), 2);
+}
+
+TEST(MovementWindowTest, SharedOpsShrinkRemainingLoad) {
+  // Winner's operator gets covered by a later winner: moving below it
+  // is free. Example 1 shape: loads D=6, E=4 appended.
+  AuctionInstance ex1 = Make(
+      {4.0, 1.0, 2.0, 6.0, 4.0},
+      {{0, 55.0, {0, 1}}, {1, 72.0, {0, 2}}, {2, 100.0, {3, 4}}});
+  const auto order = PriorityOrder(ex1, LoadBasis::kFairShare);
+  // q0 first in CSF order; moving it after q1 covers op0 -> still fits;
+  // after q2 (rejected, adds nothing) -> still fits. Window spans list.
+  EXPECT_EQ(ComputeLast(ex1, 10.0, order, 0), kNoQuery);
+}
+
+TEST(MovementWindowTest, MatchesBruteForceOnHandCase) {
+  AuctionInstance inst = Make(
+      {4.0, 1.0, 3.0, 1.0},
+      {{0, 40.0, {0}}, {1, 9.0, {1}}, {2, 21.0, {2}}, {3, 5.0, {3}}});
+  const auto order = PriorityOrder(inst, LoadBasis::kTotal);
+  const GreedyScan scan =
+      RunGreedyScan(inst, 5.0, order, MisfitPolicy::kSkip);
+  for (QueryId i = 0; i < inst.num_queries(); ++i) {
+    if (!scan.admitted[static_cast<size_t>(i)]) continue;
+    EXPECT_EQ(ComputeLast(inst, 5.0, order, i),
+              ComputeLastBruteForce(inst, 5.0, order, i))
+        << "winner " << i;
+  }
+}
+
+/// Random instances: n queries, m operators, random sharing. The fast
+/// and brute-force window computations must agree for every winner,
+/// under both load bases.
+class MovementWindowFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MovementWindowFuzz, FastMatchesBruteForce) {
+  Rng rng(GetParam());
+  const int num_ops = 3 + static_cast<int>(rng.NextBounded(10));
+  const int num_queries = 2 + static_cast<int>(rng.NextBounded(12));
+  std::vector<OperatorSpec> ops;
+  for (int j = 0; j < num_ops; ++j) {
+    ops.push_back({1.0 + static_cast<double>(rng.NextBounded(9))});
+  }
+  std::vector<QuerySpec> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    QuerySpec q;
+    q.user = i;
+    q.bid = 1.0 + static_cast<double>(rng.NextBounded(99));
+    const int k = 1 + static_cast<int>(rng.NextBounded(3));
+    const auto picked = rng.SampleDistinct(num_ops, std::min(k, num_ops));
+    for (int j : picked) q.operators.push_back(j);
+    queries.push_back(std::move(q));
+  }
+  auto inst = AuctionInstance::Create(std::move(ops), std::move(queries));
+  ASSERT_TRUE(inst.ok());
+  const double capacity =
+      1.0 + rng.NextDouble() * inst->total_union_load();
+
+  for (LoadBasis basis : {LoadBasis::kTotal, LoadBasis::kFairShare}) {
+    const auto order = PriorityOrder(*inst, basis);
+    const GreedyScan scan =
+        RunGreedyScan(*inst, capacity, order, MisfitPolicy::kSkip);
+    for (QueryId i = 0; i < inst->num_queries(); ++i) {
+      if (!scan.admitted[static_cast<size_t>(i)]) continue;
+      EXPECT_EQ(ComputeLast(*inst, capacity, order, i),
+                ComputeLastBruteForce(*inst, capacity, order, i))
+          << "seed " << GetParam() << " winner " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MovementWindowFuzz,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace streambid::auction

@@ -1,0 +1,170 @@
+// Copyright 2026 The streambid Authors
+// The DSMS center: per-period auction -> transition -> execution ->
+// billing.
+
+#include "cloud/dsms_center.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/query_builder.h"
+
+namespace streambid::cloud {
+namespace {
+
+using stream::CompareOp;
+using stream::QueryBuilder;
+using stream::QueryPlan;
+using stream::QuerySubmission;
+using stream::Value;
+
+class DsmsCenterTest : public ::testing::Test {
+ protected:
+  DsmsCenterTest() : engine_(stream::EngineOptions{2.0, 1.0, 8}) {
+    // Tiny capacity (2 units) so the auction actually rejects: each
+    // select at 100 tuples/s costs ~1 unit.
+    EXPECT_TRUE(engine_
+                    .RegisterSource(stream::MakeStockQuoteSource(
+                        "quotes", {"IBM", "AAPL", "MSFT"}, 100.0, 11))
+                    .ok());
+  }
+
+  QuerySubmission MakeSubmission(int id, auction::UserId user, double bid,
+                                 double threshold) {
+    QueryBuilder b;
+    const int src = b.Source("quotes");
+    const int sel =
+        b.Select(src, "price", CompareOp::kGt, Value(threshold));
+    QuerySubmission sub;
+    sub.query_id = id;
+    sub.user = user;
+    sub.bid = bid;
+    sub.plan = b.Build(sel);
+    return sub;
+  }
+
+  stream::Engine engine_;
+};
+
+TEST_F(DsmsCenterTest, AdmitsByDensityAndBills) {
+  DsmsCenterOptions options;
+  options.mechanism = "cat";
+  options.period_length = 10.0;
+  DsmsCenter center(options, &engine_);
+
+  // Three distinct queries, each ~1 unit load, capacity 2: the two
+  // highest-density queries win, the third prices them.
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 100, 50.0, 110.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(2, 200, 40.0, 120.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(3, 300, 10.0, 130.0)).ok());
+
+  auto report = center.RunPeriod();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->submissions, 3);
+  EXPECT_EQ(report->admitted, 2);
+  EXPECT_GT(report->revenue, 0.0);
+  EXPECT_EQ(center.total_revenue(), report->revenue);
+  // Winners installed and executed.
+  for (int qid : report->admitted_ids) {
+    EXPECT_TRUE(engine_.IsInstalled(qid));
+    EXPECT_NE(engine_.sink(qid), nullptr);
+  }
+  // The losing query is not installed.
+  EXPECT_EQ(report->payments.count(3), 0u);
+  EXPECT_FALSE(engine_.IsInstalled(3));
+  // Billing attributed to the right users.
+  EXPECT_GT(center.ledger().TotalCharged(100), 0.0);
+  EXPECT_DOUBLE_EQ(center.ledger().TotalCharged(300), 0.0);
+}
+
+TEST_F(DsmsCenterTest, QueriesExpireUnlessResubmitted) {
+  DsmsCenterOptions options;
+  options.period_length = 5.0;
+  DsmsCenter center(options, &engine_);
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 1, 50.0, 110.0)).ok());
+  auto r1 = center.RunPeriod();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_EQ(r1->admitted, 1);
+  EXPECT_TRUE(engine_.IsInstalled(1));
+
+  // No resubmission: the next period evicts it.
+  auto r2 = center.RunPeriod();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->admitted, 0);
+  EXPECT_FALSE(engine_.IsInstalled(1));
+  EXPECT_TRUE(center.active_queries().empty());
+}
+
+TEST_F(DsmsCenterTest, ResubmissionRenews) {
+  DsmsCenterOptions options;
+  options.period_length = 5.0;
+  DsmsCenter center(options, &engine_);
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 1, 50.0, 110.0)).ok());
+  ASSERT_TRUE(center.RunPeriod().ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 1, 50.0, 110.0)).ok());
+  auto r2 = center.RunPeriod();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->admitted, 1);
+  EXPECT_TRUE(engine_.IsInstalled(1));
+  // Charged every period it wins.
+  EXPECT_EQ(center.history().size(), 2u);
+}
+
+TEST_F(DsmsCenterTest, SubmitValidation) {
+  DsmsCenterOptions options;
+  DsmsCenter center(options, &engine_);
+  QuerySubmission bad = MakeSubmission(1, 1, -5.0, 110.0);
+  EXPECT_EQ(center.Submit(bad).code(), StatusCode::kInvalidArgument);
+
+  QueryBuilder b;
+  const int src = b.Source("no_such_stream");
+  QuerySubmission unknown;
+  unknown.query_id = 2;
+  unknown.bid = 5.0;
+  unknown.plan = b.Build(src);
+  EXPECT_EQ(center.Submit(unknown).code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(center.Submit(MakeSubmission(3, 1, 5.0, 1.0)).ok());
+  EXPECT_EQ(center.Submit(MakeSubmission(3, 1, 5.0, 1.0)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(DsmsCenterTest, EmptyPeriodRunsCleanly) {
+  DsmsCenterOptions options;
+  options.period_length = 3.0;
+  DsmsCenter center(options, &engine_);
+  auto report = center.RunPeriod();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->submissions, 0);
+  EXPECT_EQ(report->admitted, 0);
+  EXPECT_DOUBLE_EQ(report->revenue, 0.0);
+  EXPECT_DOUBLE_EQ(engine_.now(), 3.0);
+}
+
+TEST_F(DsmsCenterTest, MeasuredUtilizationReported) {
+  DsmsCenterOptions options;
+  options.period_length = 10.0;
+  DsmsCenter center(options, &engine_);
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 1, 50.0, 110.0)).ok());
+  auto report = center.RunPeriod();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->measured_utilization, 0.0);
+  EXPECT_LE(report->measured_utilization, 1.0);
+}
+
+TEST_F(DsmsCenterTest, SharedSubmissionsAdmitMoreThanDisjoint) {
+  // Two identical plans share their operator: both fit in capacity 2
+  // alongside a third distinct query.
+  DsmsCenterOptions options;
+  options.period_length = 5.0;
+  DsmsCenter center(options, &engine_);
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 1, 50.0, 110.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(2, 2, 40.0, 110.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(3, 3, 30.0, 120.0)).ok());
+  auto report = center.RunPeriod();
+  ASSERT_TRUE(report.ok());
+  // Queries 1 and 2 share one ~1-unit operator; query 3 needs its own.
+  EXPECT_EQ(report->admitted, 3);
+}
+
+}  // namespace
+}  // namespace streambid::cloud

@@ -1,0 +1,103 @@
+// Copyright 2026 The streambid Authors
+// The §VII energy extension: "it might be more profitable not to fully
+// utilize the available capacity".
+
+#include "cloud/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/registry.h"
+#include "workload/generator.h"
+
+namespace streambid::cloud {
+namespace {
+
+auction::AuctionInstance SharedWorkload(uint64_t seed) {
+  workload::WorkloadParams p;
+  p.num_queries = 100;
+  p.base_num_operators = 40;
+  p.base_max_sharing = 10;
+  Rng rng(seed);
+  auto inst = workload::GenerateBaseWorkload(p, rng).ToInstance();
+  EXPECT_TRUE(inst.ok());
+  return std::move(inst).value();
+}
+
+TEST(EnergyModelTest, CostGrowsWithCapacityAndUse) {
+  EnergyModel model;
+  EXPECT_GT(model.PeriodCost(100.0, 0.0), 0.0);  // Idle cost.
+  EXPECT_GT(model.PeriodCost(100.0, 50.0), model.PeriodCost(100.0, 0.0));
+  EXPECT_GT(model.PeriodCost(200.0, 50.0), model.PeriodCost(100.0, 50.0));
+}
+
+TEST(EnergyTest, EvaluatesEveryCandidate) {
+  const auction::AuctionInstance inst = SharedWorkload(1);
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(1);
+  const std::vector<double> candidates = {
+      inst.total_union_load() * 0.25, inst.total_union_load() * 0.5,
+      inst.total_union_load() * 1.0};
+  const auto evals = EvaluateCapacities(**cat, inst, candidates,
+                                        EnergyModel{}, rng);
+  ASSERT_EQ(evals.size(), 3u);
+  for (const CapacityEvaluation& e : evals) {
+    EXPECT_GE(e.gross_profit, 0.0);
+    EXPECT_GE(e.energy_cost, 0.0);
+    EXPECT_DOUBLE_EQ(e.net_profit, e.gross_profit - e.energy_cost);
+    EXPECT_GE(e.utilization, 0.0);
+    EXPECT_LE(e.utilization, 1.0 + 1e-9);
+  }
+}
+
+TEST(EnergyTest, OptimizePicksBestNet) {
+  const auction::AuctionInstance inst = SharedWorkload(2);
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(2);
+  const std::vector<double> candidates = {
+      inst.total_union_load() * 0.2, inst.total_union_load() * 0.4,
+      inst.total_union_load() * 0.7, inst.total_union_load() * 1.1};
+  const CapacityEvaluation best =
+      OptimizeCapacity(**cat, inst, candidates, EnergyModel{}, rng);
+  const auto evals = EvaluateCapacities(**cat, inst, candidates,
+                                        EnergyModel{}, rng);
+  for (const CapacityEvaluation& e : evals) {
+    EXPECT_GE(best.net_profit, e.net_profit - 1e-9);
+  }
+}
+
+TEST(EnergyTest, OverProvisioningIsPenalized) {
+  // With everything admitted (capacity far above demand), density
+  // mechanisms charge 0 but energy still costs: net < 0, so the
+  // optimizer must prefer a tighter capacity.
+  const auction::AuctionInstance inst = SharedWorkload(3);
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(3);
+  EnergyModel pricey;
+  pricey.idle_cost_per_capacity = 0.01;
+  const std::vector<double> candidates = {inst.total_union_load() * 0.5,
+                                          inst.total_union_load() * 10.0};
+  const CapacityEvaluation best =
+      OptimizeCapacity(**cat, inst, candidates, pricey, rng);
+  EXPECT_DOUBLE_EQ(best.capacity, inst.total_union_load() * 0.5);
+}
+
+TEST(EnergyTest, TiesGoToSmallerCapacity) {
+  // Zero-profit regime: all candidates yield profit 0; lower capacity
+  // burns less energy and must win.
+  std::vector<auction::OperatorSpec> ops = {{1.0}};
+  std::vector<auction::QuerySpec> queries = {{0, 10.0, {0}}};
+  auto inst = auction::AuctionInstance::Create(ops, queries);
+  ASSERT_TRUE(inst.ok());
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(4);
+  const CapacityEvaluation best =
+      OptimizeCapacity(**cat, *inst, {100.0, 10.0}, EnergyModel{}, rng);
+  EXPECT_DOUBLE_EQ(best.capacity, 10.0);
+}
+
+}  // namespace
+}  // namespace streambid::cloud

@@ -1,0 +1,83 @@
+// Copyright 2026 The streambid Authors
+
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad load");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad load");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad load");
+}
+
+TEST(StatusTest, AllFactoryCodesRoundTrip) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailingHelper() { return Status::Internal("inner"); }
+
+Status Propagates() {
+  STREAMBID_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kInternal);
+}
+
+Result<int> ProducesValue() { return 21; }
+
+Status UsesAssign(int* out) {
+  STREAMBID_ASSIGN_OR_RETURN(int v, ProducesValue());
+  *out = v * 2;
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwraps) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssign(&out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+}  // namespace
+}  // namespace streambid

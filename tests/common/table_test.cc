@@ -1,0 +1,62 @@
+// Copyright 2026 The streambid Authors
+
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace streambid {
+namespace {
+
+TEST(TextTableTest, CsvRoundTrip) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTableTest, AlignedContainsAllCells) {
+  TextTable t({"mechanism", "profit"});
+  t.AddRow({"caf", "123.45"});
+  const std::string s = t.ToAligned();
+  EXPECT_NE(s.find("mechanism"), std::string::npos);
+  EXPECT_NE(s.find("caf"), std::string::npos);
+  EXPECT_NE(s.find("123.45"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(FormatTest, Double) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.5, 1), "50.0%");
+  EXPECT_EQ(FormatPercent(0.987, 0), "99%");
+}
+
+TEST(FormatTest, Int) { EXPECT_EQ(FormatInt(1234567), "1234567"); }
+
+TEST(StringUtilTest, SplitAndJoin) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringUtilTest, EnvIntFallback) {
+  EXPECT_EQ(EnvInt("STREAMBID_DOES_NOT_EXIST_XYZ", 42), 42);
+  ::setenv("STREAMBID_TEST_ENV_INT", "17", 1);
+  EXPECT_EQ(EnvInt("STREAMBID_TEST_ENV_INT", 42), 17);
+  ::setenv("STREAMBID_TEST_ENV_INT", "not-a-number", 1);
+  EXPECT_EQ(EnvInt("STREAMBID_TEST_ENV_INT", 42), 42);
+  ::unsetenv("STREAMBID_TEST_ENV_INT");
+}
+
+}  // namespace
+}  // namespace streambid

@@ -1,0 +1,79 @@
+// Copyright 2026 The streambid Authors
+
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace streambid {
+namespace {
+
+TEST(ZipfTest, SamplesWithinRange) {
+  ZipfDistribution dist(10, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const int v = dist.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double theta : {0.0, 0.5, 1.0, 2.0}) {
+    ZipfDistribution dist(60, theta);
+    double sum = 0.0;
+    for (int v = 1; v <= 60; ++v) sum += dist.Pmf(v);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "theta=" << theta;
+  }
+}
+
+TEST(ZipfTest, SkewZeroIsUniform) {
+  ZipfDistribution dist(4, 0.0);
+  for (int v = 1; v <= 4; ++v) EXPECT_NEAR(dist.Pmf(v), 0.25, 1e-12);
+}
+
+TEST(ZipfTest, HigherSkewFavorsSmallValues) {
+  ZipfDistribution flat(100, 0.5), steep(100, 2.0);
+  EXPECT_GT(steep.Pmf(1), flat.Pmf(1));
+  EXPECT_LT(steep.Pmf(100), flat.Pmf(100));
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  ZipfDistribution dist(10, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(11, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(dist.Sample(rng))];
+  for (int v = 1; v <= 10; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(v)]) / n,
+                dist.Pmf(v), 0.005)
+        << "v=" << v;
+  }
+}
+
+TEST(ZipfTest, MeanMatchesTheory) {
+  // Zipf(theta=1, max=M) has mean M / H_M.
+  ZipfDistribution dist(10, 1.0);
+  double h10 = 0.0;
+  for (int v = 1; v <= 10; ++v) h10 += 1.0 / v;
+  EXPECT_NEAR(dist.Mean(), 10.0 / h10, 1e-9);
+}
+
+TEST(ZipfTest, EmpiricalMeanMatchesExactMean) {
+  ZipfDistribution dist(60, 1.0);
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += dist.Sample(rng);
+  EXPECT_NEAR(sum / n, dist.Mean(), 0.1);
+}
+
+TEST(ZipfTest, MaxValueOneAlwaysSamplesOne) {
+  ZipfDistribution dist(1, 1.0);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.Sample(rng), 1);
+}
+
+}  // namespace
+}  // namespace streambid

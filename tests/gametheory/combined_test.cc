@@ -1,0 +1,89 @@
+// Copyright 2026 The streambid Authors
+// Sybil-strategyproofness (Definition 18 / Theorem 19): CAT resists
+// every combined lie+sybil strategy in the search grid; CAF falls to
+// combinations even where pure bid deviations fail.
+
+#include "gametheory/combined.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/registry.h"
+#include "gametheory/attacks.h"
+#include "workload/generator.h"
+
+namespace streambid::gametheory {
+namespace {
+
+auction::AuctionInstance RandomShared(uint64_t seed) {
+  workload::WorkloadParams p;
+  p.num_queries = 30;
+  p.base_num_operators = 12;
+  p.base_max_sharing = 8;
+  Rng rng(seed);
+  auto inst = workload::GenerateBaseWorkload(p, rng).ToInstance();
+  EXPECT_TRUE(inst.ok());
+  return std::move(inst).value();
+}
+
+class CombinedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CombinedSweep, CatIsSybilStrategyproof) {
+  const auction::AuctionInstance inst = RandomShared(GetParam());
+  auto cat = auction::MakeMechanism("cat").value();
+  Rng rng(GetParam() + 400);
+  CombinedAttackOptions options;
+  const CombinedAttackReport best = SweepCombinedAttacks(
+      *cat, inst, inst.total_union_load() * 0.5, options, rng,
+      /*max_attackers=*/8);
+  EXPECT_FALSE(best.Profitable(1e-6))
+      << "query " << best.attacker_query << " gains " << best.Gain()
+      << " bidding " << best.best_bid << " with " << best.best_num_fakes
+      << " fakes at " << best.best_fake_value;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombinedSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(CombinedAttackTest, CafFallsToCombinedStrategy) {
+  // The §V-A scenario: the attacker loses truthfully; fakes alone
+  // already help against CAF, and the combined search must find at
+  // least as much.
+  const AttackScenario s = FairShareScenario();
+  auto caf = auction::MakeMechanism("caf").value();
+  Rng rng(5);
+  CombinedAttackOptions options;
+  const CombinedAttackReport report = SearchCombinedAttack(
+      *caf, s.instance, s.capacity, /*attacker_query=*/1, options, rng);
+  EXPECT_TRUE(report.Profitable());
+  EXPECT_GT(report.best_num_fakes, 0);  // The gain needs the sybils.
+}
+
+TEST(CombinedAttackTest, PureDeviationSubsumedByGrid) {
+  // With fake_counts = {0}, the search degenerates to a bid-deviation
+  // sweep; on Example 1 under CAT it must find nothing.
+  auction::AuctionInstance inst = Example1Instance();
+  auto cat = auction::MakeMechanism("cat").value();
+  Rng rng(6);
+  CombinedAttackOptions options;
+  options.fake_counts = {0};
+  for (auction::QueryId q = 0; q < inst.num_queries(); ++q) {
+    const CombinedAttackReport r = SearchCombinedAttack(
+        *cat, inst, kExample1Capacity, q, options, rng);
+    EXPECT_FALSE(r.Profitable()) << "query " << q;
+  }
+}
+
+TEST(CombinedAttackTest, ReportsTruthfulBaseline) {
+  auction::AuctionInstance inst = Example1Instance();
+  auto cat = auction::MakeMechanism("cat").value();
+  Rng rng(7);
+  CombinedAttackOptions options;
+  const CombinedAttackReport r =
+      SearchCombinedAttack(*cat, inst, kExample1Capacity, 0, options, rng);
+  // CAT admits q1 at $50: payoff 5.
+  EXPECT_DOUBLE_EQ(r.truthful_payoff, 5.0);
+  EXPECT_GE(r.best_payoff, r.truthful_payoff);
+}
+
+}  // namespace
+}  // namespace streambid::gametheory

@@ -1,0 +1,77 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/payoff.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/registry.h"
+
+namespace streambid::gametheory {
+namespace {
+
+auction::AuctionInstance TwoUserInstance() {
+  // User 7 owns queries 0 and 2; user 8 owns query 1.
+  std::vector<auction::OperatorSpec> ops = {{1.0}, {1.0}, {1.0}};
+  std::vector<auction::QuerySpec> queries = {
+      {7, 10.0, {0}}, {8, 20.0, {1}}, {7, 5.0, {2}}};
+  auto r = auction::AuctionInstance::Create(ops, queries);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(PayoffTest, AggregatesAcrossUserQueries) {
+  auction::AuctionInstance inst = TwoUserInstance();
+  auction::Allocation alloc = auction::MakeEmptyAllocation("t", 10.0, 3);
+  alloc.admitted = {true, true, true};
+  alloc.payments = {4.0, 12.0, 5.0};
+  const std::vector<double> values = TruthfulValues(inst);
+  // User 7: (10-4) + (5-5) = 6. User 8: 20-12 = 8.
+  EXPECT_DOUBLE_EQ(UserPayoff(inst, alloc, values, 7), 6.0);
+  EXPECT_DOUBLE_EQ(UserPayoff(inst, alloc, values, 8), 8.0);
+  EXPECT_DOUBLE_EQ(UserPayoff(inst, alloc, values, 99), 0.0);
+}
+
+TEST(PayoffTest, RejectedQueriesContributeNothing) {
+  auction::AuctionInstance inst = TwoUserInstance();
+  auction::Allocation alloc = auction::MakeEmptyAllocation("t", 10.0, 3);
+  alloc.admitted = {false, true, false};
+  alloc.payments = {0.0, 3.0, 0.0};
+  const std::vector<double> values = TruthfulValues(inst);
+  EXPECT_DOUBLE_EQ(UserPayoff(inst, alloc, values, 7), 0.0);
+  EXPECT_DOUBLE_EQ(UserPayoff(inst, alloc, values, 8), 17.0);
+}
+
+TEST(PayoffTest, FakeQueryValuesZeroGiveNegativePayoff) {
+  auction::AuctionInstance inst = TwoUserInstance();
+  auction::Allocation alloc = auction::MakeEmptyAllocation("t", 10.0, 3);
+  alloc.admitted = {true, false, true};
+  alloc.payments = {2.0, 0.0, 1.0};
+  // Query 2 is a fake (value 0): the attacker pays its fee.
+  const std::vector<double> values = {10.0, 20.0, 0.0};
+  EXPECT_DOUBLE_EQ(UserPayoff(inst, alloc, values, 7), (10 - 2) + (0 - 1));
+}
+
+TEST(PayoffTest, ExpectedPayoffDeterministicMechanism) {
+  auction::AuctionInstance inst = TwoUserInstance();
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(1);
+  const std::vector<double> values = TruthfulValues(inst);
+  const double once =
+      ExpectedUserPayoff(**cat, inst, 10.0, values, 7, rng, 1);
+  const double many =
+      ExpectedUserPayoff(**cat, inst, 10.0, values, 7, rng, 16);
+  EXPECT_DOUBLE_EQ(once, many);
+}
+
+TEST(PayoffTest, TruthfulValuesMirrorBids) {
+  auction::AuctionInstance inst = TwoUserInstance();
+  const std::vector<double> values = TruthfulValues(inst);
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 10.0);
+  EXPECT_DOUBLE_EQ(values[1], 20.0);
+  EXPECT_DOUBLE_EQ(values[2], 5.0);
+}
+
+}  // namespace
+}  // namespace streambid::gametheory

@@ -1,0 +1,100 @@
+// Copyright 2026 The streambid Authors
+// Monotonicity and critical-value checks (§III characterization).
+
+#include "gametheory/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/registry.h"
+#include "gametheory/attacks.h"
+
+namespace streambid::gametheory {
+namespace {
+
+TEST(MonotonicityTest, DensityMechanismsMonotoneOnExample1) {
+  auction::AuctionInstance inst = Example1Instance();
+  Rng rng(1);
+  for (const char* name : {"caf", "caf+", "cat", "cat+", "gv"}) {
+    auto m = auction::MakeMechanism(name);
+    ASSERT_TRUE(m.ok());
+    const MonotonicityReport r = CheckMonotonicity(
+        **m, inst, kExample1Capacity, /*check_subset_monotonicity=*/true,
+        rng);
+    EXPECT_TRUE(r.monotone) << name << " violated by query "
+                            << r.violating_query << " at bid "
+                            << r.violating_bid;
+  }
+}
+
+TEST(CriticalValueTest, CatPaymentsEqualCriticalValues) {
+  auction::AuctionInstance inst = Example1Instance();
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(2);
+  // q1's critical bid under CAT: it must beat the density of the first
+  // loser given capacity; payment was $50 (Example 1).
+  const CriticalValue cv =
+      EstimateCriticalValue(**cat, inst, kExample1Capacity, 0, rng);
+  EXPECT_FALSE(cv.unbounded);
+  EXPECT_NEAR(cv.value, 50.0, 1e-6);
+  const double disc =
+      MaxCriticalValueDiscrepancy(**cat, inst, kExample1Capacity, rng);
+  EXPECT_LT(disc, 1e-6);
+}
+
+TEST(CriticalValueTest, CafPaymentsEqualCriticalValues) {
+  auction::AuctionInstance inst = Example1Instance();
+  auto caf = auction::MakeMechanism("caf");
+  ASSERT_TRUE(caf.ok());
+  Rng rng(3);
+  const double disc =
+      MaxCriticalValueDiscrepancy(**caf, inst, kExample1Capacity, rng);
+  EXPECT_LT(disc, 1e-6);
+}
+
+TEST(CriticalValueTest, CarPaymentsDeviateFromCriticalValues) {
+  // The §IV-A argument: CAR payments depend on the user's own bid, so
+  // they cannot equal critical values everywhere. With q1's bid at 80
+  // (selected first, paying 50), her critical value is what she'd pay
+  // at the *lowest winning position* — strictly less.
+  auction::AuctionInstance inst = Example1Instance().WithBid(0, 80.0);
+  auto car = auction::MakeMechanism("car");
+  ASSERT_TRUE(car.ok());
+  Rng rng(4);
+  const auction::Allocation alloc =
+      (*car)->Run(inst, kExample1Capacity, rng);
+  ASSERT_TRUE(alloc.IsAdmitted(0));
+  EXPECT_DOUBLE_EQ(alloc.Payment(0), 50.0);
+  const CriticalValue cv =
+      EstimateCriticalValue(**car, inst, kExample1Capacity, 0, rng);
+  EXPECT_FALSE(cv.unbounded);
+  EXPECT_LT(cv.value, alloc.Payment(0) - 1.0);
+}
+
+TEST(CriticalValueTest, HopelessQueryIsUnbounded) {
+  // A query whose own load exceeds capacity can never win.
+  std::vector<auction::OperatorSpec> ops = {{50.0}, {1.0}};
+  std::vector<auction::QuerySpec> queries = {{0, 10.0, {0}},
+                                             {1, 5.0, {1}}};
+  auto inst = auction::AuctionInstance::Create(ops, queries);
+  ASSERT_TRUE(inst.ok());
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(5);
+  const CriticalValue cv = EstimateCriticalValue(**cat, *inst, 10.0, 0, rng);
+  EXPECT_TRUE(cv.unbounded);
+}
+
+TEST(CriticalValueTest, FreeWinnerHasZeroCritical) {
+  // Plenty of capacity: everyone wins at any bid; critical value 0.
+  auction::AuctionInstance inst = Example1Instance();
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(6);
+  const CriticalValue cv = EstimateCriticalValue(**cat, inst, 1000.0, 0, rng);
+  EXPECT_FALSE(cv.unbounded);
+  EXPECT_DOUBLE_EQ(cv.value, 0.0);
+}
+
+}  // namespace
+}  // namespace streambid::gametheory

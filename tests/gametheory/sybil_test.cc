@@ -1,0 +1,85 @@
+// Copyright 2026 The streambid Authors
+
+#include "gametheory/sybil.h"
+
+#include <gtest/gtest.h>
+
+#include "auction/registry.h"
+#include "gametheory/attacks.h"
+
+namespace streambid::gametheory {
+namespace {
+
+TEST(SybilTest, FairShareAttackReplicatesAttackerOperators) {
+  auction::AuctionInstance inst = Example1Instance();
+  const SybilAttack attack = FairShareAttack(inst, 0, 3, 1e-6);
+  ASSERT_EQ(attack.fake_queries.size(), 3u);
+  for (const auction::QuerySpec& fake : attack.fake_queries) {
+    EXPECT_EQ(fake.user, inst.user(0));
+    EXPECT_DOUBLE_EQ(fake.bid, 1e-6);
+    EXPECT_EQ(fake.operators, inst.query_operators(0));
+  }
+  EXPECT_TRUE(attack.new_operators.empty());
+}
+
+TEST(SybilTest, EvaluateReportsBothPayoffs) {
+  const AttackScenario s = FairShareScenario();
+  auto caf = auction::MakeMechanism("caf");
+  ASSERT_TRUE(caf.ok());
+  Rng rng(1);
+  auto report = EvaluateSybilAttack(**caf, s.instance, s.capacity,
+                                    s.attacker, s.attack, rng);
+  ASSERT_TRUE(report.ok());
+  // §V-A: attacker (user 2) loses without the attack, wins cheaply with
+  // it (CSF drops from 4 to 1).
+  EXPECT_DOUBLE_EQ(report->payoff_without_attack, 0.0);
+  EXPECT_GT(report->payoff_with_attack, 0.0);
+  EXPECT_TRUE(report->Profitable());
+}
+
+TEST(SybilTest, SameAttackHarmlessAgainstCat) {
+  const AttackScenario s = FairShareScenario();
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(2);
+  auto report = EvaluateSybilAttack(**cat, s.instance, s.capacity,
+                                    s.attacker, s.attack, rng);
+  ASSERT_TRUE(report.ok());
+  // CAT prices by total load: fakes do not deflate anything.
+  EXPECT_FALSE(report->Profitable());
+}
+
+TEST(SybilTest, SearchFindsCafVulnerability) {
+  // Search over fair-share-style attacks on a small shared instance:
+  // must find a strictly profitable attack against CAF (Theorem 15:
+  // universally vulnerable).
+  const AttackScenario s = FairShareScenario();
+  auto caf = auction::MakeMechanism("caf");
+  ASSERT_TRUE(caf.ok());
+  Rng rng(3);
+  const SybilReport best =
+      SearchSybilAttacks(**caf, s.instance, s.capacity, rng,
+                         /*max_attackers=*/2);
+  EXPECT_TRUE(best.Profitable());
+}
+
+TEST(SybilTest, SearchFindsNothingAgainstCatOnSmallInstances) {
+  const AttackScenario s = FairShareScenario();
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(4);
+  const SybilReport best =
+      SearchSybilAttacks(**cat, s.instance, s.capacity, rng, 2);
+  EXPECT_FALSE(best.Profitable());
+}
+
+TEST(SybilTest, AttackWithNewOperatorsExtendsPool) {
+  const AttackScenario s = TableIIScenario();
+  EXPECT_EQ(s.attack.new_operators.size(), 1u);
+  EXPECT_EQ(s.attack.fake_queries.size(), 1u);
+  // The fake's operator id points into the extended pool.
+  EXPECT_EQ(s.attack.fake_queries[0].operators[0], 2);
+}
+
+}  // namespace
+}  // namespace streambid::gametheory

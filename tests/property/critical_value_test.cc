@@ -1,0 +1,76 @@
+// Copyright 2026 The streambid Authors
+// The §III characterization as a property suite: for the stop-variant
+// strategyproof mechanisms, every winner's payment equals her critical
+// value (the bid threshold below which she loses), across randomized
+// shared workloads.
+
+#include <gtest/gtest.h>
+
+#include "auction/registry.h"
+#include "gametheory/properties.h"
+#include "workload/generator.h"
+
+namespace streambid {
+namespace {
+
+auction::AuctionInstance RandomShared(uint64_t seed) {
+  workload::WorkloadParams p;
+  p.num_queries = 35;
+  p.base_num_operators = 15;
+  p.base_max_sharing = 8;
+  Rng rng(seed);
+  auto inst = workload::GenerateBaseWorkload(p, rng).ToInstance();
+  EXPECT_TRUE(inst.ok());
+  return std::move(inst).value();
+}
+
+class CriticalValueSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CriticalValueSweep, CafPaymentsAreCriticalValues) {
+  const auction::AuctionInstance inst = RandomShared(GetParam());
+  auto caf = auction::MakeMechanism("caf").value();
+  Rng rng(GetParam() + 11);
+  const double disc = gametheory::MaxCriticalValueDiscrepancy(
+      *caf, inst, inst.total_union_load() * 0.5, rng, /*max_queries=*/8);
+  EXPECT_LT(disc, 1e-5);
+}
+
+TEST_P(CriticalValueSweep, CatPaymentsAreCriticalValues) {
+  const auction::AuctionInstance inst = RandomShared(GetParam());
+  auto cat = auction::MakeMechanism("cat").value();
+  Rng rng(GetParam() + 22);
+  const double disc = gametheory::MaxCriticalValueDiscrepancy(
+      *cat, inst, inst.total_union_load() * 0.5, rng, 8);
+  EXPECT_LT(disc, 1e-5);
+}
+
+TEST_P(CriticalValueSweep, GvPaymentsAreCriticalValues) {
+  const auction::AuctionInstance inst = RandomShared(GetParam());
+  auto gv = auction::MakeMechanism("gv").value();
+  Rng rng(GetParam() + 33);
+  const double disc = gametheory::MaxCriticalValueDiscrepancy(
+      *gv, inst, inst.total_union_load() * 0.5, rng, 8);
+  EXPECT_LT(disc, 1e-5);
+}
+
+TEST_P(CriticalValueSweep, MechanismsAreMonotone) {
+  const auction::AuctionInstance inst = RandomShared(GetParam());
+  Rng rng(GetParam() + 44);
+  for (const char* name : {"caf", "caf+", "cat", "cat+", "gv"}) {
+    auto m = auction::MakeMechanism(name).value();
+    const gametheory::MonotonicityReport r =
+        gametheory::CheckMonotonicity(*m, inst,
+                                      inst.total_union_load() * 0.5,
+                                      /*check_subset_monotonicity=*/true,
+                                      rng);
+    EXPECT_TRUE(r.monotone)
+        << name << " violated by query " << r.violating_query
+        << " at bid " << r.violating_bid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CriticalValueSweep,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace streambid

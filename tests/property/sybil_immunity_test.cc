@@ -1,0 +1,79 @@
+// Copyright 2026 The streambid Authors
+// Empirical sybil immunity (paper §V): CAT never profits from the
+// attack family; CAF/CAF+ are (universally) vulnerable — the §V-A
+// attack must succeed on shared instances.
+
+#include <gtest/gtest.h>
+
+#include "auction/registry.h"
+#include "gametheory/sybil.h"
+#include "workload/generator.h"
+
+namespace streambid {
+namespace {
+
+using auction::AuctionInstance;
+using gametheory::SearchSybilAttacks;
+using gametheory::SybilReport;
+
+AuctionInstance RandomSharedInstance(uint64_t seed) {
+  workload::WorkloadParams p;
+  p.num_queries = 30;
+  p.base_num_operators = 12;
+  p.base_max_sharing = 8;
+  Rng rng(seed);
+  auto inst = workload::GenerateBaseWorkload(p, rng).ToInstance();
+  EXPECT_TRUE(inst.ok());
+  return std::move(inst).value();
+}
+
+class SybilSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SybilSweep, CatNeverProfitsFromSybilAttacks) {
+  const AuctionInstance inst = RandomSharedInstance(GetParam());
+  auto cat = auction::MakeMechanism("cat");
+  ASSERT_TRUE(cat.ok());
+  Rng rng(GetParam() + 100);
+  const SybilReport best = SearchSybilAttacks(
+      **cat, inst, inst.total_union_load() * 0.5, rng, /*max_attackers=*/8);
+  EXPECT_FALSE(best.Profitable())
+      << "gain " << best.Gain() << " — CAT is sybil-strategyproof "
+      << "(Theorem 19), the harness found a counterexample";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SybilSweep,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(SybilVulnerabilityTest, CafAttackSucceedsSomewhere) {
+  // Theorem 15: CAF is universally vulnerable. The search should find a
+  // profitable attack on at least one (in practice nearly every)
+  // shared instance at competitive capacity.
+  auto caf = auction::MakeMechanism("caf");
+  ASSERT_TRUE(caf.ok());
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    const AuctionInstance inst = RandomSharedInstance(seed);
+    Rng rng(seed + 200);
+    const SybilReport best = SearchSybilAttacks(
+        **caf, inst, inst.total_union_load() * 0.5, rng, 10);
+    found = best.Profitable();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SybilVulnerabilityTest, CafPlusAttackSucceedsSomewhere) {
+  auto caf_plus = auction::MakeMechanism("caf+");
+  ASSERT_TRUE(caf_plus.ok());
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+    const AuctionInstance inst = RandomSharedInstance(seed);
+    Rng rng(seed + 300);
+    const SybilReport best = SearchSybilAttacks(
+        **caf_plus, inst, inst.total_union_load() * 0.5, rng, 10);
+    found = best.Profitable();
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace streambid

@@ -1,0 +1,265 @@
+// Copyright 2026 The streambid Authors
+// Unit tests for each stream operator in isolation.
+
+#include <gtest/gtest.h>
+
+#include "stream/operators/aggregate.h"
+#include "stream/operators/join.h"
+#include "stream/operators/map.h"
+#include "stream/operators/project.h"
+#include "stream/operators/select.h"
+#include "stream/operators/union_op.h"
+
+namespace streambid::stream {
+namespace {
+
+SchemaPtr QuoteSchema() {
+  return MakeSchema({{"symbol", ValueType::kString},
+                     {"price", ValueType::kDouble},
+                     {"volume", ValueType::kInt64}});
+}
+
+Tuple Quote(const SchemaPtr& s, const std::string& sym, double price,
+            int64_t volume, VirtualTime ts) {
+  return Tuple(s, {Value(sym), Value(price), Value(volume)}, ts);
+}
+
+TEST(SelectOperatorTest, FiltersOnPredicate) {
+  SchemaPtr s = QuoteSchema();
+  SelectOperator sel(s, "price", CompareOp::kGt, Value(100.0));
+  std::vector<Tuple> out;
+  sel.Process(0, Quote(s, "IBM", 101.0, 10, 0.0), &out);
+  sel.Process(0, Quote(s, "IBM", 99.0, 10, 1.0), &out);
+  sel.Process(0, Quote(s, "IBM", 100.0, 10, 2.0), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].field("price").AsDouble(), 101.0);
+  EXPECT_EQ(sel.output_schema()->num_fields(), 3);
+}
+
+TEST(SelectOperatorTest, AllCompareOps) {
+  SchemaPtr s = QuoteSchema();
+  auto passes = [&s](CompareOp op, double price) {
+    SelectOperator sel(s, "price", op, Value(10.0));
+    std::vector<Tuple> out;
+    sel.Process(0, Quote(s, "X", price, 1, 0.0), &out);
+    return !out.empty();
+  };
+  EXPECT_TRUE(passes(CompareOp::kLt, 9.0));
+  EXPECT_FALSE(passes(CompareOp::kLt, 10.0));
+  EXPECT_TRUE(passes(CompareOp::kLe, 10.0));
+  EXPECT_TRUE(passes(CompareOp::kGt, 11.0));
+  EXPECT_FALSE(passes(CompareOp::kGt, 10.0));
+  EXPECT_TRUE(passes(CompareOp::kGe, 10.0));
+  EXPECT_TRUE(passes(CompareOp::kEq, 10.0));
+  EXPECT_FALSE(passes(CompareOp::kEq, 10.5));
+  EXPECT_TRUE(passes(CompareOp::kNe, 10.5));
+}
+
+TEST(SelectOperatorTest, StringPredicate) {
+  SchemaPtr s = QuoteSchema();
+  SelectOperator sel(s, "symbol", CompareOp::kEq, Value("IBM"));
+  std::vector<Tuple> out;
+  sel.Process(0, Quote(s, "IBM", 1.0, 1, 0.0), &out);
+  sel.Process(0, Quote(s, "AAPL", 1.0, 1, 0.0), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ProjectOperatorTest, KeepsRequestedFields) {
+  SchemaPtr s = QuoteSchema();
+  ProjectOperator proj(s, {"price", "symbol"});
+  std::vector<Tuple> out;
+  proj.Process(0, Quote(s, "IBM", 5.0, 9, 1.5), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema()->num_fields(), 2);
+  EXPECT_DOUBLE_EQ(out[0].value(0).AsDouble(), 5.0);
+  EXPECT_EQ(out[0].value(1).AsString(), "IBM");
+  EXPECT_DOUBLE_EQ(out[0].timestamp(), 1.5);
+}
+
+TEST(MapOperatorTest, AppendsComputedField) {
+  SchemaPtr s = QuoteSchema();
+  MapOperator map(s, "price", MapFn::kMul, 2.0, "double_price");
+  std::vector<Tuple> out;
+  map.Process(0, Quote(s, "IBM", 7.0, 1, 0.0), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].schema()->num_fields(), 4);
+  EXPECT_DOUBLE_EQ(out[0].field("double_price").AsDouble(), 14.0);
+}
+
+TEST(MapOperatorTest, AllFns) {
+  SchemaPtr s = QuoteSchema();
+  auto compute = [&s](MapFn fn, double operand) {
+    MapOperator map(s, "price", fn, operand, "y");
+    std::vector<Tuple> out;
+    map.Process(0, Quote(s, "X", 8.0, 1, 0.0), &out);
+    return out[0].field("y").AsDouble();
+  };
+  EXPECT_DOUBLE_EQ(compute(MapFn::kAdd, 2.0), 10.0);
+  EXPECT_DOUBLE_EQ(compute(MapFn::kSub, 2.0), 6.0);
+  EXPECT_DOUBLE_EQ(compute(MapFn::kMul, 2.0), 16.0);
+  EXPECT_DOUBLE_EQ(compute(MapFn::kDiv, 2.0), 4.0);
+}
+
+TEST(AggregateOperatorTest, TumblingCountEmitsOnAdvance) {
+  SchemaPtr s = QuoteSchema();
+  AggregateOperator agg(s, AggFn::kCount, "price", "", {10.0, 10.0});
+  std::vector<Tuple> out;
+  agg.Process(0, Quote(s, "A", 1.0, 1, 1.0), &out);
+  agg.Process(0, Quote(s, "A", 2.0, 1, 5.0), &out);
+  EXPECT_TRUE(out.empty());  // Window [0,10) still open.
+  agg.AdvanceTime(9.0, &out);
+  EXPECT_TRUE(out.empty());
+  agg.AdvanceTime(10.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].field("value").AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(out[0].field("window_end").AsDouble(), 10.0);
+}
+
+TEST(AggregateOperatorTest, GroupedAverages) {
+  SchemaPtr s = QuoteSchema();
+  AggregateOperator agg(s, AggFn::kAvg, "price", "symbol", {10.0, 10.0});
+  std::vector<Tuple> out;
+  agg.Process(0, Quote(s, "IBM", 10.0, 1, 1.0), &out);
+  agg.Process(0, Quote(s, "IBM", 20.0, 1, 2.0), &out);
+  agg.Process(0, Quote(s, "AAPL", 5.0, 1, 3.0), &out);
+  agg.AdvanceTime(10.0, &out);
+  ASSERT_EQ(out.size(), 2u);
+  // Groups emit in key order (map iteration): AAPL then IBM.
+  EXPECT_EQ(out[0].field("symbol").AsString(), "AAPL");
+  EXPECT_DOUBLE_EQ(out[0].field("value").AsDouble(), 5.0);
+  EXPECT_EQ(out[1].field("symbol").AsString(), "IBM");
+  EXPECT_DOUBLE_EQ(out[1].field("value").AsDouble(), 15.0);
+}
+
+TEST(AggregateOperatorTest, SlidingWindowsOverlap) {
+  SchemaPtr s = QuoteSchema();
+  // Size 10, slide 5: a tuple at t=7 belongs to windows [0,10) and
+  // [5,15).
+  AggregateOperator agg(s, AggFn::kSum, "price", "", {10.0, 5.0});
+  std::vector<Tuple> out;
+  agg.Process(0, Quote(s, "A", 3.0, 1, 7.0), &out);
+  agg.AdvanceTime(10.0, &out);
+  ASSERT_EQ(out.size(), 1u);  // [0,10) closed.
+  EXPECT_DOUBLE_EQ(out[0].field("value").AsDouble(), 3.0);
+  out.clear();
+  agg.AdvanceTime(15.0, &out);
+  ASSERT_EQ(out.size(), 1u);  // [5,15) closed, contains the same tuple.
+  EXPECT_DOUBLE_EQ(out[0].field("value").AsDouble(), 3.0);
+}
+
+TEST(AggregateOperatorTest, MinMax) {
+  SchemaPtr s = QuoteSchema();
+  AggregateOperator mn(s, AggFn::kMin, "price", "", {10.0, 10.0});
+  AggregateOperator mx(s, AggFn::kMax, "price", "", {10.0, 10.0});
+  std::vector<Tuple> out;
+  for (double p : {5.0, 1.0, 9.0}) {
+    mn.Process(0, Quote(s, "A", p, 1, 2.0), &out);
+    mx.Process(0, Quote(s, "A", p, 1, 2.0), &out);
+  }
+  out.clear();
+  mn.AdvanceTime(10.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].field("value").AsDouble(), 1.0);
+  out.clear();
+  mx.AdvanceTime(10.0, &out);
+  EXPECT_DOUBLE_EQ(out[0].field("value").AsDouble(), 9.0);
+}
+
+TEST(AggregateOperatorTest, ResetDropsOpenWindows) {
+  SchemaPtr s = QuoteSchema();
+  AggregateOperator agg(s, AggFn::kCount, "price", "", {10.0, 10.0});
+  std::vector<Tuple> out;
+  agg.Process(0, Quote(s, "A", 1.0, 1, 1.0), &out);
+  agg.Reset();
+  agg.AdvanceTime(100.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JoinOperatorTest, MatchesWithinWindow) {
+  SchemaPtr quotes = QuoteSchema();
+  SchemaPtr news = MakeSchema({{"company", ValueType::kString},
+                               {"sentiment", ValueType::kDouble}});
+  JoinOperator join(quotes, news, "symbol", "company", 10.0);
+  std::vector<Tuple> out;
+  join.Process(0, Quote(quotes, "IBM", 100.0, 1, 1.0), &out);
+  EXPECT_TRUE(out.empty());
+  join.Process(1, Tuple(news, {Value("IBM"), Value(0.5)}, 5.0), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].field("symbol").AsString(), "IBM");
+  EXPECT_DOUBLE_EQ(out[0].field("sentiment").AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(out[0].timestamp(), 5.0);
+}
+
+TEST(JoinOperatorTest, NoMatchOutsideWindow) {
+  SchemaPtr quotes = QuoteSchema();
+  SchemaPtr news = MakeSchema({{"company", ValueType::kString},
+                               {"sentiment", ValueType::kDouble}});
+  JoinOperator join(quotes, news, "symbol", "company", 10.0);
+  std::vector<Tuple> out;
+  join.Process(0, Quote(quotes, "IBM", 100.0, 1, 1.0), &out);
+  join.Process(1, Tuple(news, {Value("IBM"), Value(0.5)}, 12.0), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JoinOperatorTest, DifferentKeysDoNotMatch) {
+  SchemaPtr quotes = QuoteSchema();
+  SchemaPtr news = MakeSchema({{"company", ValueType::kString},
+                               {"sentiment", ValueType::kDouble}});
+  JoinOperator join(quotes, news, "symbol", "company", 10.0);
+  std::vector<Tuple> out;
+  join.Process(0, Quote(quotes, "IBM", 100.0, 1, 1.0), &out);
+  join.Process(1, Tuple(news, {Value("AAPL"), Value(0.1)}, 2.0), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(JoinOperatorTest, EvictionDropsStaleTuples) {
+  SchemaPtr quotes = QuoteSchema();
+  SchemaPtr news = MakeSchema({{"company", ValueType::kString},
+                               {"sentiment", ValueType::kDouble}});
+  JoinOperator join(quotes, news, "symbol", "company", 10.0);
+  std::vector<Tuple> out;
+  join.Process(0, Quote(quotes, "IBM", 1.0, 1, 0.0), &out);
+  EXPECT_EQ(join.BufferedTuples(), 1u);
+  join.AdvanceTime(20.0, &out);
+  EXPECT_EQ(join.BufferedTuples(), 0u);
+}
+
+TEST(JoinOperatorTest, CollidingFieldNamesPrefixed) {
+  SchemaPtr a = MakeSchema({{"k", ValueType::kString},
+                            {"x", ValueType::kDouble}});
+  SchemaPtr b = MakeSchema({{"k", ValueType::kString},
+                            {"y", ValueType::kDouble}});
+  JoinOperator join(a, b, "k", "k", 5.0);
+  EXPECT_TRUE(join.output_schema()->HasField("k"));
+  EXPECT_TRUE(join.output_schema()->HasField("r_k"));
+  EXPECT_TRUE(join.output_schema()->HasField("x"));
+  EXPECT_TRUE(join.output_schema()->HasField("y"));
+}
+
+TEST(UnionOperatorTest, MergesBothPorts) {
+  SchemaPtr s = QuoteSchema();
+  UnionOperator u(s, s);
+  std::vector<Tuple> out;
+  u.Process(0, Quote(s, "A", 1.0, 1, 0.0), &out);
+  u.Process(1, Quote(s, "B", 2.0, 1, 0.5), &out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(u.num_inputs(), 2);
+}
+
+TEST(OperatorStatsTest, SelectivityTracksCounts) {
+  SchemaPtr s = QuoteSchema();
+  SelectOperator sel(s, "price", CompareOp::kGt, Value(100.0));
+  std::vector<Tuple> out;
+  for (double p : {99.0, 101.0, 102.0, 98.0}) {
+    out.clear();
+    sel.Process(0, Quote(s, "A", p, 1, 0.0), &out);
+    sel.RecordInput(1);
+    sel.RecordOutput(static_cast<int64_t>(out.size()));
+  }
+  EXPECT_EQ(sel.tuples_in(), 4);
+  EXPECT_EQ(sel.tuples_out(), 2);
+  EXPECT_DOUBLE_EQ(sel.MeasuredSelectivity(), 0.5);
+}
+
+}  // namespace
+}  // namespace streambid::stream

@@ -1,0 +1,148 @@
+// Copyright 2026 The streambid Authors
+// The Table III generator: distributional sanity and structural
+// invariants of the base workload.
+
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/zipf.h"
+
+namespace streambid::workload {
+namespace {
+
+WorkloadParams SmallParams() {
+  WorkloadParams p;
+  p.num_queries = 200;
+  p.base_num_operators = 70;
+  p.bid_load_correlation = 0.0;  // Literal Table III draws.
+  return p;
+}
+
+TEST(GeneratorTest, EveryQueryHasAnOperator) {
+  Rng rng(1);
+  const RawWorkload w = GenerateBaseWorkload(SmallParams(), rng);
+  std::vector<bool> covered(static_cast<size_t>(w.num_queries()), false);
+  for (const RawOperator& op : w.operators) {
+    for (auction::QueryId q : op.subscribers) {
+      covered[static_cast<size_t>(q)] = true;
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(GeneratorTest, ConvertsToValidInstance) {
+  Rng rng(2);
+  const RawWorkload w = GenerateBaseWorkload(SmallParams(), rng);
+  auto inst = w.ToInstance();
+  ASSERT_TRUE(inst.ok());
+  EXPECT_EQ(inst->num_queries(), 200);
+  EXPECT_GE(inst->num_operators(), 70);
+}
+
+TEST(GeneratorTest, BidsWithinZipfRange) {
+  Rng rng(3);
+  const RawWorkload w = GenerateBaseWorkload(SmallParams(), rng);
+  for (double v : w.valuations) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 100.0);
+  }
+}
+
+TEST(GeneratorTest, LoadsWithinZipfRange) {
+  Rng rng(4);
+  const RawWorkload w = GenerateBaseWorkload(SmallParams(), rng);
+  for (const RawOperator& op : w.operators) {
+    EXPECT_GE(op.load, 1.0);
+    EXPECT_LE(op.load, 10.0);
+  }
+}
+
+TEST(GeneratorTest, SharingDegreesBounded) {
+  Rng rng(5);
+  WorkloadParams p = SmallParams();
+  p.base_max_sharing = 20;
+  const RawWorkload w = GenerateBaseWorkload(p, rng);
+  EXPECT_LE(w.MaxSharingDegree(), 20);
+  EXPECT_GE(w.MaxSharingDegree(), 2);  // Some sharing should occur.
+}
+
+TEST(GeneratorTest, SubscribersAreDistinctPerOperator) {
+  Rng rng(6);
+  const RawWorkload w = GenerateBaseWorkload(SmallParams(), rng);
+  for (const RawOperator& op : w.operators) {
+    std::vector<auction::QueryId> subs = op.subscribers;
+    std::sort(subs.begin(), subs.end());
+    EXPECT_TRUE(std::adjacent_find(subs.begin(), subs.end()) == subs.end());
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  const RawWorkload wa = GenerateBaseWorkload(SmallParams(), a);
+  const RawWorkload wb = GenerateBaseWorkload(SmallParams(), b);
+  ASSERT_EQ(wa.operators.size(), wb.operators.size());
+  EXPECT_EQ(wa.valuations, wb.valuations);
+  for (size_t j = 0; j < wa.operators.size(); ++j) {
+    EXPECT_EQ(wa.operators[j].load, wb.operators[j].load);
+    EXPECT_EQ(wa.operators[j].subscribers, wb.operators[j].subscribers);
+  }
+}
+
+TEST(GeneratorTest, BidLoadCorrelationScalesValuations) {
+  WorkloadParams p = SmallParams();
+  p.bid_load_correlation = 1.0;
+  Rng rng(9);
+  const RawWorkload w = GenerateBaseWorkload(p, rng);
+  auto inst = w.ToInstance();
+  ASSERT_TRUE(inst.ok());
+  // With full correlation, heavy queries should carry larger bids on
+  // average: compare mean bid of the heaviest vs lightest quartile.
+  std::vector<auction::QueryId> order(200);
+  for (int i = 0; i < 200; ++i) order[static_cast<size_t>(i)] = i;
+  std::sort(order.begin(), order.end(),
+            [&](auction::QueryId a, auction::QueryId b) {
+              return inst->total_load(a) < inst->total_load(b);
+            });
+  double light = 0.0, heavy = 0.0;
+  for (int k = 0; k < 50; ++k) {
+    light += inst->bid(order[static_cast<size_t>(k)]);
+    heavy += inst->bid(order[static_cast<size_t>(150 + k)]);
+  }
+  EXPECT_GT(heavy, light * 1.5);
+  // Bids remain at least 1 (the Zipf floor).
+  for (auction::QueryId i = 0; i < inst->num_queries(); ++i) {
+    EXPECT_GE(inst->bid(i), 1.0);
+  }
+}
+
+TEST(GeneratorTest, ZeroCorrelationLeavesBidsIndependent) {
+  WorkloadParams p = SmallParams();
+  Rng rng(10);
+  const RawWorkload w = GenerateBaseWorkload(p, rng);
+  for (double v : w.valuations) {
+    EXPECT_EQ(v, std::floor(v));  // Pure integer Zipf draws.
+  }
+}
+
+TEST(GeneratorTest, PaperScaleMatchesTableIII) {
+  // Full-size workload: 2000 queries, ~700 base operators (+ coverage),
+  // mean degree ~ Zipf(60, 1) mean, total incidences in the vicinity of
+  // the paper's 8800 operators at max sharing 1.
+  Rng rng(8);
+  WorkloadParams p;  // Paper defaults.
+  const RawWorkload w = GenerateBaseWorkload(p, rng);
+  EXPECT_EQ(w.num_queries(), 2000);
+  EXPECT_GE(static_cast<int>(w.operators.size()), 700);
+  EXPECT_LE(static_cast<int>(w.operators.size()), 1100);
+  int64_t incidences = 0;
+  for (const RawOperator& op : w.operators) {
+    incidences += static_cast<int64_t>(op.subscribers.size());
+  }
+  // Zipf(60,1) mean is 60/H_60 ~ 12.8; 700 ops -> ~9000 incidences.
+  EXPECT_GT(incidences, 6000);
+  EXPECT_LT(incidences, 13000);
+}
+
+}  // namespace
+}  // namespace streambid::workload

@@ -1,0 +1,77 @@
+// Copyright 2026 The streambid Authors
+
+#include "workload/lying.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid::workload {
+namespace {
+
+/// Instance where q0 heavily shares (CSF/CT = 1/4) and q1 does not
+/// (CSF/CT = 1).
+auction::AuctionInstance SharingContrast() {
+  std::vector<auction::OperatorSpec> ops = {{4.0}, {4.0}};
+  std::vector<auction::QuerySpec> queries = {
+      {0, 40.0, {0}}, {1, 40.0, {1}},
+      // Three extra queries sharing op0 to push q0's ratio to 1/4.
+      {2, 10.0, {0}}, {3, 10.0, {0}}, {4, 10.0, {0}}};
+  auto r = auction::AuctionInstance::Create(ops, queries);
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(LyingTest, ProfilesMatchPaperParameters) {
+  const LyingProfile ml = ModerateLying();
+  EXPECT_DOUBLE_EQ(ml.ratio_threshold, 0.25);
+  EXPECT_DOUBLE_EQ(ml.lying_probability, 0.5);
+  EXPECT_DOUBLE_EQ(ml.lying_factor, 0.5);
+  const LyingProfile al = AggressiveLying();
+  EXPECT_DOUBLE_EQ(al.ratio_threshold, 0.35);
+  EXPECT_DOUBLE_EQ(al.lying_probability, 0.7);
+  EXPECT_DOUBLE_EQ(al.lying_factor, 0.3);
+}
+
+TEST(LyingTest, OnlyHighSharingQueriesLie) {
+  auction::AuctionInstance inst = SharingContrast();
+  // q0's ratio: CSF = 4/4 = 1, CT = 4 -> 0.25; with threshold 0.3 and
+  // probability 1.0 it must lie; q1's ratio is 1.0: never lies.
+  LyingProfile profile{0.3, 1.0, 0.5};
+  Rng rng(1);
+  const std::vector<double> bids = ApplyLying(inst, profile, rng);
+  EXPECT_DOUBLE_EQ(bids[0], 20.0);  // 40 * 0.5.
+  EXPECT_DOUBLE_EQ(bids[1], 40.0);  // Truthful.
+}
+
+TEST(LyingTest, ZeroProbabilityMeansAllTruthful) {
+  auction::AuctionInstance inst = SharingContrast();
+  LyingProfile profile{0.9, 0.0, 0.5};
+  Rng rng(2);
+  const std::vector<double> bids = ApplyLying(inst, profile, rng);
+  for (auction::QueryId i = 0; i < inst.num_queries(); ++i) {
+    EXPECT_DOUBLE_EQ(bids[static_cast<size_t>(i)], inst.bid(i));
+  }
+}
+
+TEST(LyingTest, ProbabilityRoughlyRespected) {
+  auction::AuctionInstance inst = SharingContrast();
+  LyingProfile profile{0.3, 0.5, 0.5};
+  int lied = 0;
+  const int trials = 2000;
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<double> bids = ApplyLying(inst, profile, rng);
+    if (bids[0] != inst.bid(0)) ++lied;
+  }
+  EXPECT_NEAR(static_cast<double>(lied) / trials, 0.5, 0.05);
+}
+
+TEST(LyingTest, LiedBidsScaleByFactor) {
+  auction::AuctionInstance inst = SharingContrast();
+  LyingProfile profile{0.3, 1.0, 0.3};
+  Rng rng(4);
+  const std::vector<double> bids = ApplyLying(inst, profile, rng);
+  EXPECT_DOUBLE_EQ(bids[0], 12.0);  // 40 * 0.3.
+}
+
+}  // namespace
+}  // namespace streambid::workload

@@ -1,0 +1,145 @@
+// Copyright 2026 The streambid Authors
+// The §VI-A operator-splitting procedure: halving chains and the
+// invariants the paper relies on (per-query total load unchanged).
+
+#include "workload/splitting.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/generator.h"
+
+namespace streambid::workload {
+namespace {
+
+TEST(HalvingChainTest, PaperExampleEightToFourTwoOneOne) {
+  // §VI-A: "if there were 100 operators with degree 8, we split each one
+  // of them to degrees 4,2,1,1".
+  const std::vector<int> parts = HalvingChain(8, 7);
+  EXPECT_EQ(parts, (std::vector<int>{4, 2, 1, 1}));
+}
+
+TEST(HalvingChainTest, NoSplitWhenWithinBound) {
+  EXPECT_EQ(HalvingChain(5, 5), (std::vector<int>{5}));
+  EXPECT_EQ(HalvingChain(1, 60), (std::vector<int>{1}));
+}
+
+TEST(HalvingChainTest, PartsSumToDegreeAndRespectBound) {
+  for (int d = 1; d <= 64; ++d) {
+    for (int s : {1, 2, 3, 5, 7, 10, 31}) {
+      const std::vector<int> parts = HalvingChain(d, s);
+      EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), 0), d)
+          << "d=" << d << " s=" << s;
+      for (int part : parts) {
+        EXPECT_GE(part, 1);
+        EXPECT_LE(part, s) << "d=" << d << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(HalvingChainTest, MaxDegreeOneGivesAllOnes) {
+  const std::vector<int> parts = HalvingChain(13, 1);
+  EXPECT_EQ(parts.size(), 13u);
+  for (int p : parts) EXPECT_EQ(p, 1);
+}
+
+class SplittingTest : public ::testing::Test {
+ protected:
+  static RawWorkload Base() {
+    WorkloadParams p;
+    p.num_queries = 300;
+    p.base_num_operators = 100;
+    p.base_max_sharing = 40;
+    Rng rng(11);
+    return GenerateBaseWorkload(p, rng);
+  }
+};
+
+TEST_F(SplittingTest, MaxDegreeRespected) {
+  const RawWorkload base = Base();
+  for (int s : {1, 3, 8, 20, 40}) {
+    Rng rng(5);
+    const RawWorkload split = SplitToMaxDegree(base, s, rng);
+    EXPECT_LE(split.MaxSharingDegree(), s) << "s=" << s;
+  }
+}
+
+TEST_F(SplittingTest, PerQueryTotalLoadInvariant) {
+  // The paper keeps average query load constant; our construction keeps
+  // every query's CT exactly constant.
+  const RawWorkload base = Base();
+  auto base_inst = base.ToInstance();
+  ASSERT_TRUE(base_inst.ok());
+  for (int s : {1, 5, 17}) {
+    Rng rng(6);
+    const RawWorkload split = SplitToMaxDegree(base, s, rng);
+    auto inst = split.ToInstance();
+    ASSERT_TRUE(inst.ok());
+    for (auction::QueryId q = 0; q < inst->num_queries(); ++q) {
+      EXPECT_NEAR(inst->total_load(q), base_inst->total_load(q), 1e-9)
+          << "s=" << s << " q=" << q;
+    }
+  }
+}
+
+TEST_F(SplittingTest, OperatorCountGrowsAsSharingShrinks) {
+  const RawWorkload base = Base();
+  size_t prev = base.operators.size();
+  for (int s : {20, 8, 3, 1}) {
+    Rng rng(7);
+    const RawWorkload split = SplitToMaxDegree(base, s, rng);
+    EXPECT_GE(split.operators.size(), prev) << "s=" << s;
+    prev = split.operators.size();
+  }
+}
+
+TEST_F(SplittingTest, DegreeOneMatchesIncidences) {
+  // At max degree 1, every (operator, query) incidence is a private
+  // operator, so #ops equals total incidences (the paper's 8800).
+  const RawWorkload base = Base();
+  int64_t incidences = 0;
+  for (const RawOperator& op : base.operators) {
+    incidences += static_cast<int64_t>(op.subscribers.size());
+  }
+  Rng rng(8);
+  const RawWorkload split = SplitToMaxDegree(base, 1, rng);
+  EXPECT_EQ(static_cast<int64_t>(split.operators.size()), incidences);
+}
+
+TEST_F(SplittingTest, SubscriberMultisetPreserved) {
+  // Splitting redistributes subscribers but never loses or duplicates a
+  // subscription.
+  const RawWorkload base = Base();
+  Rng rng(9);
+  const RawWorkload split = SplitToMaxDegree(base, 4, rng);
+  auto count_subs = [](const RawWorkload& w) {
+    std::vector<int> per_query;
+    for (const RawOperator& op : w.operators) {
+      for (auction::QueryId q : op.subscribers) {
+        if (static_cast<size_t>(q) >= per_query.size()) {
+          per_query.resize(static_cast<size_t>(q) + 1, 0);
+        }
+        ++per_query[static_cast<size_t>(q)];
+      }
+    }
+    return per_query;
+  };
+  EXPECT_EQ(count_subs(base), count_subs(split));
+}
+
+TEST_F(SplittingTest, SplitPartsKeepOriginalLoad) {
+  const RawWorkload base = Base();
+  Rng rng(10);
+  const RawWorkload split = SplitToMaxDegree(base, 2, rng);
+  // Every load value in the split workload must appear in the base.
+  std::set<double> base_loads;
+  for (const RawOperator& op : base.operators) base_loads.insert(op.load);
+  for (const RawOperator& op : split.operators) {
+    EXPECT_TRUE(base_loads.count(op.load) > 0);
+  }
+}
+
+}  // namespace
+}  // namespace streambid::workload

@@ -1,0 +1,77 @@
+// Copyright 2026 The streambid Authors
+
+#include "workload/workload_set.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid::workload {
+namespace {
+
+WorkloadParams SmallParams() {
+  WorkloadParams p;
+  p.num_queries = 150;
+  p.base_num_operators = 60;
+  p.base_max_sharing = 30;
+  return p;
+}
+
+TEST(WorkloadSetTest, InstanceAtRespectsMaxDegree) {
+  WorkloadSet set(SmallParams(), /*seed=*/3);
+  for (int s : {1, 4, 15, 30}) {
+    const auction::AuctionInstance& inst = set.InstanceAt(s);
+    int max_degree = 0;
+    for (auction::OperatorId j = 0; j < inst.num_operators(); ++j) {
+      max_degree = std::max(max_degree, inst.sharing_degree(j));
+    }
+    EXPECT_LE(max_degree, s);
+  }
+}
+
+TEST(WorkloadSetTest, CachingReturnsSameInstance) {
+  WorkloadSet set(SmallParams(), 4);
+  const auction::AuctionInstance& a = set.InstanceAt(5);
+  const auction::AuctionInstance& b = set.InstanceAt(5);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(WorkloadSetTest, DerivationIndependentOfRequestOrder) {
+  WorkloadSet forward(SmallParams(), 5);
+  WorkloadSet backward(SmallParams(), 5);
+  const auction::AuctionInstance& f3 = forward.InstanceAt(3);
+  (void)backward.InstanceAt(20);
+  const auction::AuctionInstance& b3 = backward.InstanceAt(3);
+  ASSERT_EQ(f3.num_operators(), b3.num_operators());
+  for (auction::OperatorId j = 0; j < f3.num_operators(); ++j) {
+    EXPECT_EQ(f3.operator_load(j), b3.operator_load(j));
+    EXPECT_EQ(f3.operator_queries(j), b3.operator_queries(j));
+  }
+}
+
+TEST(WorkloadSetTest, DifferentSeedsDiffer) {
+  WorkloadSet a(SmallParams(), 1);
+  WorkloadSet b(SmallParams(), 2);
+  // Identical shapes are astronomically unlikely.
+  EXPECT_NE(a.InstanceAt(10).Summary(), b.InstanceAt(10).Summary());
+}
+
+TEST(WorkloadSetTest, TotalDemandInvariantAcrossSweep) {
+  WorkloadSet set(SmallParams(), 6);
+  const double base_demand = set.InstanceAt(30).total_demand();
+  for (int s : {1, 7, 15}) {
+    EXPECT_NEAR(set.InstanceAt(s).total_demand(), base_demand, 1e-6);
+  }
+}
+
+TEST(WorkloadSetTest, SharingSweepGrid) {
+  const std::vector<int> sweep = WorkloadSet::SharingSweep(60, 10);
+  EXPECT_EQ(sweep.front(), 1);
+  EXPECT_EQ(sweep.back(), 60);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i], sweep[i - 1]);
+  }
+  const std::vector<int> fine = WorkloadSet::SharingSweep(5, 1);
+  EXPECT_EQ(fine, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace streambid::workload
