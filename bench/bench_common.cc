@@ -4,7 +4,6 @@
 
 #include <cstdio>
 
-#include "auction/registry.h"
 #include "common/check.h"
 #include "common/string_util.h"
 #include "common/table.h"
@@ -33,45 +32,42 @@ BenchConfig LoadConfig() {
 }
 
 MetricFn ProfitMetric() {
-  return [](const auction::AuctionInstance& inst,
-            const auction::Allocation& alloc) {
-    return auction::ComputeMetrics(inst, alloc).profit;
+  return [](const service::AdmissionResponse& response) {
+    return response.metrics.profit;
   };
 }
 
 MetricFn AdmissionRateMetric() {
-  return [](const auction::AuctionInstance& inst,
-            const auction::Allocation& alloc) {
-    return auction::ComputeMetrics(inst, alloc).admission_rate;
+  return [](const service::AdmissionResponse& response) {
+    return response.metrics.admission_rate;
   };
 }
 
 MetricFn PayoffMetric() {
-  return [](const auction::AuctionInstance& inst,
-            const auction::Allocation& alloc) {
-    return auction::ComputeMetrics(inst, alloc).total_payoff;
+  return [](const service::AdmissionResponse& response) {
+    return response.metrics.total_payoff;
   };
 }
 
 MetricFn UtilizationMetric() {
-  return [](const auction::AuctionInstance& inst,
-            const auction::Allocation& alloc) {
-    return auction::ComputeMetrics(inst, alloc).utilization;
+  return [](const service::AdmissionResponse& response) {
+    return response.metrics.utilization;
   };
 }
 
-SweepResult RunSweep(const BenchConfig& config,
+SweepResult RunSweep(service::AdmissionService& service,
+                     const BenchConfig& config,
                      const std::vector<std::string>& mechanisms,
                      const std::vector<double>& capacities,
                      const MetricFn& metric) {
   const std::vector<int> degrees = config.Degrees();
 
-  // Build mechanisms once.
-  std::vector<auction::MechanismPtr> mechs;
+  // Resolve trial counts once (randomized mechanisms are averaged).
+  std::vector<int> trials_for;
   for (const std::string& name : mechanisms) {
-    auto m = auction::MakeMechanism(name);
-    STREAMBID_CHECK(m.ok());
-    mechs.push_back(std::move(m).value());
+    auto properties = service.Properties(name);
+    STREAMBID_CHECK(properties.ok());
+    trials_for.push_back(properties->randomized ? config.trials : 1);
   }
 
   SweepResult result;
@@ -86,18 +82,36 @@ SweepResult RunSweep(const BenchConfig& config,
                              /*seed=*/0xBEEF0000ull + set);
     for (size_t d = 0; d < degrees.size(); ++d) {
       const auction::AuctionInstance& inst = ws.InstanceAt(degrees[d]);
+
+      // The whole capacities x mechanisms x trials grid for this
+      // instance goes down as one batch; each request keeps its own
+      // (seed, trial) stream, so results are independent of batch
+      // order — the contract that lets AdmitBatch parallelize later.
+      std::vector<service::AdmissionRequest> requests;
       for (double cap : capacities) {
-        for (size_t m = 0; m < mechs.size(); ++m) {
-          const bool randomized = mechs[m]->properties().randomized;
-          const int trials = randomized ? config.trials : 1;
-          double acc = 0.0;
-          for (int t = 0; t < trials; ++t) {
-            Rng rng(0xC0FFEEull * (set + 1) + 31 * d + 7 * m + t);
-            const auction::Allocation alloc =
-                mechs[m]->Run(inst, cap, rng);
-            acc += metric(inst, alloc);
+        for (size_t m = 0; m < mechanisms.size(); ++m) {
+          for (int t = 0; t < trials_for[m]; ++t) {
+            service::AdmissionRequest request;
+            request.instance = &inst;
+            request.capacity = cap;
+            request.mechanism = mechanisms[m];
+            request.seed = 0xC0FFEEull * (set + 1) + 31 * d + 7 * m;
+            request.request_index = static_cast<uint32_t>(t);
+            requests.push_back(std::move(request));
           }
-          result[cap][mechanisms[m]][d] += acc / trials;
+        }
+      }
+      auto responses = service.AdmitBatch(requests);
+      STREAMBID_CHECK(responses.ok());
+
+      size_t r = 0;
+      for (double cap : capacities) {
+        for (size_t m = 0; m < mechanisms.size(); ++m) {
+          double acc = 0.0;
+          for (int t = 0; t < trials_for[m]; ++t, ++r) {
+            acc += metric((*responses)[r]);
+          }
+          result[cap][mechanisms[m]][d] += acc / trials_for[m];
         }
       }
     }

@@ -1,8 +1,9 @@
 // Copyright 2026 The streambid Authors
 // Shared scaffolding for the paper-reproduction benches (§VI). Each
 // bench binary regenerates one table or figure: it sweeps the Table III
-// workload over the maximum degree of sharing, runs mechanisms, and
-// prints the series as CSV (plus a human-readable summary).
+// workload over the maximum degree of sharing, submits the auctions to
+// the AdmissionService as one batch per instance, and prints the series
+// as CSV (plus a human-readable summary).
 //
 // Environment knobs (paper values in parentheses):
 //   STREAMBID_SETS    — workload sets averaged (50); default 6
@@ -18,9 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "auction/allocation.h"
-#include "auction/instance.h"
-#include "auction/metrics.h"
+#include "service/admission_service.h"
 #include "workload/params.h"
 #include "workload/workload_set.h"
 
@@ -41,9 +40,11 @@ struct BenchConfig {
 /// Reads the env knobs and scales base_num_operators with query count.
 BenchConfig LoadConfig();
 
-/// Extracts one scalar from an allocation (profit, admission, ...).
-using MetricFn = std::function<double(const auction::AuctionInstance&,
-                                      const auction::Allocation&)>;
+/// Extracts one scalar from an admission response (profit, admission
+/// rate, ...). Responses carry the §VI metrics and diagnostics; benches
+/// no longer recompute them.
+using MetricFn =
+    std::function<double(const service::AdmissionResponse&)>;
 
 /// Canned metric extractors.
 MetricFn ProfitMetric();
@@ -59,8 +60,11 @@ using SweepResult =
 /// averaging `metric` over the workload sets. Workload derivation is
 /// shared across mechanisms and capacities (as in the paper, the same
 /// 50 sets are reused everywhere). Randomized mechanisms are averaged
-/// over config.trials runs per instance.
-SweepResult RunSweep(const BenchConfig& config,
+/// over config.trials runs per instance. Each instance's
+/// mechanisms x capacities x trials grid is submitted as one
+/// AdmissionService::AdmitBatch call.
+SweepResult RunSweep(service::AdmissionService& service,
+                     const BenchConfig& config,
                      const std::vector<std::string>& mechanisms,
                      const std::vector<double>& capacities,
                      const MetricFn& metric);

@@ -8,9 +8,9 @@
 
 #include <cstdio>
 
-#include "auction/registry.h"
 #include "bench/bench_common.h"
 #include "cloud/energy.h"
+#include "common/check.h"
 #include "common/table.h"
 
 int main() {
@@ -32,12 +32,13 @@ int main() {
   }
 
   cloud::EnergyModel energy;
+  service::AdmissionService service;
   for (const char* name : {"cat", "caf", "two-price"}) {
-    auto m = auction::MakeMechanism(name).value();
-    Rng rng(11);
+    auto properties = service.Properties(name);
+    STREAMBID_CHECK(properties.ok());
     const auto evals = cloud::EvaluateCapacities(
-        *m, inst, candidates, energy, rng,
-        m->properties().randomized ? config.trials * 4 : 1);
+        service, name, inst, candidates, energy, /*seed=*/11,
+        properties->randomized ? config.trials * 4 : 1);
     TextTable table({"capacity", "gross_profit", "energy_cost",
                      "net_profit", "utilization", "admitted"});
     for (const auto& e : evals) {
@@ -50,8 +51,9 @@ int main() {
     }
     std::printf("## mechanism %s\n", name);
     std::fputs(table.ToAligned().c_str(), stdout);
-    const auto best = cloud::OptimizeCapacity(*m, inst, candidates,
-                                              energy, rng, 1);
+    const auto best = cloud::OptimizeCapacity(service, name, inst,
+                                              candidates, energy,
+                                              /*seed=*/11, 1);
     std::printf("# most beneficial capacity for %s: %.0f "
                 "(%.0f%% of demand), net %.1f\n",
                 name, best.capacity, 100.0 * best.capacity / demand,

@@ -14,6 +14,7 @@
 
 int main() {
   using namespace streambid::bench;
+  streambid::service::AdmissionService service;
   const BenchConfig config = LoadConfig();
   PrintBanner("Figures 4(c)-(f): profit vs max degree of sharing at "
               "four capacities",
@@ -24,7 +25,7 @@ int main() {
   const std::vector<double> capacities = {5000.0, 10000.0, 15000.0,
                                           20000.0};
   const SweepResult result =
-      RunSweep(config, mechanisms, capacities, ProfitMetric());
+      RunSweep(service, config, mechanisms, capacities, ProfitMetric());
 
   const char* figure[] = {"4(c)", "4(d)", "4(e)", "4(f)"};
   for (size_t c = 0; c < capacities.size(); ++c) {

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace streambid::bench;
+  streambid::service::AdmissionService service;
   const BenchConfig config = LoadConfig();
   PrintBanner("Figure 4(a): admission rate vs max degree of sharing "
               "(capacity 15000)",
@@ -20,7 +21,7 @@ int main() {
                                                "cat+", "two-price"};
   const double capacity = 15000.0;
   const SweepResult result =
-      RunSweep(config, mechanisms, {capacity}, AdmissionRateMetric());
+      RunSweep(service, config, mechanisms, {capacity}, AdmissionRateMetric());
   PrintSeries(config, result, capacity, mechanisms);
 
   // Shape assertions the paper makes in prose. (Two-price admission is

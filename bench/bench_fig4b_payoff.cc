@@ -11,6 +11,7 @@
 
 int main() {
   using namespace streambid::bench;
+  streambid::service::AdmissionService service;
   const BenchConfig config = LoadConfig();
   PrintBanner(
       "Figure 4(b): total user payoff vs max degree of sharing "
@@ -21,7 +22,7 @@ int main() {
                                                "cat+", "two-price"};
   const double capacity = 15000.0;
   const SweepResult result =
-      RunSweep(config, mechanisms, {capacity}, PayoffMetric());
+      RunSweep(service, config, mechanisms, {capacity}, PayoffMetric());
   PrintSeries(config, result, capacity, mechanisms);
 
   const auto& series = result.at(capacity);

@@ -17,8 +17,8 @@
 
 #include <cstdio>
 
-#include "auction/registry.h"
 #include "bench/bench_common.h"
+#include "common/rng.h"
 #include "common/table.h"
 #include "workload/lying.h"
 
@@ -35,32 +35,36 @@ void RunAtCapacity(const BenchConfig& config, double capacity) {
   std::map<std::string, std::vector<double>> profit;
   for (const auto& c : columns) profit[c].assign(degrees.size(), 0.0);
 
-  auto caf = auction::MakeMechanism("caf").value();
-  auto cat = auction::MakeMechanism("cat").value();
-  auto two_price = auction::MakeMechanism("two-price").value();
-  auto car = auction::MakeMechanism("car").value();
+  service::AdmissionService service;
 
   for (int set = 0; set < config.sets; ++set) {
     workload::WorkloadSet ws(config.params, 0xF1651u + set);
     for (size_t d = 0; d < degrees.size(); ++d) {
       const auction::AuctionInstance& truthful =
           ws.InstanceAt(degrees[d]);
-      Rng rng(0x11ABCDull * (set + 3) + d);
+      const uint64_t seed = 0x11ABCDull * (set + 3) + d;
 
-      auto run = [&](const auction::Mechanism& m,
-                     const auction::AuctionInstance& inst) {
-        Rng local = rng.Fork();
-        const auction::Allocation alloc = m.Run(inst, capacity, local);
-        return auction::ComputeMetrics(inst, alloc).profit;
+      auto run = [&](const std::string& mechanism,
+                     const auction::AuctionInstance& inst,
+                     uint32_t trial = 0) {
+        service::AdmissionRequest request;
+        request.instance = &inst;
+        request.capacity = capacity;
+        request.mechanism = mechanism;
+        request.seed = seed;
+        request.request_index = trial;
+        auto response = service.Admit(request);
+        STREAMBID_CHECK(response.ok());
+        return response->metrics.profit;
       };
-      profit["caf"][d] += run(*caf, truthful);
-      profit["cat"][d] += run(*cat, truthful);
+      profit["caf"][d] += run("caf", truthful);
+      profit["cat"][d] += run("cat", truthful);
       double tp = 0.0;
       for (int t = 0; t < config.trials; ++t) {
-        tp += run(*two_price, truthful);
+        tp += run("two-price", truthful, static_cast<uint32_t>(t));
       }
       profit["two-price"][d] += tp / config.trials;
-      profit["car"][d] += run(*car, truthful);
+      profit["car"][d] += run("car", truthful);
 
       // Lying workloads: strategizing users submit discounted bids to
       // CAR; profit counts what the mechanism actually charges.
@@ -72,8 +76,8 @@ void RunAtCapacity(const BenchConfig& config, double capacity) {
           truthful, workload::AggressiveLying(), lie_rng);
       auto ml = raw.ToInstanceWithBids(ml_bids);
       auto al = raw.ToInstanceWithBids(al_bids);
-      profit["car-ml"][d] += run(*car, ml.value());
-      profit["car-al"][d] += run(*car, al.value());
+      profit["car-ml"][d] += run("car", ml.value());
+      profit["car-al"][d] += run("car", al.value());
     }
   }
   for (auto& [name, series] : profit) {

@@ -15,8 +15,6 @@
 
 #include <cstdio>
 
-#include "auction/metrics.h"
-#include "auction/registry.h"
 #include "bench/bench_common.h"
 #include "common/table.h"
 #include "stream/load_estimator.h"
@@ -77,10 +75,15 @@ int main() {
     STREAMBID_CHECK(AddSources(engine).ok());
     auto build = BuildAuctionInstance(engine, subs, {});
     STREAMBID_CHECK(build.ok());
-    auto cat = auction::MakeMechanism("cat").value();
-    Rng rng(3);
-    const auction::Allocation alloc =
-        cat->Run(build->instance, kCapacity, rng);
+    service::AdmissionService admission;
+    service::AdmissionRequest request;
+    request.instance = &build->instance;
+    request.capacity = kCapacity;
+    request.mechanism = "cat";
+    request.seed = 3;
+    auto response = admission.Admit(request);
+    STREAMBID_CHECK(response.ok());
+    const auction::Allocation& alloc = response->allocation;
     int served = 0;
     for (size_t i = 0; i < subs.size(); ++i) {
       if (alloc.IsAdmitted(static_cast<auction::QueryId>(i))) {
@@ -94,7 +97,7 @@ int main() {
     for (int qid : engine.InstalledQueries()) {
       outputs += engine.sink(qid)->tuples;
     }
-    const auto metrics = auction::ComputeMetrics(build->instance, alloc);
+    const auto& metrics = response->metrics;
     table.AddRow({"admission-control (cat)", FormatInt(served),
                   FormatInt(outputs),
                   FormatPercent(engine.LastRunShedFraction(), 1),

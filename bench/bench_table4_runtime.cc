@@ -10,12 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
-#include "auction/registry.h"
 #include "bench/bench_common.h"
 
 namespace {
 
-using streambid::Rng;
 using streambid::auction::AuctionInstance;
 using streambid::bench::BenchConfig;
 using streambid::bench::LoadConfig;
@@ -37,18 +35,24 @@ const AuctionInstance& SharedInstance() {
 }
 
 void RunMechanism(benchmark::State& state, const std::string& name) {
-  auto mechanism = streambid::auction::MakeMechanism(name);
-  if (!mechanism.ok()) {
+  streambid::service::AdmissionService service;
+  if (!service.HasMechanism(name)) {
     state.SkipWithError("unknown mechanism");
     return;
   }
-  const AuctionInstance& inst = SharedInstance();
-  const double capacity = 15000.0;
+  streambid::service::AdmissionRequest request;
+  request.instance = &SharedInstance();
+  request.capacity = 15000.0;
+  request.mechanism = name;
+  // Metrics and O(n) diagnostics off: Table IV times the mechanism,
+  // not the §VI bookkeeping (the residual service overhead is a name
+  // lookup, a reseed, and the count diagnostics — O(1) + O(n) bits).
+  request.options.compute_metrics = false;
+  request.options.compute_diagnostics = false;
   uint64_t seed = 0;
   for (auto _ : state) {
-    Rng rng(++seed);
-    benchmark::DoNotOptimize(
-        (*mechanism)->Run(inst, capacity, rng));
+    request.seed = ++seed;
+    benchmark::DoNotOptimize(service.Admit(request));
   }
 }
 

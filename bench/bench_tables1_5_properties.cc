@@ -9,11 +9,11 @@
 //   - profit guarantee: Two-price expected profit >= OPT_C - 2h;
 //   - the Table V relative rankings (admission rate / payoff / profit)
 //     computed from a small Figure-4-style sweep.
+// Every auction goes through the AdmissionService.
 
 #include <cstdio>
 
 #include "auction/mechanisms/opt_c.h"
-#include "auction/registry.h"
 #include "bench/bench_common.h"
 #include "common/table.h"
 #include "gametheory/attacks.h"
@@ -36,13 +36,21 @@ auction::AuctionInstance SmallShared(uint64_t seed) {
   return std::move(inst).value();
 }
 
+bool IsRandomized(service::AdmissionService& service,
+                  const std::string& name) {
+  auto properties = service.Properties(name);
+  STREAMBID_CHECK(properties.ok());
+  return properties->randomized;
+}
+
 /// Empirical strategyproofness verdict over several seeds. Randomized
 /// mechanisms are compared in expectation with common random numbers
 /// and a noise-aware tolerance.
-bool Strategyproof(const auction::Mechanism& m) {
+bool Strategyproof(service::AdmissionService& service,
+                   const std::string& name) {
   gametheory::DeviationOptions options;
-  options.probe_other_bids = m.name() == "car";
-  if (m.properties().randomized) {
+  options.probe_other_bids = name == "car";
+  if (IsRandomized(service, name)) {
     // Expectation sampling: even with common random numbers, the max
     // over ~200 candidate deviations rides the noise (a 300-trial run
     // produced a spurious +1.4 "gain" that flipped sign at 40k
@@ -54,9 +62,10 @@ bool Strategyproof(const auction::Mechanism& m) {
   }
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     const auction::AuctionInstance inst = SmallShared(seed);
-    Rng rng(seed + 50);
+    options.crn_seed = seed + 50;
     const auto r = gametheory::SweepDeviations(
-        m, inst, inst.total_union_load() * 0.5, options, rng, 10);
+        service, name, inst, inst.total_union_load() * 0.5, options,
+        /*seed=*/seed + 50, 10);
     if (r.profitable_deviation_found) return false;
   }
   return true;
@@ -64,23 +73,23 @@ bool Strategyproof(const auction::Mechanism& m) {
 
 /// Empirical sybil verdict: generic search plus the paper's canned
 /// attacks aimed at this mechanism.
-bool SybilImmune(const auction::Mechanism& m) {
+bool SybilImmune(service::AdmissionService& service,
+                 const std::string& name) {
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     const auction::AuctionInstance inst = SmallShared(seed);
-    Rng rng(seed + 90);
     const auto r = gametheory::SearchSybilAttacks(
-        m, inst, inst.total_union_load() * 0.5, rng, 8);
+        service, name, inst, inst.total_union_load() * 0.5,
+        /*seed=*/seed + 90, 8);
     if (r.Profitable()) return false;
   }
   // Canned §V attacks.
   for (const auto& scenario :
        {gametheory::TableIIScenario(), gametheory::FairShareScenario(),
         gametheory::TwoPricePartitionScenario()}) {
-    Rng rng(7);
     auto report = gametheory::EvaluateSybilAttack(
-        m, scenario.instance, scenario.capacity, scenario.attacker,
-        scenario.attack, rng,
-        m.properties().randomized ? 4000 : 1);
+        service, name, scenario.instance, scenario.capacity,
+        scenario.attacker, scenario.attack, /*seed=*/7,
+        IsRandomized(service, name) ? 4000 : 1);
     if (report.ok() && report->Profitable(1e-3)) return false;
   }
   return true;
@@ -91,19 +100,31 @@ bool SybilImmune(const auction::Mechanism& m) {
 /// price style mechanisms; greedy mechanisms fail it on pathological
 /// instances — demonstrated with a near-tie two-query instance where
 /// first-loser pricing collects almost nothing.
-bool ProfitGuarantee(const auction::Mechanism& m) {
+bool ProfitGuarantee(service::AdmissionService& service,
+                     const std::string& name) {
+  auto mean_profit = [&](const auction::AuctionInstance& inst, double cap,
+                         uint64_t seed, int trials) {
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      service::AdmissionRequest request;
+      request.instance = &inst;
+      request.capacity = cap;
+      request.mechanism = name;
+      request.seed = seed;
+      request.request_index = static_cast<uint32_t>(t);
+      auto response = service.Admit(request);
+      STREAMBID_CHECK(response.ok());
+      total += response->metrics.profit;
+    }
+    return total / trials;
+  };
+
   for (uint64_t seed = 1; seed <= 4; ++seed) {
     const auction::AuctionInstance inst = SmallShared(seed);
     const double cap = inst.total_union_load() * 0.5;
     const auto opt = auction::OptimalConstantPricing(inst, cap);
-    Rng rng(seed);
-    double total = 0.0;
-    const int trials = 400;
-    for (int t = 0; t < trials; ++t) {
-      const auto alloc = m.Run(inst, cap, rng);
-      total += auction::ComputeMetrics(inst, alloc).profit;
-    }
-    if (total / trials < opt.profit - 2.0 * inst.max_bid() - 1e-6) {
+    if (mean_profit(inst, cap, seed, 400) <
+        opt.profit - 2.0 * inst.max_bid() - 1e-6) {
       return false;
     }
   }
@@ -124,19 +145,15 @@ bool ProfitGuarantee(const auction::Mechanism& m) {
           .value();
   const double cap = static_cast<double>(n);
   const auto opt = auction::OptimalConstantPricing(inst, cap);
-  Rng rng(5);
-  double total = 0.0;
-  const int trials = 200;
-  for (int t = 0; t < trials; ++t) {
-    total += auction::ComputeMetrics(inst, m.Run(inst, cap, rng)).profit;
-  }
-  return total / trials >= opt.profit - 2.0 * inst.max_bid() - 1e-6;
+  return mean_profit(inst, cap, /*seed=*/5, 200) >=
+         opt.profit - 2.0 * inst.max_bid() - 1e-6;
 }
 
 }  // namespace
 
 int main() {
   using namespace streambid::bench;
+  streambid::service::AdmissionService service;
   const BenchConfig config = LoadConfig();
   std::printf("# Tables I & V: empirical property matrix\n");
 
@@ -145,18 +162,15 @@ int main() {
   streambid::TextTable matrix(
       {"mechanism", "strategyproof", "sybil_immune", "profit_guarantee"});
   for (const std::string& name : names) {
-    auto m = streambid::auction::MakeMechanism(name).value();
-    const bool sp = Strategyproof(*m);
-    const bool si = SybilImmune(*m);
-    const bool pg = ProfitGuarantee(*m);
+    const bool sp = Strategyproof(service, name);
+    const bool si = SybilImmune(service, name);
+    const bool pg = ProfitGuarantee(service, name);
     matrix.AddRow({name, sp ? "X" : "x", si ? "X" : "x",
                    pg ? "X" : "x"});
   }
   // CAR: the paper's strawman (not in Table I; shown for contrast).
-  {
-    auto car = streambid::auction::MakeMechanism("car").value();
-    matrix.AddRow({"car", Strategyproof(*car) ? "X" : "x", "-", "-"});
-  }
+  matrix.AddRow({"car", Strategyproof(service, "car") ? "X" : "x", "-",
+                 "-"});
   std::fputs(matrix.ToAligned().c_str(), stdout);
   std::printf("# paper Table I: strategyproof = all of caf/caf+/cat/"
               "cat+/two-price; sybil immune = cat only; profit "
@@ -172,11 +186,11 @@ int main() {
                                                "cat+", "two-price"};
   const double cap = 5000.0;
   const SweepResult admission =
-      RunSweep(small, mechanisms, {cap}, AdmissionRateMetric());
+      RunSweep(service, small, mechanisms, {cap}, AdmissionRateMetric());
   const SweepResult payoff =
-      RunSweep(small, mechanisms, {cap}, PayoffMetric());
+      RunSweep(service, small, mechanisms, {cap}, PayoffMetric());
   const SweepResult profit =
-      RunSweep(small, mechanisms, {cap}, ProfitMetric());
+      RunSweep(service, small, mechanisms, {cap}, ProfitMetric());
   auto mean = [&](const SweepResult& r, const std::string& m) {
     const auto& s = r.at(cap).at(m);
     double acc = 0.0;

@@ -9,9 +9,8 @@
 #include <cstdio>
 
 #include "auction/mechanisms/opt_c.h"
-#include "auction/mechanisms/two_price.h"
-#include "auction/registry.h"
 #include "bench/bench_common.h"
+#include "common/check.h"
 #include "common/table.h"
 
 namespace {
@@ -26,27 +25,36 @@ struct Row {
   double poly;
 };
 
-Row Evaluate(const std::string& label,
+double MeanProfit(service::AdmissionService& service,
+                  const std::string& mechanism,
+                  const auction::AuctionInstance& inst, double capacity,
+                  int trials) {
+  double acc = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    service::AdmissionRequest request;
+    request.instance = &inst;
+    request.capacity = capacity;
+    request.mechanism = mechanism;
+    request.seed = 42;
+    request.request_index = static_cast<uint32_t>(t);
+    auto response = service.Admit(request);
+    STREAMBID_CHECK(response.ok());
+    acc += response->metrics.profit;
+  }
+  return acc / trials;
+}
+
+Row Evaluate(service::AdmissionService& service, const std::string& label,
              const auction::AuctionInstance& inst, double capacity,
              int trials) {
   Row row;
   row.label = label;
   row.opt_c = auction::OptimalConstantPricing(inst, capacity).profit;
   row.h = inst.max_bid();
-  auto exhaustive = auction::MakeTwoPrice();
-  auto poly = auction::MakeTwoPricePoly();
-  double acc_e = 0.0, acc_p = 0.0;
-  Rng rng(42);
-  for (int t = 0; t < trials; ++t) {
-    acc_e += auction::ComputeMetrics(
-                 inst, exhaustive->Run(inst, capacity, rng))
-                 .profit;
-    acc_p +=
-        auction::ComputeMetrics(inst, poly->Run(inst, capacity, rng))
-            .profit;
-  }
-  row.exhaustive = acc_e / trials;
-  row.poly = acc_p / trials;
+  row.exhaustive =
+      MeanProfit(service, "two-price", inst, capacity, trials);
+  row.poly =
+      MeanProfit(service, "two-price-poly", inst, capacity, trials);
   return row;
 }
 
@@ -54,6 +62,7 @@ Row Evaluate(const std::string& label,
 
 int main() {
   using namespace streambid::bench;
+  streambid::service::AdmissionService service;
   const BenchConfig config = LoadConfig();
   std::printf("# Theorems 11/12: Two-price profit vs OPT_C "
               "(expected profit >= OPT_C - 2h with Step 3; "
@@ -71,7 +80,7 @@ int main() {
     workload::WorkloadSet ws(params, 0x5EEDu);
     const auction::AuctionInstance& inst = ws.InstanceAt(degree);
     rows.push_back(Evaluate(
-        "tableIII-deg" + std::to_string(degree), inst,
+        service, "tableIII-deg" + std::to_string(degree), inst,
         inst.total_union_load() * 0.5, 200));
   }
 
@@ -88,7 +97,7 @@ int main() {
     auto inst = auction::AuctionInstance::Create(std::move(ops),
                                                  std::move(queries))
                     .value();
-    rows.push_back(Evaluate("distinct-vals", inst,
+    rows.push_back(Evaluate(service, "distinct-vals", inst,
                             inst.total_union_load() * 0.6, 400));
   }
 

@@ -16,6 +16,7 @@
 
 int main() {
   using namespace streambid::bench;
+  streambid::service::AdmissionService service;
   const BenchConfig config = LoadConfig();
   PrintBanner("§VI utilization: used capacity / capacity", config);
 
@@ -23,7 +24,7 @@ int main() {
                                                "cat+", "two-price"};
   const std::vector<double> capacities = {5000.0, 15000.0};
   const SweepResult result =
-      RunSweep(config, mechanisms, capacities, UtilizationMetric());
+      RunSweep(service, config, mechanisms, capacities, UtilizationMetric());
 
   const std::vector<int> degrees = config.Degrees();
   for (double capacity : capacities) {

@@ -14,9 +14,8 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "auction/metrics.h"
-#include "auction/registry.h"
 #include "common/table.h"
+#include "service/admission_service.h"
 #include "workload/generator.h"
 #include "workload/io.h"
 
@@ -28,27 +27,41 @@ int RunMechanisms(const auction::AuctionInstance& instance,
                   const std::vector<std::string>& names, double capacity) {
   std::printf("%s @ capacity %.0f\n", instance.Summary().c_str(),
               capacity);
+  service::AdmissionService service;
   TextTable table({"mechanism", "admitted", "profit", "payoff",
                    "utilization"});
   for (const std::string& name : names) {
-    auto mechanism = auction::MakeMechanism(name);
-    if (!mechanism.ok()) {
-      std::fprintf(stderr, "%s\n", mechanism.status().ToString().c_str());
+    auto properties = service.Properties(name);
+    if (!properties.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   properties.status().ToString().c_str());
       return 1;
     }
-    Rng rng(2026);
-    // Average randomized mechanisms over a few runs.
-    const int trials = (*mechanism)->properties().randomized ? 9 : 1;
-    auction::AllocationMetrics mean;
+    // Average randomized mechanisms over a few runs — one batch, one
+    // deterministic (seed, trial) stream per run.
+    const int trials = properties->randomized ? 9 : 1;
+    std::vector<service::AdmissionRequest> requests;
     for (int t = 0; t < trials; ++t) {
-      const auction::Allocation alloc =
-          (*mechanism)->Run(instance, capacity, rng);
-      const auction::AllocationMetrics m =
-          auction::ComputeMetrics(instance, alloc);
-      mean.profit += m.profit / trials;
-      mean.admission_rate += m.admission_rate / trials;
-      mean.total_payoff += m.total_payoff / trials;
-      mean.utilization += m.utilization / trials;
+      service::AdmissionRequest request;
+      request.instance = &instance;
+      request.capacity = capacity;
+      request.mechanism = name;
+      request.seed = 2026;
+      request.request_index = static_cast<uint32_t>(t);
+      requests.push_back(std::move(request));
+    }
+    auto responses = service.AdmitBatch(requests);
+    if (!responses.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   responses.status().ToString().c_str());
+      return 1;
+    }
+    auction::AllocationMetrics mean;
+    for (const service::AdmissionResponse& response : *responses) {
+      mean.profit += response.metrics.profit / trials;
+      mean.admission_rate += response.metrics.admission_rate / trials;
+      mean.total_payoff += response.metrics.total_payoff / trials;
+      mean.utilization += response.metrics.utilization / trials;
     }
     table.AddRow({name, FormatPercent(mean.admission_rate, 1),
                   FormatDouble(mean.profit, 1),
@@ -93,7 +106,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<std::string> names = auction::AllMechanismNames();
+  std::vector<std::string> names =
+      service::AdmissionService().MechanismNames();
   double capacity = argc >= 2 ? 15000.0 : instance->total_union_load() * 0.5;
   if (argc >= 3) names = {argv[2]};
   if (argc >= 4) capacity = std::atof(argv[3]);

@@ -6,9 +6,9 @@
 //
 // Build & run:  ./build/examples/cloud_provider_sim
 
+#include <algorithm>
 #include <cstdio>
 
-#include "auction/registry.h"
 #include "cloud/dsms_center.h"
 #include "cloud/energy.h"
 #include "cloud/subscription.h"
@@ -80,7 +80,12 @@ int main() {
   std::fputs(days.ToAligned().c_str(), stdout);
   std::printf("total revenue: $%.2f; per-user billing:",
               center.total_revenue());
-  for (const auto& [user, amount] : center.ledger().charges()) {
+  // The ledger is hashed (hot billing path); sort for display.
+  std::vector<std::pair<auction::UserId, double>> charges(
+      center.ledger().charges().begin(),
+      center.ledger().charges().end());
+  std::sort(charges.begin(), charges.end());
+  for (const auto& [user, amount] : charges) {
     std::printf(" u%d=$%.2f", user, amount);
   }
   std::printf("\n\n");
@@ -135,12 +140,11 @@ int main() {
   auto inst =
       workload::GenerateBaseWorkload(params, wrng).ToInstance().value();
   const double demand = inst.total_union_load();
-  auto cat = auction::MakeMechanism("cat").value();
-  Rng erng(29);
+  service::AdmissionService admission;
   const auto best = cloud::OptimizeCapacity(
-      *cat, inst,
+      admission, "cat", inst,
       {demand * 0.25, demand * 0.5, demand * 0.75, demand * 1.0},
-      cloud::EnergyModel{}, erng);
+      cloud::EnergyModel{}, /*seed=*/29);
   std::printf("demand %.0f units -> best capacity %.0f (%.0f%% of "
               "demand): gross $%.1f, energy $%.1f, net $%.1f\n",
               demand, best.capacity, 100.0 * best.capacity / demand,

@@ -1,20 +1,20 @@
 // Copyright 2026 The streambid Authors
-// Quickstart: the paper's Example 1 (§II) on the raw auction API.
+// Quickstart: the paper's Example 1 (§II) on the admission service API.
 //
 // Three continuous queries are submitted to a DSMS with capacity 10:
 //   q1 = {A, B} bid $55;  q2 = {A, C} bid $72;  q3 = {D, E} bid $100,
 // with loads A=4, B=1, C=2, D=6, E=4 and operator A shared by q1/q2.
-// We run every admission mechanism and print winners, payments, and the
-// §VI metrics. Expected (paper §IV): CAR charges $10/$60, CAF $30/$40,
+// One AdmitAll call auctions the instance under every registered
+// mechanism and returns winners, payments, the §VI metrics, and
+// diagnostics. Expected (paper §IV): CAR charges $10/$60, CAF $30/$40,
 // CAT $50/$60, all admitting {q1, q2}.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "auction/metrics.h"
-#include "auction/registry.h"
 #include "common/table.h"
+#include "service/admission_service.h"
 
 int main() {
   using namespace streambid;
@@ -44,30 +44,34 @@ int main() {
               instance.total_load(1), instance.fair_share_load(1),
               instance.total_load(2), instance.fair_share_load(2));
 
-  // --- Run every mechanism. -----------------------------------------
-  TextTable table({"mechanism", "winners", "p(q1)", "p(q2)", "p(q3)",
-                   "profit", "payoff", "admission"});
-  for (const std::string& name : auction::AllMechanismNames()) {
-    auto mechanism = auction::MakeMechanism(name).value();
-    Rng rng(/*seed=*/2026);
-    const auction::Allocation alloc =
-        mechanism->Run(instance, capacity, rng);
-    const auction::AllocationMetrics m =
-        auction::ComputeMetrics(instance, alloc);
+  // --- One request/response call per registered mechanism. ----------
+  service::AdmissionService service;
+  auto responses = service.AdmitAll(instance, capacity, /*seed=*/2026);
+  if (!responses.ok()) {
+    std::fprintf(stderr, "admission failed: %s\n",
+                 responses.status().ToString().c_str());
+    return 1;
+  }
 
+  TextTable table({"mechanism", "winners", "p(q1)", "p(q2)", "p(q3)",
+                   "profit", "payoff", "admission", "ms"});
+  for (const service::AdmissionResponse& response : *responses) {
+    const auction::Allocation& alloc = response.allocation;
     std::string winners;
     for (auction::QueryId q = 0; q < instance.num_queries(); ++q) {
       if (alloc.IsAdmitted(q)) {
         winners += (winners.empty() ? "q" : ",q") + std::to_string(q + 1);
       }
     }
-    table.AddRow({name, winners.empty() ? "-" : winners,
+    table.AddRow({response.diagnostics.mechanism,
+                  winners.empty() ? "-" : winners,
                   FormatDouble(alloc.Payment(0), 2),
                   FormatDouble(alloc.Payment(1), 2),
                   FormatDouble(alloc.Payment(2), 2),
-                  FormatDouble(m.profit, 2),
-                  FormatDouble(m.total_payoff, 2),
-                  FormatPercent(m.admission_rate, 0)});
+                  FormatDouble(response.metrics.profit, 2),
+                  FormatDouble(response.metrics.total_payoff, 2),
+                  FormatPercent(response.metrics.admission_rate, 0),
+                  FormatDouble(response.elapsed_ms, 3)});
   }
   std::fputs(table.ToAligned().c_str(), stdout);
   std::printf("\npaper walkthrough: CAR $10/$60, CAF $30/$40, CAT "

@@ -10,9 +10,8 @@
 
 #include <cstdio>
 
-#include "auction/metrics.h"
-#include "auction/registry.h"
 #include "common/table.h"
+#include "service/admission_service.h"
 #include "stream/load_estimator.h"
 #include "stream/query_builder.h"
 
@@ -95,11 +94,20 @@ int main() {
   }
 
   // --- Admission auction (CAT: strategyproof + sybil immune). ---------
-  auto cat = auction::MakeMechanism("cat").value();
-  Rng rng(7);
-  const auction::Allocation alloc =
-      cat->Run(build->instance, engine.options().capacity, rng);
-  const auto metrics = auction::ComputeMetrics(build->instance, alloc);
+  service::AdmissionService service;
+  service::AdmissionRequest request;
+  request.instance = &build->instance;
+  request.capacity = engine.options().capacity;
+  request.mechanism = "cat";
+  request.seed = 7;
+  auto response = service.Admit(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "admission failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  const auction::Allocation& alloc = response->allocation;
+  const auction::AllocationMetrics& metrics = response->metrics;
   std::printf("\nCAT admission at capacity %.0f: profit $%.2f, "
               "admission %s\n",
               engine.options().capacity, metrics.profit,

@@ -11,11 +11,11 @@
 
 #include <cstdio>
 
-#include "auction/registry.h"
 #include "common/table.h"
 #include "gametheory/attacks.h"
 #include "gametheory/payoff.h"
 #include "gametheory/sybil.h"
+#include "service/admission_service.h"
 
 namespace {
 
@@ -24,11 +24,10 @@ using gametheory::AttackScenario;
 
 void Report(const char* title, const AttackScenario& scenario,
             const char* mechanism_name, int trials) {
-  auto mechanism = auction::MakeMechanism(mechanism_name).value();
-  Rng rng(1234);
+  service::AdmissionService service;
   auto report = gametheory::EvaluateSybilAttack(
-      *mechanism, scenario.instance, scenario.capacity, scenario.attacker,
-      scenario.attack, rng, trials);
+      service, mechanism_name, scenario.instance, scenario.capacity,
+      scenario.attacker, scenario.attack, /*seed=*/1234, trials);
   if (!report.ok()) {
     std::fprintf(stderr, "attack evaluation failed: %s\n",
                  report.status().ToString().c_str());

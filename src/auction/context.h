@@ -1,0 +1,51 @@
+// Copyright 2026 The streambid Authors
+// Per-auction execution context handed to every Mechanism::Run call: the
+// deterministic RNG stream for randomized mechanisms plus a scratch
+// workspace the greedy paths reuse across calls, so a service running
+// millions of auctions does not pay a fresh round of vector allocations
+// per request.
+
+#ifndef STREAMBID_AUCTION_CONTEXT_H_
+#define STREAMBID_AUCTION_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/types.h"
+#include "common/rng.h"
+
+namespace streambid::auction {
+
+/// Scratch buffers shared by the greedy mechanisms. Buffers are resized
+/// (never shrunk) per call, so steady-state auctions of similar size run
+/// allocation-free. Contents are unspecified between calls; callers must
+/// overwrite before reading.
+struct AuctionWorkspace {
+  std::vector<double> priority;   ///< Per-query priority Pr_i.
+  std::vector<QueryId> order;     ///< Priority-sorted query ids.
+  std::vector<double> values;     ///< Valuation scratch (Two-price).
+};
+
+/// Execution context for one or more auction runs. Holds the RNG stream
+/// (consumed only by randomized mechanisms) and the reusable workspace.
+/// Not thread-safe: one context per thread.
+class AuctionContext {
+ public:
+  explicit AuctionContext(uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : rng_(seed) {}
+
+  /// Restarts the RNG stream; used by the admission service to derive an
+  /// independent deterministic stream per request.
+  void Reseed(uint64_t seed) { rng_ = Rng(seed); }
+
+  Rng& rng() { return rng_; }
+  AuctionWorkspace& workspace() { return workspace_; }
+
+ private:
+  Rng rng_;
+  AuctionWorkspace workspace_;
+};
+
+}  // namespace streambid::auction
+
+#endif  // STREAMBID_AUCTION_CONTEXT_H_

@@ -25,8 +25,16 @@ double LoadOf(const AuctionInstance& instance, QueryId i, LoadBasis basis) {
 
 std::vector<QueryId> PriorityOrder(const AuctionInstance& instance,
                                    LoadBasis basis) {
+  AuctionWorkspace workspace;
+  return PriorityOrder(instance, basis, workspace);
+}
+
+const std::vector<QueryId>& PriorityOrder(const AuctionInstance& instance,
+                                          LoadBasis basis,
+                                          AuctionWorkspace& workspace) {
   const int n = instance.num_queries();
-  std::vector<double> priority(static_cast<size_t>(n));
+  std::vector<double>& priority = workspace.priority;
+  priority.resize(static_cast<size_t>(n));
   for (QueryId i = 0; i < n; ++i) {
     const double load = LoadOf(instance, i, basis);
     // Loads are validated positive, so the ratio is finite; guard anyway
@@ -35,7 +43,8 @@ std::vector<QueryId> PriorityOrder(const AuctionInstance& instance,
         load > 0.0 ? instance.bid(i) / load
                    : std::numeric_limits<double>::infinity();
   }
-  std::vector<QueryId> order(static_cast<size_t>(n));
+  std::vector<QueryId>& order = workspace.order;
+  order.resize(static_cast<size_t>(n));
   for (QueryId i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
   std::stable_sort(order.begin(), order.end(),
                    [&priority](QueryId a, QueryId b) {
@@ -70,8 +79,15 @@ GreedyScan RunGreedyScan(const AuctionInstance& instance, double capacity,
 
 GreedyScan RunGreedy(const AuctionInstance& instance, double capacity,
                      LoadBasis basis, MisfitPolicy policy) {
-  return RunGreedyScan(instance, capacity, PriorityOrder(instance, basis),
-                       policy);
+  AuctionWorkspace workspace;
+  return RunGreedy(instance, capacity, basis, policy, workspace);
+}
+
+GreedyScan RunGreedy(const AuctionInstance& instance, double capacity,
+                     LoadBasis basis, MisfitPolicy policy,
+                     AuctionWorkspace& workspace) {
+  return RunGreedyScan(instance, capacity,
+                       PriorityOrder(instance, basis, workspace), policy);
 }
 
 }  // namespace streambid::auction

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "auction/context.h"
 #include "auction/instance.h"
 #include "auction/types.h"
 
@@ -37,6 +38,13 @@ double LoadOf(const AuctionInstance& instance, QueryId i, LoadBasis basis);
 std::vector<QueryId> PriorityOrder(const AuctionInstance& instance,
                                    LoadBasis basis);
 
+/// Allocation-free variant: sorts into `workspace.order` (using
+/// `workspace.priority` as scratch) and returns a reference to it. The
+/// result is invalidated by the next call on the same workspace.
+const std::vector<QueryId>& PriorityOrder(const AuctionInstance& instance,
+                                          LoadBasis basis,
+                                          AuctionWorkspace& workspace);
+
 /// Result of one greedy admission scan.
 struct GreedyScan {
   std::vector<QueryId> order;     ///< Priority order scanned.
@@ -58,6 +66,12 @@ GreedyScan RunGreedyScan(const AuctionInstance& instance, double capacity,
 /// Convenience: PriorityOrder + RunGreedyScan.
 GreedyScan RunGreedy(const AuctionInstance& instance, double capacity,
                      LoadBasis basis, MisfitPolicy policy);
+
+/// Workspace-reusing convenience used by the mechanisms on the service
+/// hot path.
+GreedyScan RunGreedy(const AuctionInstance& instance, double capacity,
+                     LoadBasis basis, MisfitPolicy policy,
+                     AuctionWorkspace& workspace);
 
 }  // namespace streambid::auction
 

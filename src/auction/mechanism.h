@@ -8,8 +8,8 @@
 #include <string>
 
 #include "auction/allocation.h"
+#include "auction/context.h"
 #include "auction/instance.h"
-#include "common/rng.h"
 
 namespace streambid::auction {
 
@@ -27,7 +27,8 @@ struct MechanismProperties {
 /// capacity, selects winners and computes payments.
 ///
 /// Implementations must be stateless w.r.t. Run (safe to reuse across
-/// instances); randomized mechanisms draw from the provided Rng only.
+/// instances); randomized mechanisms draw from the context's Rng only,
+/// and any implementation may use the context's scratch workspace.
 class Mechanism {
  public:
   virtual ~Mechanism() = default;
@@ -38,10 +39,11 @@ class Mechanism {
   /// Claimed properties, mirroring paper Table I.
   virtual MechanismProperties properties() const = 0;
 
-  /// Runs the auction. `rng` is consumed only by randomized mechanisms
-  /// (Random baseline, Two-price); deterministic mechanisms ignore it.
+  /// Runs the auction. The context supplies the RNG stream (consumed
+  /// only by randomized mechanisms — Random baseline, Two-price) and a
+  /// scratch workspace reused across calls.
   virtual Allocation Run(const AuctionInstance& instance, double capacity,
-                         Rng& rng) const = 0;
+                         AuctionContext& context) const = 0;
 };
 
 using MechanismPtr = std::unique_ptr<Mechanism>;

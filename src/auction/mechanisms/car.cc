@@ -44,8 +44,8 @@ class CarMechanism : public Mechanism {
   }
 
   Allocation Run(const AuctionInstance& instance, double capacity,
-                 Rng& rng) const override {
-    (void)rng;
+                 AuctionContext& context) const override {
+    (void)context;  // Deterministic; the heap dominates, no scratch reuse.
     const int n = instance.num_queries();
     Allocation alloc = MakeEmptyAllocation("car", capacity, n);
     if (n == 0) return alloc;

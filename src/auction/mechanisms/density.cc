@@ -10,13 +10,14 @@
 namespace streambid::auction {
 
 Allocation DensityMechanism::Run(const AuctionInstance& instance,
-                                 double capacity, Rng& rng) const {
-  (void)rng;  // Deterministic.
+                                 double capacity,
+                                 AuctionContext& context) const {
   Allocation alloc =
       MakeEmptyAllocation(name_, capacity, instance.num_queries());
   if (instance.num_queries() == 0) return alloc;
 
-  const GreedyScan scan = RunGreedy(instance, capacity, basis_, policy_);
+  const GreedyScan scan = RunGreedy(instance, capacity, basis_, policy_,
+                                    context.workspace());
   alloc.admitted = scan.admitted;
 
   if (policy_ == MisfitPolicy::kStop) {

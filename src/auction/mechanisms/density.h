@@ -40,7 +40,7 @@ class DensityMechanism : public Mechanism {
   MechanismProperties properties() const override { return properties_; }
 
   Allocation Run(const AuctionInstance& instance, double capacity,
-                 Rng& rng) const override;
+                 AuctionContext& context) const override;
 
   LoadBasis basis() const { return basis_; }
   MisfitPolicy policy() const { return policy_; }

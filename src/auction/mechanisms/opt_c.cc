@@ -102,8 +102,8 @@ class OptCMechanism : public Mechanism {
   }
 
   Allocation Run(const AuctionInstance& instance, double capacity,
-                 Rng& rng) const override {
-    (void)rng;
+                 AuctionContext& context) const override {
+    (void)context;  // Deterministic.
     Allocation alloc =
         MakeEmptyAllocation("opt-c", capacity, instance.num_queries());
     const ConstantPriceResult r =

@@ -25,11 +25,12 @@ class RandomAdmission : public Mechanism {
   }
 
   Allocation Run(const AuctionInstance& instance, double capacity,
-                 Rng& rng) const override {
+                 AuctionContext& context) const override {
     const int n = instance.num_queries();
-    std::vector<QueryId> order(static_cast<size_t>(n));
+    std::vector<QueryId>& order = context.workspace().order;
+    order.resize(static_cast<size_t>(n));
     for (QueryId i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
-    rng.Shuffle(order);
+    context.rng().Shuffle(order);
     const GreedyScan scan =
         RunGreedyScan(instance, capacity, order, MisfitPolicy::kStop);
     Allocation alloc = MakeEmptyAllocation("random", capacity, n);

@@ -49,7 +49,7 @@ class TwoPriceMechanism : public Mechanism {
   }
 
   Allocation Run(const AuctionInstance& instance, double capacity,
-                 Rng& rng) const override {
+                 AuctionContext& context) const override {
     const int n = instance.num_queries();
     Allocation alloc = MakeEmptyAllocation(name_, capacity, n);
     if (n == 0) return alloc;
@@ -57,8 +57,8 @@ class TwoPriceMechanism : public Mechanism {
     // Steps 1-2: greedy-by-valuation candidate set H (maximal prefix of
     // the bid-sorted list that fits; union loads, shared ops counted
     // once).
-    const std::vector<QueryId> order =
-        PriorityOrder(instance, LoadBasis::kUnit);
+    const std::vector<QueryId>& order =
+        PriorityOrder(instance, LoadBasis::kUnit, context.workspace());
     const GreedyScan scan =
         RunGreedyScan(instance, capacity, order, MisfitPolicy::kStop);
     std::vector<QueryId> h;
@@ -83,7 +83,7 @@ class TwoPriceMechanism : public Mechanism {
 
     // Step 4: random even partition of H into A and B.
     std::vector<QueryId> shuffled = h;
-    rng.Shuffle(shuffled);
+    context.rng().Shuffle(shuffled);
     const size_t half = (shuffled.size() + 1) / 2;
     std::vector<QueryId> a(shuffled.begin(),
                            shuffled.begin() + static_cast<long>(half));
@@ -91,8 +91,9 @@ class TwoPriceMechanism : public Mechanism {
                            shuffled.end());
 
     // Step 5: optimal single price within each half.
-    const double price_a = HalfPrice(instance, a);
-    const double price_b = HalfPrice(instance, b);
+    std::vector<double>& vals = context.workspace().values;
+    const double price_a = HalfPrice(instance, a, vals);
+    const double price_b = HalfPrice(instance, b, vals);
 
     // Step 6: cross-application. Winners of B beat price_a and pay it;
     // winners of A beat price_b and pay it.
@@ -113,8 +114,9 @@ class TwoPriceMechanism : public Mechanism {
 
  private:
   static double HalfPrice(const AuctionInstance& instance,
-                          const std::vector<QueryId>& half) {
-    std::vector<double> vals;
+                          const std::vector<QueryId>& half,
+                          std::vector<double>& vals) {
+    vals.clear();
     vals.reserve(half.size());
     for (QueryId q : half) vals.push_back(instance.bid(q));
     std::sort(vals.begin(), vals.end(), std::greater<double>());

@@ -4,19 +4,15 @@
 
 #include <algorithm>
 
-#include "auction/metrics.h"
-#include "auction/registry.h"
 #include "common/check.h"
 
 namespace streambid::cloud {
 
 DsmsCenter::DsmsCenter(const DsmsCenterOptions& options,
                        stream::Engine* engine)
-    : options_(options), engine_(engine), rng_(options.seed) {
+    : options_(options), engine_(engine) {
   STREAMBID_CHECK(engine != nullptr);
-  auto mechanism = auction::MakeMechanism(options.mechanism);
-  STREAMBID_CHECK(mechanism.ok());
-  mechanism_ = std::move(mechanism).value();
+  STREAMBID_CHECK(service_.HasMechanism(options.mechanism));
 }
 
 Status DsmsCenter::Submit(stream::QuerySubmission submission) {
@@ -55,12 +51,21 @@ Result<PeriodReport> DsmsCenter::RunPeriod() {
     STREAMBID_ASSIGN_OR_RETURN(
         build, stream::BuildAuctionInstance(*engine_, pending_,
                                             options_.load_options));
-    alloc = mechanism_->Run(build.instance, capacity, rng_);
-    STREAMBID_CHECK(auction::IsFeasible(build.instance, alloc));
-    const auction::AllocationMetrics metrics =
-        auction::ComputeMetrics(build.instance, alloc);
-    report.total_payoff = metrics.total_payoff;
-    report.auction_utilization = metrics.utilization;
+    service::AdmissionRequest request;
+    request.instance = &build.instance;
+    request.capacity = capacity;
+    request.mechanism = options_.mechanism;
+    request.seed = options_.seed;
+    // One auction per period: the period number is the replica index,
+    // so period k replays identically regardless of earlier periods.
+    request.request_index = static_cast<uint32_t>(report.period);
+    request.options.check_feasibility = true;
+    STREAMBID_ASSIGN_OR_RETURN(service::AdmissionResponse response,
+                               service_.Admit(request));
+    alloc = std::move(response.allocation);
+    report.total_payoff = response.metrics.total_payoff;
+    report.auction_utilization = response.metrics.utilization;
+    report.auction_elapsed_ms = response.elapsed_ms;
   }
 
   // --- Transition phase: expired queries out, winners in (§II). ---

@@ -3,19 +3,20 @@
 // the end of each subscription period, auctions the next period's server
 // capacity among submitted continuous queries, installs the winners into
 // the stream engine through the §II transition phase, executes the
-// period, and bills the winners the mechanism's payments.
+// period, and bills the winners the mechanism's payments. Auctions run
+// through an AdmissionService; the per-period request stream is
+// (options.seed, period), so any period's auction replays in isolation.
 
 #ifndef STREAMBID_CLOUD_DSMS_CENTER_H_
 #define STREAMBID_CLOUD_DSMS_CENTER_H_
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "auction/mechanism.h"
-#include "common/rng.h"
 #include "common/status.h"
+#include "service/admission_service.h"
 #include "stream/engine.h"
 #include "stream/load_estimator.h"
 
@@ -26,7 +27,7 @@ struct DsmsCenterOptions {
   /// Length of one subscription period in virtual seconds ("say, a
   /// day" — we default to a compressed day for fast simulation).
   stream::VirtualTime period_length = 3600.0;
-  /// Admission mechanism name (see auction::AllMechanismNames()).
+  /// Admission mechanism name (see AdmissionService::MechanismNames()).
   std::string mechanism = "cat";
   /// Load model used to derive operator loads for the auction.
   stream::LoadEstimateOptions load_options;
@@ -46,13 +47,17 @@ struct PeriodReport {
   double auction_utilization = 0.0;
   /// Utilization actually measured by the engine over the period.
   double measured_utilization = 0.0;
+  /// Wall-clock milliseconds the admission auction took.
+  double auction_elapsed_ms = 0.0;
   /// Engine query ids admitted this period.
   std::vector<int> admitted_ids;
-  /// Payment charged per admitted engine query id.
-  std::map<int, double> payments;
+  /// Payment charged per admitted engine query id. Hot billing path:
+  /// hashed, not ordered — sort keys at the presentation layer.
+  std::unordered_map<int, double> payments;
 };
 
-/// Per-user cumulative billing ledger.
+/// Per-user cumulative billing ledger. Hot path on every period close;
+/// hashed lookups, no ordering guarantee on iteration.
 class BillingLedger {
  public:
   void Charge(auction::UserId user, double amount) {
@@ -64,12 +69,12 @@ class BillingLedger {
     return it == charges_.end() ? 0.0 : it->second;
   }
   double total() const { return total_; }
-  const std::map<auction::UserId, double>& charges() const {
+  const std::unordered_map<auction::UserId, double>& charges() const {
     return charges_;
   }
 
  private:
-  std::map<auction::UserId, double> charges_;
+  std::unordered_map<auction::UserId, double> charges_;
   double total_ = 0.0;
 };
 
@@ -77,7 +82,9 @@ class BillingLedger {
 /// capacity defines the auction capacity.
 class DsmsCenter {
  public:
-  /// `engine` must outlive the center.
+  /// Precondition (checked): `engine` is non-null. The caller retains
+  /// ownership and must keep the engine alive for the center's lifetime.
+  /// The mechanism name must be registered (checked).
   DsmsCenter(const DsmsCenterOptions& options, stream::Engine* engine);
 
   /// Queues a query submission (bid + plan) for the next period's
@@ -103,12 +110,12 @@ class DsmsCenter {
     return static_cast<int>(pending_.size());
   }
   stream::Engine& engine() { return *engine_; }
+  service::AdmissionService& admission_service() { return service_; }
 
  private:
   DsmsCenterOptions options_;
   stream::Engine* engine_;
-  auction::MechanismPtr mechanism_;
-  Rng rng_;
+  service::AdmissionService service_;
 
   std::vector<stream::QuerySubmission> pending_;
   std::vector<int> active_;  // Engine query ids installed this period.

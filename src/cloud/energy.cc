@@ -2,31 +2,48 @@
 
 #include "cloud/energy.h"
 
-#include "auction/metrics.h"
 #include "common/check.h"
 
 namespace streambid::cloud {
 
 std::vector<CapacityEvaluation> EvaluateCapacities(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance,
     const std::vector<double>& candidate_capacities,
-    const EnergyModel& energy, Rng& rng, int trials) {
+    const EnergyModel& energy, uint64_t seed, int trials) {
   STREAMBID_CHECK_GT(trials, 0);
+
+  // One batch over capacities x trials; each request keeps its own
+  // deterministic stream so the sweep is order-independent.
+  std::vector<service::AdmissionRequest> requests;
+  requests.reserve(candidate_capacities.size() *
+                   static_cast<size_t>(trials));
+  for (double capacity : candidate_capacities) {
+    for (int t = 0; t < trials; ++t) {
+      service::AdmissionRequest request;
+      request.instance = &instance;
+      request.capacity = capacity;
+      request.mechanism = std::string(mechanism);
+      request.seed = seed;
+      request.request_index = static_cast<uint32_t>(t);
+      requests.push_back(std::move(request));
+    }
+  }
+  auto responses = service.AdmitBatch(requests);
+  STREAMBID_CHECK(responses.ok());
+
   std::vector<CapacityEvaluation> out;
   out.reserve(candidate_capacities.size());
+  size_t r = 0;
   for (double capacity : candidate_capacities) {
     CapacityEvaluation eval;
     eval.capacity = capacity;
     double profit = 0.0, used = 0.0, admitted = 0.0;
-    for (int t = 0; t < trials; ++t) {
-      const auction::Allocation alloc =
-          mechanism.Run(instance, capacity, rng);
-      const auction::AllocationMetrics m =
-          auction::ComputeMetrics(instance, alloc);
-      profit += m.profit;
-      used += auction::UsedCapacity(instance, alloc);
-      admitted += alloc.NumAdmitted();
+    for (int t = 0; t < trials; ++t, ++r) {
+      const service::AdmissionResponse& response = (*responses)[r];
+      profit += response.metrics.profit;
+      used += response.diagnostics.used_capacity;
+      admitted += response.diagnostics.admitted_count;
     }
     eval.gross_profit = profit / trials;
     const double mean_used = used / trials;
@@ -40,13 +57,14 @@ std::vector<CapacityEvaluation> EvaluateCapacities(
 }
 
 CapacityEvaluation OptimizeCapacity(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance,
     const std::vector<double>& candidate_capacities,
-    const EnergyModel& energy, Rng& rng, int trials) {
+    const EnergyModel& energy, uint64_t seed, int trials) {
   STREAMBID_CHECK(!candidate_capacities.empty());
-  const std::vector<CapacityEvaluation> evals = EvaluateCapacities(
-      mechanism, instance, candidate_capacities, energy, rng, trials);
+  const std::vector<CapacityEvaluation> evals =
+      EvaluateCapacities(service, mechanism, instance,
+                         candidate_capacities, energy, seed, trials);
   const CapacityEvaluation* best = &evals[0];
   for (const CapacityEvaluation& e : evals) {
     if (e.net_profit > best->net_profit ||

@@ -4,16 +4,17 @@
 // capacity for a given auction, considering both the profit as well as
 // the savings from energy reduction." We model server power as an
 // affine-in-utilization curve and search candidate auction capacities
-// for the best net profit.
+// for the best net profit. Auctions run through the AdmissionService.
 
 #ifndef STREAMBID_CLOUD_ENERGY_H_
 #define STREAMBID_CLOUD_ENERGY_H_
 
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "auction/instance.h"
-#include "auction/mechanism.h"
-#include "common/rng.h"
+#include "service/admission_service.h"
 
 namespace streambid::cloud {
 
@@ -45,20 +46,20 @@ struct CapacityEvaluation {
 
 /// Runs `mechanism` over `instance` at each candidate capacity and
 /// returns all evaluations (net = revenue - energy). Randomized
-/// mechanisms are averaged over `trials` runs.
+/// mechanisms are averaged over `trials` (seed, trial)-streamed runs.
 std::vector<CapacityEvaluation> EvaluateCapacities(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance,
     const std::vector<double>& candidate_capacities,
-    const EnergyModel& energy, Rng& rng, int trials = 1);
+    const EnergyModel& energy, uint64_t seed = 0, int trials = 1);
 
 /// The net-profit-maximizing candidate (ties go to the smaller, i.e.
 /// greener, capacity).
 CapacityEvaluation OptimizeCapacity(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance,
     const std::vector<double>& candidate_capacities,
-    const EnergyModel& energy, Rng& rng, int trials = 1);
+    const EnergyModel& energy, uint64_t seed = 0, int trials = 1);
 
 }  // namespace streambid::cloud
 

@@ -4,7 +4,6 @@
 
 #include <algorithm>
 
-#include "auction/registry.h"
 #include "common/check.h"
 
 namespace streambid::cloud {
@@ -16,7 +15,8 @@ SubscriptionManager::SubscriptionManager(
     : categories_(std::move(categories)),
       pool_(std::move(operator_pool)),
       total_capacity_(total_capacity),
-      rng_(seed) {
+      mechanism_(mechanism),
+      seed_(seed) {
   STREAMBID_CHECK(!categories_.empty());
   STREAMBID_CHECK_GT(total_capacity_, 0.0);
   double fractions = 0.0;
@@ -26,9 +26,7 @@ SubscriptionManager::SubscriptionManager(
     fractions += c.capacity_fraction;
   }
   STREAMBID_CHECK_LE(fractions, 1.0 + 1e-9);
-  auto m = auction::MakeMechanism(mechanism);
-  STREAMBID_CHECK(m.ok());
-  mechanism_ = std::move(m).value();
+  STREAMBID_CHECK(service_.HasMechanism(mechanism_));
 }
 
 Status SubscriptionManager::Submit(const SubscriptionRequest& request) {
@@ -105,8 +103,22 @@ SubscriptionDayReport SubscriptionManager::AdvanceDay() {
     }
     auto instance = auction::AuctionInstance::Create(pool_, queries);
     STREAMBID_CHECK(instance.ok());
-    const auction::Allocation alloc =
-        mechanism_->Run(*instance, category_capacity, rng_);
+    service::AdmissionRequest request;
+    request.instance = &*instance;
+    request.capacity = category_capacity;
+    request.mechanism = mechanism_;
+    request.seed = seed_;
+    // Stable (day, category) replica index: a category auction's RNG
+    // stream must not shift when other categories or earlier days had
+    // empty queues, so every per-category outcome replays in isolation.
+    request.request_index =
+        static_cast<uint32_t>(day_) * static_cast<uint32_t>(
+                                          categories_.size()) +
+        static_cast<uint32_t>(c);
+    request.options.compute_metrics = false;
+    auto response = service_.Admit(request);
+    STREAMBID_CHECK(response.ok());
+    const auction::Allocation& alloc = response->allocation;
 
     for (size_t i = 0; i < batch.size(); ++i) {
       const auto qid = static_cast<auction::QueryId>(i);

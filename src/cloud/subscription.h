@@ -13,9 +13,8 @@
 #include <vector>
 
 #include "auction/instance.h"
-#include "auction/mechanism.h"
-#include "common/rng.h"
 #include "common/status.h"
+#include "service/admission_service.h"
 
 namespace streambid::cloud {
 
@@ -95,8 +94,9 @@ class SubscriptionManager {
   std::vector<SubscriptionCategory> categories_;
   std::vector<auction::OperatorSpec> pool_;
   double total_capacity_;
-  auction::MechanismPtr mechanism_;
-  Rng rng_;
+  std::string mechanism_;
+  service::AdmissionService service_;
+  uint64_t seed_;
 
   int day_ = 0;
   std::vector<SubscriptionRequest> pending_;

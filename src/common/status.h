@@ -155,12 +155,19 @@ class Result {
   } while (0)
 
 /// Assigns the value of a Result expression or early-returns its Status.
-#define STREAMBID_ASSIGN_OR_RETURN(lhs, expr)    \
-  auto _res_##__LINE__ = (expr);                 \
-  if (!_res_##__LINE__.ok()) {                   \
-    return _res_##__LINE__.status();             \
-  }                                              \
-  lhs = std::move(_res_##__LINE__).value()
+/// (Double-expansion so __LINE__ resolves before pasting — otherwise two
+/// uses in one scope would both declare `_res___LINE__`.)
+#define STREAMBID_STATUS_CONCAT_IMPL(a, b) a##b
+#define STREAMBID_STATUS_CONCAT(a, b) STREAMBID_STATUS_CONCAT_IMPL(a, b)
+#define STREAMBID_ASSIGN_OR_RETURN(lhs, expr)                      \
+  STREAMBID_ASSIGN_OR_RETURN_IMPL(                                 \
+      STREAMBID_STATUS_CONCAT(_res_, __LINE__), lhs, expr)
+#define STREAMBID_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
 
 }  // namespace streambid
 

@@ -2,15 +2,16 @@
 
 #include "gametheory/combined.h"
 
+#include "common/rng.h"
 #include "gametheory/payoff.h"
 
 namespace streambid::gametheory {
 
 CombinedAttackReport SearchCombinedAttack(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance, double capacity,
     auction::QueryId attacker_query, const CombinedAttackOptions& options,
-    Rng& rng) {
+    uint64_t seed) {
   CombinedAttackReport report;
   report.attacker_query = attacker_query;
   const auction::UserId attacker = instance.user(attacker_query);
@@ -18,8 +19,8 @@ CombinedAttackReport SearchCombinedAttack(
   const std::vector<double> values = TruthfulValues(instance);
 
   report.truthful_payoff =
-      ExpectedUserPayoff(mechanism, instance, capacity, values, attacker,
-                         rng, options.trials);
+      ExpectedUserPayoff(service, mechanism, instance, capacity, values,
+                         attacker, seed, options.trials);
   report.best_payoff = report.truthful_payoff;
   report.best_bid = true_value;
 
@@ -32,8 +33,9 @@ CombinedAttackReport SearchCombinedAttack(
         double payoff;
         if (fakes == 0) {
           if (fake_value != options.fake_values.front()) continue;
-          payoff = ExpectedUserPayoff(mechanism, lied, capacity, values,
-                                      attacker, rng, options.trials);
+          payoff = ExpectedUserPayoff(service, mechanism, lied, capacity,
+                                      values, attacker, seed,
+                                      options.trials);
         } else {
           const SybilAttack attack =
               FairShareAttack(lied, attacker_query, fakes, fake_value);
@@ -42,9 +44,9 @@ CombinedAttackReport SearchCombinedAttack(
           std::vector<double> attacked_values = values;
           attacked_values.resize(
               static_cast<size_t>(attacked->num_queries()), 0.0);
-          payoff = ExpectedUserPayoff(mechanism, *attacked, capacity,
-                                      attacked_values, attacker, rng,
-                                      options.trials);
+          payoff = ExpectedUserPayoff(service, mechanism, *attacked,
+                                      capacity, attacked_values, attacker,
+                                      seed, options.trials);
         }
         if (payoff > report.best_payoff) {
           report.best_payoff = payoff;
@@ -59,14 +61,16 @@ CombinedAttackReport SearchCombinedAttack(
 }
 
 CombinedAttackReport SweepCombinedAttacks(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance, double capacity,
-    const CombinedAttackOptions& options, Rng& rng, int max_attackers) {
+    const CombinedAttackOptions& options, uint64_t seed,
+    int max_attackers) {
   std::vector<auction::QueryId> targets;
   for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
     targets.push_back(i);
   }
-  rng.Shuffle(targets);
+  Rng sampler(seed ^ 0xC0B1AEDull);
+  sampler.Shuffle(targets);
   if (max_attackers > 0 &&
       max_attackers < static_cast<int>(targets.size())) {
     targets.resize(static_cast<size_t>(max_attackers));
@@ -74,9 +78,8 @@ CombinedAttackReport SweepCombinedAttacks(
   CombinedAttackReport best;
   bool first = true;
   for (auction::QueryId q : targets) {
-    CombinedAttackReport r = SearchCombinedAttack(mechanism, instance,
-                                                  capacity, q, options,
-                                                  rng);
+    CombinedAttackReport r = SearchCombinedAttack(
+        service, mechanism, instance, capacity, q, options, seed);
     if (first || r.Gain() > best.Gain()) {
       best = r;
       first = false;

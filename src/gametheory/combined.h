@@ -3,17 +3,18 @@
 // mechanism is *sybil-strategyproof* when no user can improve her payoff
 // by lying about her valuation, perpetrating a sybil attack, or doing
 // both at once. CAT is proven sybil-strategyproof; this harness searches
-// the joint strategy space empirically.
+// the joint strategy space empirically through the AdmissionService.
 
 #ifndef STREAMBID_GAMETHEORY_COMBINED_H_
 #define STREAMBID_GAMETHEORY_COMBINED_H_
 
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "auction/instance.h"
-#include "auction/mechanism.h"
-#include "common/rng.h"
 #include "gametheory/sybil.h"
+#include "service/admission_service.h"
 
 namespace streambid::gametheory {
 
@@ -50,16 +51,18 @@ struct CombinedAttackOptions {
 /// operator set (the §V-A construction, the strongest known generic
 /// attack family). Everyone else is truthful.
 CombinedAttackReport SearchCombinedAttack(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance, double capacity,
     auction::QueryId attacker_query, const CombinedAttackOptions& options,
-    Rng& rng);
+    uint64_t seed = 0);
 
-/// Sweeps a sample of queries; returns the most profitable report.
+/// Sweeps a `seed`-seeded sample of queries; returns the most profitable
+/// report.
 CombinedAttackReport SweepCombinedAttacks(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance, double capacity,
-    const CombinedAttackOptions& options, Rng& rng, int max_attackers);
+    const CombinedAttackOptions& options, uint64_t seed,
+    int max_attackers);
 
 }  // namespace streambid::gametheory
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "common/rng.h"
 #include "gametheory/payoff.h"
 
 namespace streambid::gametheory {
@@ -36,12 +37,11 @@ std::vector<double> CandidateBids(const auction::AuctionInstance& instance,
 
 }  // namespace
 
-DeviationReport FindBestDeviation(const auction::Mechanism& mechanism,
+DeviationReport FindBestDeviation(service::AdmissionService& service,
+                                  std::string_view mechanism,
                                   const auction::AuctionInstance& instance,
                                   double capacity, auction::QueryId query,
-                                  const DeviationOptions& options,
-                                  Rng& rng) {
-  (void)rng;  // Randomness is CRN-seeded per evaluation (see header).
+                                  const DeviationOptions& options) {
   DeviationReport report;
   report.query = query;
   report.true_value = instance.bid(query);
@@ -49,13 +49,12 @@ DeviationReport FindBestDeviation(const auction::Mechanism& mechanism,
   const std::vector<double> values = TruthfulValues(instance);
   const auction::UserId user = instance.user(query);
 
-  // Common random numbers: every evaluation replays the same Rng
-  // stream, so randomized mechanisms see identical coin flips across
-  // candidate bids.
+  // Common random numbers: every evaluation replays the same
+  // (crn_seed, trial) service streams, so randomized mechanisms see
+  // identical coin flips across candidate bids.
   auto evaluate = [&](const auction::AuctionInstance& inst) {
-    Rng crn(options.crn_seed);
-    return ExpectedUserPayoff(mechanism, inst, capacity, values, user,
-                              crn, options.trials);
+    return ExpectedUserPayoff(service, mechanism, inst, capacity, values,
+                              user, options.crn_seed, options.trials);
   };
 
   report.truthful_payoff = evaluate(instance);
@@ -77,26 +76,28 @@ DeviationReport FindBestDeviation(const auction::Mechanism& mechanism,
   return report;
 }
 
-DeviationReport SweepDeviations(const auction::Mechanism& mechanism,
+DeviationReport SweepDeviations(service::AdmissionService& service,
+                                std::string_view mechanism,
                                 const auction::AuctionInstance& instance,
                                 double capacity,
-                                const DeviationOptions& options, Rng& rng,
-                                int max_queries) {
+                                const DeviationOptions& options,
+                                uint64_t seed, int max_queries) {
   std::vector<auction::QueryId> targets;
   for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
     targets.push_back(i);
   }
   if (max_queries > 0 &&
       max_queries < static_cast<int>(targets.size())) {
-    rng.Shuffle(targets);
+    Rng sampler(seed ^ 0xDE71A7E5ull);
+    sampler.Shuffle(targets);
     targets.resize(static_cast<size_t>(max_queries));
   }
 
   DeviationReport worst;
   bool first = true;
   for (auction::QueryId q : targets) {
-    DeviationReport r =
-        FindBestDeviation(mechanism, instance, capacity, q, options, rng);
+    DeviationReport r = FindBestDeviation(service, mechanism, instance,
+                                          capacity, q, options);
     if (first || r.Gain() > worst.Gain()) {
       worst = r;
       first = false;

@@ -3,16 +3,18 @@
 // A mechanism is bid-strategyproof iff no user can raise her (expected)
 // payoff by bidding something other than her true value (§III). The
 // harness sweeps a grid of deviating bids for a chosen query and reports
-// the most profitable deviation found, if any.
+// the most profitable deviation found, if any. Auctions run through the
+// AdmissionService; mechanisms are named, never constructed here.
 
 #ifndef STREAMBID_GAMETHEORY_DEVIATION_H_
 #define STREAMBID_GAMETHEORY_DEVIATION_H_
 
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "auction/instance.h"
-#include "auction/mechanism.h"
-#include "common/rng.h"
+#include "service/admission_service.h"
 
 namespace streambid::gametheory {
 
@@ -45,26 +47,28 @@ struct DeviationOptions {
   /// when sampling randomized mechanisms).
   double tolerance = 1e-7;
   /// Common-random-numbers seed: every candidate bid (and the truthful
-  /// baseline) is evaluated with an identically seeded Rng, so for
-  /// randomized mechanisms the comparison isolates the effect of the
-  /// bid rather than partition luck.
+  /// baseline) is evaluated with identical (crn_seed, trial) service
+  /// streams, so for randomized mechanisms the comparison isolates the
+  /// effect of the bid rather than partition luck.
   uint64_t crn_seed = 0x5EEDED;
 };
 
 /// Searches deviating bids for `query`, everyone else truthful.
-DeviationReport FindBestDeviation(const auction::Mechanism& mechanism,
+DeviationReport FindBestDeviation(service::AdmissionService& service,
+                                  std::string_view mechanism,
                                   const auction::AuctionInstance& instance,
                                   double capacity, auction::QueryId query,
-                                  const DeviationOptions& options, Rng& rng);
+                                  const DeviationOptions& options);
 
-/// Sweeps every query (or a random sample of `max_queries`), returning
-/// the worst report. Strategyproof mechanisms should yield
-/// profitable_deviation_found == false.
-DeviationReport SweepDeviations(const auction::Mechanism& mechanism,
+/// Sweeps every query (or a `seed`-seeded random sample of
+/// `max_queries`), returning the worst report. Strategyproof mechanisms
+/// should yield profitable_deviation_found == false.
+DeviationReport SweepDeviations(service::AdmissionService& service,
+                                std::string_view mechanism,
                                 const auction::AuctionInstance& instance,
                                 double capacity,
-                                const DeviationOptions& options, Rng& rng,
-                                int max_queries = -1);
+                                const DeviationOptions& options,
+                                uint64_t seed = 0, int max_queries = -1);
 
 }  // namespace streambid::gametheory
 

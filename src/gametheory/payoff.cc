@@ -21,17 +21,47 @@ double UserPayoff(const auction::AuctionInstance& instance,
   return payoff;
 }
 
-double ExpectedUserPayoff(const auction::Mechanism& mechanism,
+auction::Allocation RunAuction(service::AdmissionService& service,
+                               std::string_view mechanism,
+                               const auction::AuctionInstance& instance,
+                               double capacity, uint64_t seed,
+                               uint32_t trial) {
+  service::AdmissionRequest request;
+  request.instance = &instance;
+  request.capacity = capacity;
+  request.mechanism = std::string(mechanism);
+  request.seed = seed;
+  request.request_index = trial;
+  request.options.compute_metrics = false;
+  request.options.compute_diagnostics = false;
+  auto response = service.Admit(request);
+  STREAMBID_CHECK(response.ok());
+  return std::move(response).value().allocation;
+}
+
+double ExpectedUserPayoff(service::AdmissionService& service,
+                          std::string_view mechanism,
                           const auction::AuctionInstance& instance,
                           double capacity,
                           const std::vector<double>& values,
-                          auction::UserId user, Rng& rng, int trials) {
+                          auction::UserId user, uint64_t seed,
+                          int trials) {
   STREAMBID_CHECK_GT(trials, 0);
+  // One request object reused across trials; only the replica index
+  // changes, so high-trial expectations skip per-call setup.
+  service::AdmissionRequest request;
+  request.instance = &instance;
+  request.capacity = capacity;
+  request.mechanism = std::string(mechanism);
+  request.seed = seed;
+  request.options.compute_metrics = false;
+  request.options.compute_diagnostics = false;
   double total = 0.0;
   for (int t = 0; t < trials; ++t) {
-    const auction::Allocation alloc =
-        mechanism.Run(instance, capacity, rng);
-    total += UserPayoff(instance, alloc, values, user);
+    request.request_index = static_cast<uint32_t>(t);
+    auto response = service.Admit(request);
+    STREAMBID_CHECK(response.ok());
+    total += UserPayoff(instance, response->allocation, values, user);
   }
   return total / trials;
 }

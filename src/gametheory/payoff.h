@@ -4,16 +4,21 @@
 // several queries (e.g., a sybil attacker and her fakes) earns the sum
 // over her queries, and is responsible for her fake queries' payments
 // (§V: fakes have value 0, so an admitted fake contributes -p).
+//
+// All harness entry points run auctions through the AdmissionService —
+// mechanisms are named, never constructed here — with deterministic
+// (seed, trial) RNG streams, so every evaluation is replayable.
 
 #ifndef STREAMBID_GAMETHEORY_PAYOFF_H_
 #define STREAMBID_GAMETHEORY_PAYOFF_H_
 
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "auction/allocation.h"
 #include "auction/instance.h"
-#include "auction/mechanism.h"
-#include "common/rng.h"
+#include "service/admission_service.h"
 
 namespace streambid::gametheory {
 
@@ -22,14 +27,25 @@ double UserPayoff(const auction::AuctionInstance& instance,
                   const auction::Allocation& alloc,
                   const std::vector<double>& values, auction::UserId user);
 
+/// Runs one auction through the service with metrics off (the harness
+/// hot path) and returns the allocation. CHECK-fails on an unknown
+/// mechanism name — harness callers resolve names up front.
+auction::Allocation RunAuction(service::AdmissionService& service,
+                               std::string_view mechanism,
+                               const auction::AuctionInstance& instance,
+                               double capacity, uint64_t seed,
+                               uint32_t trial = 0);
+
 /// Expected payoff of `user` under `mechanism`, averaging `trials` runs
-/// (one run suffices for deterministic mechanisms; the harness still
-/// averages so callers need not special-case randomized ones).
-double ExpectedUserPayoff(const auction::Mechanism& mechanism,
+/// with streams (seed, 0..trials-1). One run suffices for deterministic
+/// mechanisms; the harness still averages so callers need not
+/// special-case randomized ones.
+double ExpectedUserPayoff(service::AdmissionService& service,
+                          std::string_view mechanism,
                           const auction::AuctionInstance& instance,
                           double capacity,
                           const std::vector<double>& values,
-                          auction::UserId user, Rng& rng, int trials);
+                          auction::UserId user, uint64_t seed, int trials);
 
 /// True values when everyone is truthful: value_i = bid_i.
 std::vector<double> TruthfulValues(const auction::AuctionInstance& instance);

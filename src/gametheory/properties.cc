@@ -4,35 +4,39 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "gametheory/payoff.h"
 
 namespace streambid::gametheory {
 namespace {
 
-bool Wins(const auction::Mechanism& mechanism,
+bool Wins(service::AdmissionService& service, std::string_view mechanism,
           const auction::AuctionInstance& instance, double capacity,
-          auction::QueryId query, Rng& rng) {
-  const auction::Allocation alloc = mechanism.Run(instance, capacity, rng);
+          auction::QueryId query, uint64_t seed) {
+  const auction::Allocation alloc =
+      RunAuction(service, mechanism, instance, capacity, seed);
   return alloc.IsAdmitted(query);
 }
 
 }  // namespace
 
-MonotonicityReport CheckMonotonicity(const auction::Mechanism& mechanism,
-                                     const auction::AuctionInstance& instance,
-                                     double capacity,
-                                     bool check_subset_monotonicity,
-                                     Rng& rng) {
+MonotonicityReport CheckMonotonicity(
+    service::AdmissionService& service, std::string_view mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    bool check_subset_monotonicity, uint64_t seed) {
   MonotonicityReport report;
-  const auction::Allocation base = mechanism.Run(instance, capacity, rng);
+  const auction::Allocation base =
+      RunAuction(service, mechanism, instance, capacity, seed);
   for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
     const double v = instance.bid(i);
     if (base.IsAdmitted(i)) {
       for (double factor : {1.5, 3.0, 10.0}) {
         const auction::AuctionInstance raised =
             instance.WithBid(i, v * factor);
-        if (!Wins(mechanism, raised, capacity, i, rng)) {
+        if (!Wins(service, mechanism, raised, capacity, i, seed)) {
           report.monotone = false;
           report.violating_query = i;
           report.violating_bid = v * factor;
@@ -48,7 +52,7 @@ MonotonicityReport CheckMonotonicity(const auction::Mechanism& mechanism,
         auto shrunk = auction::AuctionInstance::Create(
             instance.operators(), std::move(queries));
         STREAMBID_CHECK(shrunk.ok());
-        if (!Wins(mechanism, *shrunk, capacity, i, rng)) {
+        if (!Wins(service, mechanism, *shrunk, capacity, i, seed)) {
           report.monotone = false;
           report.violating_query = i;
           report.violating_bid = v;
@@ -59,7 +63,7 @@ MonotonicityReport CheckMonotonicity(const auction::Mechanism& mechanism,
       for (double factor : {0.5, 0.1}) {
         const auction::AuctionInstance lowered =
             instance.WithBid(i, v * factor);
-        if (Wins(mechanism, lowered, capacity, i, rng)) {
+        if (Wins(service, mechanism, lowered, capacity, i, seed)) {
           report.monotone = false;
           report.violating_query = i;
           report.violating_bid = v * factor;
@@ -71,28 +75,30 @@ MonotonicityReport CheckMonotonicity(const auction::Mechanism& mechanism,
   return report;
 }
 
-CriticalValue EstimateCriticalValue(const auction::Mechanism& mechanism,
-                                    const auction::AuctionInstance& instance,
-                                    double capacity, auction::QueryId query,
-                                    Rng& rng, double hi_hint,
-                                    int iterations) {
+CriticalValue EstimateCriticalValue(
+    service::AdmissionService& service, std::string_view mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    auction::QueryId query, uint64_t seed, double hi_hint,
+    int iterations) {
   CriticalValue cv;
   // Upper probe: if the query loses even at an enormous bid, it can
   // never win (e.g., its own remaining load exceeds capacity).
   double hi = std::max({hi_hint, instance.max_bid() * 4.0, 1.0});
-  if (!Wins(mechanism, instance.WithBid(query, hi), capacity, query, rng)) {
+  if (!Wins(service, mechanism, instance.WithBid(query, hi), capacity,
+            query, seed)) {
     cv.unbounded = true;
     return cv;
   }
   double lo = 0.0;
-  if (Wins(mechanism, instance.WithBid(query, 0.0), capacity, query, rng)) {
+  if (Wins(service, mechanism, instance.WithBid(query, 0.0), capacity,
+           query, seed)) {
     cv.value = 0.0;  // Wins for free.
     return cv;
   }
   for (int it = 0; it < iterations; ++it) {
     const double mid = 0.5 * (lo + hi);
-    if (Wins(mechanism, instance.WithBid(query, mid), capacity, query,
-             rng)) {
+    if (Wins(service, mechanism, instance.WithBid(query, mid), capacity,
+             query, seed)) {
       hi = mid;
     } else {
       lo = mid;
@@ -102,24 +108,26 @@ CriticalValue EstimateCriticalValue(const auction::Mechanism& mechanism,
   return cv;
 }
 
-double MaxCriticalValueDiscrepancy(const auction::Mechanism& mechanism,
-                                   const auction::AuctionInstance& instance,
-                                   double capacity, Rng& rng,
-                                   int max_queries) {
-  const auction::Allocation base = mechanism.Run(instance, capacity, rng);
+double MaxCriticalValueDiscrepancy(
+    service::AdmissionService& service, std::string_view mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    uint64_t seed, int max_queries) {
+  const auction::Allocation base =
+      RunAuction(service, mechanism, instance, capacity, seed);
   std::vector<auction::QueryId> targets;
   for (auction::QueryId i = 0; i < instance.num_queries(); ++i) {
     if (base.IsAdmitted(i)) targets.push_back(i);
   }
   if (max_queries > 0 &&
       max_queries < static_cast<int>(targets.size())) {
-    rng.Shuffle(targets);
+    Rng sampler(seed ^ 0xD15C4E9Aull);
+    sampler.Shuffle(targets);
     targets.resize(static_cast<size_t>(max_queries));
   }
   double worst = 0.0;
   for (auction::QueryId q : targets) {
-    const CriticalValue cv =
-        EstimateCriticalValue(mechanism, instance, capacity, q, rng);
+    const CriticalValue cv = EstimateCriticalValue(
+        service, mechanism, instance, capacity, q, seed);
     if (cv.unbounded) continue;  // Winner that can't win: contradiction,
                                  // but let the monotonicity check flag it.
     worst = std::max(worst, std::fabs(cv.value - base.Payment(q)));

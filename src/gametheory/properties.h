@@ -4,15 +4,16 @@
 // critical-value pricing (a winner's payment equals the bid threshold at
 // which she stops winning) — together equivalent to
 // bid-strategyproofness in single-parameter settings [Nisan 2007].
+// Mechanisms are addressed by registry name through the AdmissionService.
 
 #ifndef STREAMBID_GAMETHEORY_PROPERTIES_H_
 #define STREAMBID_GAMETHEORY_PROPERTIES_H_
 
-#include <vector>
+#include <cstdint>
+#include <string_view>
 
 #include "auction/instance.h"
-#include "auction/mechanism.h"
-#include "common/rng.h"
+#include "service/admission_service.h"
 
 namespace streambid::gametheory {
 
@@ -28,11 +29,10 @@ struct MonotonicityReport {
 /// multiplying by each factor < 1. Checks the SMB extension too when
 /// `check_subset_monotonicity`: a winner restricted to a strict subset of
 /// her operators still wins (§III, Lehmann et al. characterization).
-MonotonicityReport CheckMonotonicity(const auction::Mechanism& mechanism,
-                                     const auction::AuctionInstance& instance,
-                                     double capacity,
-                                     bool check_subset_monotonicity,
-                                     Rng& rng);
+MonotonicityReport CheckMonotonicity(
+    service::AdmissionService& service, std::string_view mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    bool check_subset_monotonicity, uint64_t seed = 0);
 
 /// Binary-searches the critical bid of `query`: the threshold value c
 /// such that bidding above c wins and below c loses. Requires a monotone
@@ -42,19 +42,20 @@ struct CriticalValue {
   double value = 0.0;
   bool unbounded = false;
 };
-CriticalValue EstimateCriticalValue(const auction::Mechanism& mechanism,
-                                    const auction::AuctionInstance& instance,
-                                    double capacity, auction::QueryId query,
-                                    Rng& rng, double hi_hint = 0.0,
-                                    int iterations = 60);
+CriticalValue EstimateCriticalValue(
+    service::AdmissionService& service, std::string_view mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    auction::QueryId query, uint64_t seed = 0, double hi_hint = 0.0,
+    int iterations = 60);
 
 /// Verifies that each winner's payment equals her critical value within
 /// `tolerance` (the §III bid-strategyproofness characterization).
-/// Returns the worst absolute discrepancy observed.
-double MaxCriticalValueDiscrepancy(const auction::Mechanism& mechanism,
-                                   const auction::AuctionInstance& instance,
-                                   double capacity, Rng& rng,
-                                   int max_queries = -1);
+/// Returns the worst absolute discrepancy observed. `seed` drives both
+/// the auctions and the query sampling when `max_queries` limits them.
+double MaxCriticalValueDiscrepancy(
+    service::AdmissionService& service, std::string_view mechanism,
+    const auction::AuctionInstance& instance, double capacity,
+    uint64_t seed = 0, int max_queries = -1);
 
 }  // namespace streambid::gametheory
 

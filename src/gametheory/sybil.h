@@ -4,17 +4,18 @@
 // payments and values them at zero, so her payoff is
 //   sum over her real queries (v - p) - sum over admitted fakes (p).
 // A mechanism is sybil immune iff no attack ever raises this payoff
-// (Definition 16).
+// (Definition 16). Auctions run through the AdmissionService.
 
 #ifndef STREAMBID_GAMETHEORY_SYBIL_H_
 #define STREAMBID_GAMETHEORY_SYBIL_H_
 
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "auction/instance.h"
-#include "auction/mechanism.h"
-#include "common/rng.h"
 #include "common/status.h"
+#include "service/admission_service.h"
 
 namespace streambid::gametheory {
 
@@ -45,20 +46,22 @@ SybilAttack FairShareAttack(const auction::AuctionInstance& instance,
                             auction::QueryId attacker_query, int num_fakes,
                             double fake_valuation = 1e-6);
 
-/// Evaluates `attack` by `attacker` (expected payoffs over `trials` runs
-/// for randomized mechanisms). All other users bid truthfully.
+/// Evaluates `attack` by `attacker` (expected payoffs over `trials`
+/// (seed, trial)-streamed runs for randomized mechanisms). All other
+/// users bid truthfully.
 Result<SybilReport> EvaluateSybilAttack(
-    const auction::Mechanism& mechanism,
+    service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance, double capacity,
-    auction::UserId attacker, const SybilAttack& attack, Rng& rng,
+    auction::UserId attacker, const SybilAttack& attack, uint64_t seed = 0,
     int trials = 1);
 
 /// Randomized attack search: tries fair-share-style attacks of various
 /// sizes/valuations for `max_attackers` random attackers; returns the
 /// best gain found (<= tolerance for a sybil-immune mechanism).
-SybilReport SearchSybilAttacks(const auction::Mechanism& mechanism,
+SybilReport SearchSybilAttacks(service::AdmissionService& service,
+                               std::string_view mechanism,
                                const auction::AuctionInstance& instance,
-                               double capacity, Rng& rng,
+                               double capacity, uint64_t seed,
                                int max_attackers, int trials = 1);
 
 }  // namespace streambid::gametheory

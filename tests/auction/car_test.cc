@@ -27,7 +27,7 @@ TEST(CarTest, PrioritiesRecomputedAfterEachAdmission) {
   // Paper Example 1 dynamics: q2 first (priority 12), then q1's CR drops
   // from 5 to 1, boosting its priority from 11 to 55.
   AuctionInstance inst = gametheory::Example1Instance();
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeCar()->Run(inst, 10.0, rng);
   EXPECT_TRUE(alloc.IsAdmitted(0));
   EXPECT_TRUE(alloc.IsAdmitted(1));
@@ -39,7 +39,7 @@ TEST(CarTest, FullyCoveredQueryAdmittedFree) {
   // infinite priority — admitted at no charge even at tight capacity.
   AuctionInstance inst =
       Make({4.0, 4.0}, {{0, 40.0, {0}}, {1, 1.0, {0}}, {2, 39.0, {1}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeCar()->Run(inst, 4.0, rng);
   EXPECT_TRUE(alloc.IsAdmitted(0));
   EXPECT_TRUE(alloc.IsAdmitted(1));
@@ -51,7 +51,7 @@ TEST(CarTest, StopsAtFirstMisfitEvenIfLaterFits) {
   AuctionInstance inst = Make(
       {5.0, 6.0, 1.0},
       {{0, 50.0, {0}}, {1, 54.0, {1}}, {2, 6.0, {2}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeCar()->Run(inst, 7.0, rng);
   EXPECT_TRUE(alloc.IsAdmitted(0));
   EXPECT_FALSE(alloc.IsAdmitted(1));
@@ -63,7 +63,7 @@ TEST(CarTest, UnderbiddingReducesPaymentOnSharedOps) {
   // she is selected after q2 (which covers A), shrinking her
   // selection-time CR from 5 to 1 and her payment fivefold.
   AuctionInstance truthful = gametheory::Example1Instance();
-  Rng rng(1);
+  AuctionContext rng(1);
   // Truthful: priorities 11, 12, 10 -> q2 then q1; q1's payment $10.
   // (Already selected after q2 in Example 1 — make q1's density highest
   // so truthful selection happens FIRST and costs more.)
@@ -85,7 +85,7 @@ TEST(CarTest, UnderbiddingReducesPaymentOnSharedOps) {
 
 TEST(CarTest, AllAdmittedPayNothing) {
   AuctionInstance inst = Make({1.0, 1.0}, {{0, 5.0, {0}}, {1, 4.0, {1}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeCar()->Run(inst, 10.0, rng);
   EXPECT_EQ(alloc.NumAdmitted(), 2);
   EXPECT_DOUBLE_EQ(alloc.Payment(0), 0.0);
@@ -94,7 +94,7 @@ TEST(CarTest, AllAdmittedPayNothing) {
 
 TEST(CarTest, FeasibleOnExample1) {
   AuctionInstance inst = gametheory::Example1Instance();
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeCar()->Run(inst, 10.0, rng);
   EXPECT_TRUE(IsFeasible(inst, alloc));
 }

@@ -27,7 +27,7 @@ TEST(DensityTest, PlusVariantAdmitsSupersetOnStopInstance) {
   AuctionInstance inst = Make(
       {5.0, 6.0, 1.0},
       {{0, 50.0, {0}}, {1, 54.0, {1}}, {2, 6.0, {2}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation cat = MakeCat()->Run(inst, 7.0, rng);
   const Allocation cat_plus = MakeCatPlus()->Run(inst, 7.0, rng);
   EXPECT_EQ(cat.NumAdmitted(), 1);
@@ -41,7 +41,7 @@ TEST(DensityTest, PlusVariantAdmitsSupersetOnStopInstance) {
 
 TEST(DensityTest, AllAdmittedMeansZeroPayments) {
   AuctionInstance inst = Make({1.0, 2.0}, {{0, 5.0, {0}}, {1, 9.0, {1}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   for (auto make : {MakeCaf, MakeCat, MakeCafPlus, MakeCatPlus, MakeGv}) {
     const Allocation alloc = make()->Run(inst, 100.0, rng);
     EXPECT_EQ(alloc.NumAdmitted(), 2) << alloc.mechanism;
@@ -56,7 +56,7 @@ TEST(DensityTest, FirstLoserPricingProportionalToLoad) {
       {2.0, 4.0, 8.0},
       {{0, 20.0, {0}}, {1, 30.0, {1}}, {2, 30.0, {2}}});
   // Densities (CT): 10, 7.5, 3.75. Capacity 6 admits q0 and q1 only.
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation cat = MakeCat()->Run(inst, 6.0, rng);
   EXPECT_TRUE(cat.IsAdmitted(0));
   EXPECT_TRUE(cat.IsAdmitted(1));
@@ -72,7 +72,7 @@ TEST(DensityTest, WinnerPaysAtMostBid) {
   AuctionInstance inst = Make(
       {3.0, 5.0, 4.0, 2.0},
       {{0, 30.0, {0}}, {1, 35.0, {1}}, {2, 20.0, {2}}, {3, 4.0, {3}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   for (auto make : {MakeCaf, MakeCat, MakeGv, MakeCafPlus, MakeCatPlus}) {
     const Allocation alloc = make()->Run(inst, 9.0, rng);
     for (QueryId i = 0; i < inst.num_queries(); ++i) {
@@ -88,7 +88,7 @@ TEST(DensityTest, GvChargesUniformPrice) {
   AuctionInstance inst = Make(
       {3.0, 3.0, 3.0},
       {{0, 50.0, {0}}, {1, 40.0, {1}}, {2, 30.0, {2}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation gv = MakeGv()->Run(inst, 6.0, rng);
   EXPECT_TRUE(gv.IsAdmitted(0));
   EXPECT_TRUE(gv.IsAdmitted(1));
@@ -103,7 +103,7 @@ TEST(DensityTest, CafPlusPaymentUsesMovementWindow) {
   AuctionInstance inst = Make(
       {1.0, 1.0, 1.0},
       {{0, 9.0, {0}}, {1, 8.0, {1}}, {2, 5.0, {2}}});
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeCafPlus()->Run(inst, 2.0, rng);
   EXPECT_TRUE(alloc.IsAdmitted(0));
   EXPECT_TRUE(alloc.IsAdmitted(1));
@@ -121,7 +121,7 @@ TEST(DensityTest, SkipPricingCanDifferPerWinner) {
       {{0, 40.0, {0}}, {1, 9.0, {1}}, {2, 21.0, {2}}, {3, 5.0, {3}}});
   // Densities (CT): 10, 9, 7, 5. Capacity 5: q0 (4), q1 (1) admitted;
   // q2 misfit; q3 misfit (5+1 > 5).
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeCatPlus()->Run(inst, 5.0, rng);
   EXPECT_TRUE(alloc.IsAdmitted(0));
   EXPECT_TRUE(alloc.IsAdmitted(1));
@@ -153,7 +153,7 @@ TEST(DensityTest, PropertiesMatchPaperTableI) {
 TEST(DensityTest, EmptyInstance) {
   auto inst = AuctionInstance::Create({}, {});
   ASSERT_TRUE(inst.ok());
-  Rng rng(1);
+  AuctionContext rng(1);
   for (auto make : {MakeCaf, MakeCat, MakeCafPlus, MakeCatPlus, MakeGv}) {
     const Allocation alloc = make()->Run(*inst, 10.0, rng);
     EXPECT_EQ(alloc.NumAdmitted(), 0);

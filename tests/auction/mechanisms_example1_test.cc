@@ -24,7 +24,7 @@ class Example1Test : public ::testing::Test {
   Allocation RunMechanism(const std::string& name) {
     auto mechanism = MakeMechanism(name);
     EXPECT_TRUE(mechanism.ok());
-    Rng rng(42);
+    AuctionContext rng(42);
     return (*mechanism)->Run(instance_, kExample1Capacity, rng);
   }
 

@@ -80,7 +80,7 @@ TEST(OptCTest, Example1) {
 
 TEST(OptCTest, MechanismAdapterChargesConstantPrice) {
   AuctionInstance inst = UnitQueries({10.0, 6.0, 1.0});
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeOptC()->Run(inst, 3.0, rng);
   EXPECT_TRUE(IsFeasible(inst, alloc));
   const AllocationMetrics m = ComputeMetrics(inst, alloc);

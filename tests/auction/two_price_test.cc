@@ -42,7 +42,7 @@ TEST(TwoPriceTest, WinnersPayTheCrossPrice) {
   // the submitted valuations or zero.
   AuctionInstance inst = UnitQueries({10.0, 8.0, 6.0, 4.0});
   for (uint64_t seed = 0; seed < 20; ++seed) {
-    Rng rng(seed);
+    AuctionContext rng(seed);
     const Allocation alloc = MakeTwoPrice()->Run(inst, 4.0, rng);
     for (QueryId i = 0; i < 4; ++i) {
       if (alloc.IsAdmitted(i)) {
@@ -61,7 +61,7 @@ TEST(TwoPriceTest, RejectsQueriesOutsideCandidateSet) {
   // Capacity 2: H = top two bids; the others can never win.
   AuctionInstance inst = UnitQueries({10.0, 9.0, 8.0, 7.0});
   for (uint64_t seed = 0; seed < 10; ++seed) {
-    Rng rng(seed);
+    AuctionContext rng(seed);
     const Allocation alloc = MakeTwoPrice()->Run(inst, 2.0, rng);
     EXPECT_FALSE(alloc.IsAdmitted(2));
     EXPECT_FALSE(alloc.IsAdmitted(3));
@@ -70,7 +70,7 @@ TEST(TwoPriceTest, RejectsQueriesOutsideCandidateSet) {
 
 TEST(TwoPriceTest, SingletonCandidateWinsFree) {
   AuctionInstance inst = UnitQueries({10.0, 1.0});
-  Rng rng(3);
+  AuctionContext rng(3);
   const Allocation alloc = MakeTwoPrice()->Run(inst, 1.0, rng);
   EXPECT_TRUE(alloc.IsAdmitted(0));
   EXPECT_DOUBLE_EQ(alloc.Payment(0), 0.0);  // Other half empty: price 0.
@@ -85,10 +85,10 @@ TEST(TwoPriceTest, Step3PacksDuplicatesAtBoundary) {
   // remains well-defined and feasible.
   AuctionInstance inst = UnitQueries({10.0, 5.0, 5.0, 5.0});
   for (uint64_t seed = 0; seed < 20; ++seed) {
-    Rng rng(seed);
+    AuctionContext rng(seed);
     const Allocation with = MakeTwoPrice()->Run(inst, 2.0, rng);
     EXPECT_TRUE(IsFeasible(inst, with));
-    Rng rng2(seed);
+    AuctionContext rng2(seed);
     const Allocation without = MakeTwoPricePoly()->Run(inst, 2.0, rng2);
     EXPECT_TRUE(IsFeasible(inst, without));
   }
@@ -100,7 +100,7 @@ TEST(TwoPriceTest, Step3FallsBackWhenTieClassHuge) {
   std::vector<double> bids(31, 5.0);
   bids[0] = 50.0;
   AuctionInstance inst = UnitQueries(bids);
-  Rng rng(5);
+  AuctionContext rng(5);
   const Allocation alloc = MakeTwoPrice()->Run(inst, 10.0, rng);
   EXPECT_TRUE(IsFeasible(inst, alloc));
 }
@@ -115,7 +115,7 @@ TEST(TwoPriceTest, ExpectedProfitWithinTheorem11Bound) {
   // All fit; OPT_C = max over price p of p * |{v >= p}| = 7 * 6 = 42.
   EXPECT_DOUBLE_EQ(opt.profit, 42.0);
 
-  Rng rng(7);
+  AuctionContext rng(7);
   double total = 0.0;
   const int trials = 4000;
   for (int t = 0; t < trials; ++t) {
@@ -135,7 +135,7 @@ TEST(TwoPriceTest, LoadObliviousPricing) {
   AuctionInstance light = Make(
       {1.0, 9.0}, {{0, 10.0, {0}}, {1, 8.0, {1}}});
   for (uint64_t seed = 0; seed < 10; ++seed) {
-    Rng rng_a(seed), rng_b(seed);
+    AuctionContext rng_a(seed), rng_b(seed);
     const Allocation a = MakeTwoPrice()->Run(heavy, 10.0, rng_a);
     const Allocation b = MakeTwoPrice()->Run(light, 10.0, rng_b);
     // Same valuations, same capacity usage feasiblity (both fit fully):
@@ -150,7 +150,7 @@ TEST(TwoPriceTest, LoadObliviousPricing) {
 TEST(TwoPriceTest, EmptyInstance) {
   auto inst = AuctionInstance::Create({}, {});
   ASSERT_TRUE(inst.ok());
-  Rng rng(1);
+  AuctionContext rng(1);
   const Allocation alloc = MakeTwoPrice()->Run(*inst, 10.0, rng);
   EXPECT_EQ(alloc.NumAdmitted(), 0);
 }

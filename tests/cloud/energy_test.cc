@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
+#include "service/admission_service.h"
 #include "workload/generator.h"
 
 namespace streambid::cloud {
@@ -32,14 +32,13 @@ TEST(EnergyModelTest, CostGrowsWithCapacityAndUse) {
 
 TEST(EnergyTest, EvaluatesEveryCandidate) {
   const auction::AuctionInstance inst = SharedWorkload(1);
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(1);
+  service::AdmissionService service;
+  const uint64_t seed = 1;
   const std::vector<double> candidates = {
       inst.total_union_load() * 0.25, inst.total_union_load() * 0.5,
       inst.total_union_load() * 1.0};
-  const auto evals = EvaluateCapacities(**cat, inst, candidates,
-                                        EnergyModel{}, rng);
+  const auto evals = EvaluateCapacities(service, "cat", inst, candidates,
+                                        EnergyModel{}, seed);
   ASSERT_EQ(evals.size(), 3u);
   for (const CapacityEvaluation& e : evals) {
     EXPECT_GE(e.gross_profit, 0.0);
@@ -52,16 +51,15 @@ TEST(EnergyTest, EvaluatesEveryCandidate) {
 
 TEST(EnergyTest, OptimizePicksBestNet) {
   const auction::AuctionInstance inst = SharedWorkload(2);
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(2);
+  service::AdmissionService service;
+  const uint64_t seed = 2;
   const std::vector<double> candidates = {
       inst.total_union_load() * 0.2, inst.total_union_load() * 0.4,
       inst.total_union_load() * 0.7, inst.total_union_load() * 1.1};
   const CapacityEvaluation best =
-      OptimizeCapacity(**cat, inst, candidates, EnergyModel{}, rng);
-  const auto evals = EvaluateCapacities(**cat, inst, candidates,
-                                        EnergyModel{}, rng);
+      OptimizeCapacity(service, "cat", inst, candidates, EnergyModel{}, seed);
+  const auto evals = EvaluateCapacities(service, "cat", inst, candidates,
+                                        EnergyModel{}, seed);
   for (const CapacityEvaluation& e : evals) {
     EXPECT_GE(best.net_profit, e.net_profit - 1e-9);
   }
@@ -72,15 +70,14 @@ TEST(EnergyTest, OverProvisioningIsPenalized) {
   // mechanisms charge 0 but energy still costs: net < 0, so the
   // optimizer must prefer a tighter capacity.
   const auction::AuctionInstance inst = SharedWorkload(3);
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(3);
+  service::AdmissionService service;
+  const uint64_t seed = 3;
   EnergyModel pricey;
   pricey.idle_cost_per_capacity = 0.01;
   const std::vector<double> candidates = {inst.total_union_load() * 0.5,
                                           inst.total_union_load() * 10.0};
   const CapacityEvaluation best =
-      OptimizeCapacity(**cat, inst, candidates, pricey, rng);
+      OptimizeCapacity(service, "cat", inst, candidates, pricey, seed);
   EXPECT_DOUBLE_EQ(best.capacity, inst.total_union_load() * 0.5);
 }
 
@@ -91,11 +88,10 @@ TEST(EnergyTest, TiesGoToSmallerCapacity) {
   std::vector<auction::QuerySpec> queries = {{0, 10.0, {0}}};
   auto inst = auction::AuctionInstance::Create(ops, queries);
   ASSERT_TRUE(inst.ok());
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(4);
+  service::AdmissionService service;
+  const uint64_t seed = 4;
   const CapacityEvaluation best =
-      OptimizeCapacity(**cat, *inst, {100.0, 10.0}, EnergyModel{}, rng);
+      OptimizeCapacity(service, "cat", *inst, {100.0, 10.0}, EnergyModel{}, seed);
   EXPECT_DOUBLE_EQ(best.capacity, 10.0);
 }
 

@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
+#include "service/admission_service.h"
 #include "gametheory/payoff.h"
 
 namespace streambid::gametheory {
@@ -16,13 +16,11 @@ namespace {
 
 TEST(TableIITest, AttackBeatsCatPlus) {
   const AttackScenario s = TableIIScenario(0.01);
-  auto cat_plus = auction::MakeMechanism("cat+");
-  ASSERT_TRUE(cat_plus.ok());
-  Rng rng(1);
+  service::AdmissionService service;
 
   // Without the attack: user 1 wins, user 2 (attacker) is rejected.
   const auction::Allocation before =
-      (*cat_plus)->Run(s.instance, s.capacity, rng);
+      RunAuction(service, "cat+", s.instance, s.capacity, /*seed=*/1);
   EXPECT_TRUE(before.IsAdmitted(0));
   EXPECT_FALSE(before.IsAdmitted(1));
 
@@ -31,7 +29,7 @@ TEST(TableIITest, AttackBeatsCatPlus) {
                                                 s.attack.fake_queries);
   ASSERT_TRUE(attacked.ok());
   const auction::Allocation after =
-      (*cat_plus)->Run(*attacked, s.capacity, rng);
+      RunAuction(service, "cat+", *attacked, s.capacity, /*seed=*/1);
   EXPECT_FALSE(after.IsAdmitted(0));
   EXPECT_TRUE(after.IsAdmitted(1));
   EXPECT_TRUE(after.IsAdmitted(2));  // The fake.
@@ -52,14 +50,12 @@ TEST(TableIITest, SameAttackFailsAgainstCat) {
   // user 1 and user 2 still loses — the attack costs the attacker the
   // fake's payment for nothing.
   const AttackScenario s = TableIIScenario(0.01);
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(2);
+  service::AdmissionService service;
   auto attacked = s.instance.WithExtraOperators(s.attack.new_operators,
                                                 s.attack.fake_queries);
   ASSERT_TRUE(attacked.ok());
   const auction::Allocation after =
-      (*cat)->Run(*attacked, s.capacity, rng);
+      RunAuction(service, "cat", *attacked, s.capacity, /*seed=*/2);
   EXPECT_FALSE(after.IsAdmitted(1));  // Attacker still loses.
   std::vector<double> values = TruthfulValues(s.instance);
   values.push_back(0.0);
@@ -68,11 +64,9 @@ TEST(TableIITest, SameAttackFailsAgainstCat) {
 
 TEST(FairShareScenarioTest, NumbersMatchSectionVA) {
   const AttackScenario s = FairShareScenario();
-  auto caf = auction::MakeMechanism("caf");
-  ASSERT_TRUE(caf.ok());
-  Rng rng(3);
+  service::AdmissionService service;
   const auction::Allocation before =
-      (*caf)->Run(s.instance, s.capacity, rng);
+      RunAuction(service, "caf", s.instance, s.capacity, /*seed=*/3);
   EXPECT_TRUE(before.IsAdmitted(0));
   EXPECT_FALSE(before.IsAdmitted(1));
 
@@ -82,22 +76,20 @@ TEST(FairShareScenarioTest, NumbersMatchSectionVA) {
   // Attacker's CSF drops from 4 to 4/4 = 1: priority 10 beats 12/4 = 3.
   EXPECT_DOUBLE_EQ(attacked->fair_share_load(1), 1.0);
   const auction::Allocation after =
-      (*caf)->Run(*attacked, s.capacity, rng);
+      RunAuction(service, "caf", *attacked, s.capacity, /*seed=*/3);
   EXPECT_TRUE(after.IsAdmitted(1));
   EXPECT_FALSE(after.IsAdmitted(0));
 }
 
 TEST(TwoPriceScenarioTest, PartitionAttackRaisesExpectedPayoff) {
   const AttackScenario s = TwoPricePartitionScenario();
-  auto two_price = auction::MakeMechanism("two-price");
-  ASSERT_TRUE(two_price.ok());
+  service::AdmissionService service;
 
   const std::vector<double> values = TruthfulValues(s.instance);
-  Rng rng(4);
   const int trials = 20000;
-  const double before = ExpectedUserPayoff(**two_price, s.instance,
-                                           s.capacity, values, s.attacker,
-                                           rng, trials);
+  const double before =
+      ExpectedUserPayoff(service, "two-price", s.instance, s.capacity,
+                         values, s.attacker, /*seed=*/4, trials);
 
   auto attacked = s.instance.WithExtraOperators(s.attack.new_operators,
                                                 s.attack.fake_queries);
@@ -105,8 +97,8 @@ TEST(TwoPriceScenarioTest, PartitionAttackRaisesExpectedPayoff) {
   std::vector<double> attacked_values = values;
   attacked_values.push_back(0.0);
   const double after =
-      ExpectedUserPayoff(**two_price, *attacked, s.capacity,
-                         attacked_values, s.attacker, rng, trials);
+      ExpectedUserPayoff(service, "two-price", *attacked, s.capacity,
+                         attacked_values, s.attacker, /*seed=*/4, trials);
   // Hand analysis: before = 10 - 5 = 5 exactly; after = (1/3)*10 +
   // (2/3)*5 ~ 6.67 (minus fake fees ~ 0). Allow sampling noise.
   EXPECT_NEAR(before, 5.0, 0.05);

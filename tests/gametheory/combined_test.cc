@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
+#include "service/admission_service.h"
 #include "gametheory/attacks.h"
 #include "workload/generator.h"
 
@@ -29,12 +29,11 @@ class CombinedSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CombinedSweep, CatIsSybilStrategyproof) {
   const auction::AuctionInstance inst = RandomShared(GetParam());
-  auto cat = auction::MakeMechanism("cat").value();
-  Rng rng(GetParam() + 400);
+  service::AdmissionService service;
   CombinedAttackOptions options;
   const CombinedAttackReport best = SweepCombinedAttacks(
-      *cat, inst, inst.total_union_load() * 0.5, options, rng,
-      /*max_attackers=*/8);
+      service, "cat", inst, inst.total_union_load() * 0.5, options,
+      /*seed=*/GetParam() + 400, /*max_attackers=*/8);
   EXPECT_FALSE(best.Profitable(1e-6))
       << "query " << best.attacker_query << " gains " << best.Gain()
       << " bidding " << best.best_bid << " with " << best.best_num_fakes
@@ -49,11 +48,11 @@ TEST(CombinedAttackTest, CafFallsToCombinedStrategy) {
   // already help against CAF, and the combined search must find at
   // least as much.
   const AttackScenario s = FairShareScenario();
-  auto caf = auction::MakeMechanism("caf").value();
-  Rng rng(5);
+  service::AdmissionService service;
   CombinedAttackOptions options;
   const CombinedAttackReport report = SearchCombinedAttack(
-      *caf, s.instance, s.capacity, /*attacker_query=*/1, options, rng);
+      service, "caf", s.instance, s.capacity, /*attacker_query=*/1,
+      options, /*seed=*/5);
   EXPECT_TRUE(report.Profitable());
   EXPECT_GT(report.best_num_fakes, 0);  // The gain needs the sybils.
 }
@@ -62,24 +61,22 @@ TEST(CombinedAttackTest, PureDeviationSubsumedByGrid) {
   // With fake_counts = {0}, the search degenerates to a bid-deviation
   // sweep; on Example 1 under CAT it must find nothing.
   auction::AuctionInstance inst = Example1Instance();
-  auto cat = auction::MakeMechanism("cat").value();
-  Rng rng(6);
+  service::AdmissionService service;
   CombinedAttackOptions options;
   options.fake_counts = {0};
   for (auction::QueryId q = 0; q < inst.num_queries(); ++q) {
     const CombinedAttackReport r = SearchCombinedAttack(
-        *cat, inst, kExample1Capacity, q, options, rng);
+        service, "cat", inst, kExample1Capacity, q, options, /*seed=*/6);
     EXPECT_FALSE(r.Profitable()) << "query " << q;
   }
 }
 
 TEST(CombinedAttackTest, ReportsTruthfulBaseline) {
   auction::AuctionInstance inst = Example1Instance();
-  auto cat = auction::MakeMechanism("cat").value();
-  Rng rng(7);
+  service::AdmissionService service;
   CombinedAttackOptions options;
-  const CombinedAttackReport r =
-      SearchCombinedAttack(*cat, inst, kExample1Capacity, 0, options, rng);
+  const CombinedAttackReport r = SearchCombinedAttack(
+      service, "cat", inst, kExample1Capacity, 0, options, /*seed=*/7);
   // CAT admits q1 at $50: payoff 5.
   EXPECT_DOUBLE_EQ(r.truthful_payoff, 5.0);
   EXPECT_GE(r.best_payoff, r.truthful_payoff);

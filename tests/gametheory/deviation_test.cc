@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
+#include "service/admission_service.h"
 #include "gametheory/attacks.h"
 
 namespace streambid::gametheory {
@@ -15,12 +15,11 @@ TEST(DeviationTest, FindsCarManipulationOnExample1) {
   // she is selected first, underbidding lowers her remaining load and
   // payment — the deviation search must find a profitable lie.
   auction::AuctionInstance inst = Example1Instance().WithBid(0, 80.0);
-  auto car = auction::MakeMechanism("car");
-  ASSERT_TRUE(car.ok());
-  Rng rng(1);
+  service::AdmissionService service;
   DeviationOptions options;
   const DeviationReport report =
-      FindBestDeviation(**car, inst, kExample1Capacity, 0, options, rng);
+      FindBestDeviation(service, "car", inst, kExample1Capacity, 0,
+                        options);
   EXPECT_TRUE(report.profitable_deviation_found);
   EXPECT_LT(report.best_deviant_bid, 80.0);  // An underbid.
   EXPECT_GT(report.Gain(), 1.0);
@@ -28,13 +27,11 @@ TEST(DeviationTest, FindsCarManipulationOnExample1) {
 
 TEST(DeviationTest, NoDeviationBeatsCatOnExample1) {
   auction::AuctionInstance inst = Example1Instance();
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(2);
+  service::AdmissionService service;
   DeviationOptions options;
   for (auction::QueryId q = 0; q < inst.num_queries(); ++q) {
     const DeviationReport report = FindBestDeviation(
-        **cat, inst, kExample1Capacity, q, options, rng);
+        service, "cat", inst, kExample1Capacity, q, options);
     EXPECT_FALSE(report.profitable_deviation_found)
         << "query " << q << " gains " << report.Gain() << " bidding "
         << report.best_deviant_bid;
@@ -43,35 +40,31 @@ TEST(DeviationTest, NoDeviationBeatsCatOnExample1) {
 
 TEST(DeviationTest, SweepReportsWorstQuery) {
   auction::AuctionInstance inst = Example1Instance().WithBid(0, 80.0);
-  auto car = auction::MakeMechanism("car");
-  ASSERT_TRUE(car.ok());
-  Rng rng(3);
+  service::AdmissionService service;
   DeviationOptions options;
-  const DeviationReport worst =
-      SweepDeviations(**car, inst, kExample1Capacity, options, rng);
+  const DeviationReport worst = SweepDeviations(
+      service, "car", inst, kExample1Capacity, options, /*seed=*/3);
   EXPECT_TRUE(worst.profitable_deviation_found);
 }
 
 TEST(DeviationTest, TruthfulPayoffMatchesDirectComputation) {
   auction::AuctionInstance inst = Example1Instance();
-  auto caf = auction::MakeMechanism("caf");
-  ASSERT_TRUE(caf.ok());
-  Rng rng(4);
+  service::AdmissionService service;
   DeviationOptions options;
   const DeviationReport report =
-      FindBestDeviation(**caf, inst, kExample1Capacity, 0, options, rng);
+      FindBestDeviation(service, "caf", inst, kExample1Capacity, 0,
+                        options);
   // CAF admits q1 at payment $30 (Example 1): payoff 55 - 30 = 25.
   EXPECT_DOUBLE_EQ(report.truthful_payoff, 25.0);
 }
 
 TEST(DeviationTest, ZeroValueQueryCannotGain) {
   auction::AuctionInstance inst = Example1Instance().WithBid(2, 0.0);
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(5);
+  service::AdmissionService service;
   DeviationOptions options;
   const DeviationReport report =
-      FindBestDeviation(**cat, inst, kExample1Capacity, 2, options, rng);
+      FindBestDeviation(service, "cat", inst, kExample1Capacity, 2,
+                        options);
   // Bidding above 0 can only win at a price >= some positive critical
   // value >= ... well, winning at price <= 0 is impossible here, so any
   // win gives negative payoff. Truthful (losing) payoff is 0.

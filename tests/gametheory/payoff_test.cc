@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
+#include "service/admission_service.h"
 
 namespace streambid::gametheory {
 namespace {
@@ -53,14 +53,14 @@ TEST(PayoffTest, FakeQueryValuesZeroGiveNegativePayoff) {
 
 TEST(PayoffTest, ExpectedPayoffDeterministicMechanism) {
   auction::AuctionInstance inst = TwoUserInstance();
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(1);
+  service::AdmissionService service;
   const std::vector<double> values = TruthfulValues(inst);
   const double once =
-      ExpectedUserPayoff(**cat, inst, 10.0, values, 7, rng, 1);
+      ExpectedUserPayoff(service, "cat", inst, 10.0, values, 7,
+                         /*seed=*/1, 1);
   const double many =
-      ExpectedUserPayoff(**cat, inst, 10.0, values, 7, rng, 16);
+      ExpectedUserPayoff(service, "cat", inst, 10.0, values, 7,
+                         /*seed=*/1, 16);
   EXPECT_DOUBLE_EQ(once, many);
 }
 

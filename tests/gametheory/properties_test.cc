@@ -5,21 +5,20 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
 #include "gametheory/attacks.h"
+#include "gametheory/payoff.h"
+#include "service/admission_service.h"
 
 namespace streambid::gametheory {
 namespace {
 
 TEST(MonotonicityTest, DensityMechanismsMonotoneOnExample1) {
   auction::AuctionInstance inst = Example1Instance();
-  Rng rng(1);
+  service::AdmissionService service;
   for (const char* name : {"caf", "caf+", "cat", "cat+", "gv"}) {
-    auto m = auction::MakeMechanism(name);
-    ASSERT_TRUE(m.ok());
     const MonotonicityReport r = CheckMonotonicity(
-        **m, inst, kExample1Capacity, /*check_subset_monotonicity=*/true,
-        rng);
+        service, name, inst, kExample1Capacity,
+        /*check_subset_monotonicity=*/true, /*seed=*/1);
     EXPECT_TRUE(r.monotone) << name << " violated by query "
                             << r.violating_query << " at bid "
                             << r.violating_bid;
@@ -28,27 +27,23 @@ TEST(MonotonicityTest, DensityMechanismsMonotoneOnExample1) {
 
 TEST(CriticalValueTest, CatPaymentsEqualCriticalValues) {
   auction::AuctionInstance inst = Example1Instance();
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(2);
+  service::AdmissionService service;
   // q1's critical bid under CAT: it must beat the density of the first
   // loser given capacity; payment was $50 (Example 1).
-  const CriticalValue cv =
-      EstimateCriticalValue(**cat, inst, kExample1Capacity, 0, rng);
+  const CriticalValue cv = EstimateCriticalValue(
+      service, "cat", inst, kExample1Capacity, 0, /*seed=*/2);
   EXPECT_FALSE(cv.unbounded);
   EXPECT_NEAR(cv.value, 50.0, 1e-6);
-  const double disc =
-      MaxCriticalValueDiscrepancy(**cat, inst, kExample1Capacity, rng);
+  const double disc = MaxCriticalValueDiscrepancy(
+      service, "cat", inst, kExample1Capacity, /*seed=*/2);
   EXPECT_LT(disc, 1e-6);
 }
 
 TEST(CriticalValueTest, CafPaymentsEqualCriticalValues) {
   auction::AuctionInstance inst = Example1Instance();
-  auto caf = auction::MakeMechanism("caf");
-  ASSERT_TRUE(caf.ok());
-  Rng rng(3);
-  const double disc =
-      MaxCriticalValueDiscrepancy(**caf, inst, kExample1Capacity, rng);
+  service::AdmissionService service;
+  const double disc = MaxCriticalValueDiscrepancy(
+      service, "caf", inst, kExample1Capacity, /*seed=*/3);
   EXPECT_LT(disc, 1e-6);
 }
 
@@ -58,15 +53,13 @@ TEST(CriticalValueTest, CarPaymentsDeviateFromCriticalValues) {
   // (selected first, paying 50), her critical value is what she'd pay
   // at the *lowest winning position* — strictly less.
   auction::AuctionInstance inst = Example1Instance().WithBid(0, 80.0);
-  auto car = auction::MakeMechanism("car");
-  ASSERT_TRUE(car.ok());
-  Rng rng(4);
+  service::AdmissionService service;
   const auction::Allocation alloc =
-      (*car)->Run(inst, kExample1Capacity, rng);
+      RunAuction(service, "car", inst, kExample1Capacity, /*seed=*/4);
   ASSERT_TRUE(alloc.IsAdmitted(0));
   EXPECT_DOUBLE_EQ(alloc.Payment(0), 50.0);
-  const CriticalValue cv =
-      EstimateCriticalValue(**car, inst, kExample1Capacity, 0, rng);
+  const CriticalValue cv = EstimateCriticalValue(
+      service, "car", inst, kExample1Capacity, 0, /*seed=*/4);
   EXPECT_FALSE(cv.unbounded);
   EXPECT_LT(cv.value, alloc.Payment(0) - 1.0);
 }
@@ -78,20 +71,18 @@ TEST(CriticalValueTest, HopelessQueryIsUnbounded) {
                                              {1, 5.0, {1}}};
   auto inst = auction::AuctionInstance::Create(ops, queries);
   ASSERT_TRUE(inst.ok());
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(5);
-  const CriticalValue cv = EstimateCriticalValue(**cat, *inst, 10.0, 0, rng);
+  service::AdmissionService service;
+  const CriticalValue cv =
+      EstimateCriticalValue(service, "cat", *inst, 10.0, 0, /*seed=*/5);
   EXPECT_TRUE(cv.unbounded);
 }
 
 TEST(CriticalValueTest, FreeWinnerHasZeroCritical) {
   // Plenty of capacity: everyone wins at any bid; critical value 0.
   auction::AuctionInstance inst = Example1Instance();
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(6);
-  const CriticalValue cv = EstimateCriticalValue(**cat, inst, 1000.0, 0, rng);
+  service::AdmissionService service;
+  const CriticalValue cv =
+      EstimateCriticalValue(service, "cat", inst, 1000.0, 0, /*seed=*/6);
   EXPECT_FALSE(cv.unbounded);
   EXPECT_DOUBLE_EQ(cv.value, 0.0);
 }

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
+#include "service/admission_service.h"
 #include "gametheory/attacks.h"
 
 namespace streambid::gametheory {
@@ -24,11 +24,10 @@ TEST(SybilTest, FairShareAttackReplicatesAttackerOperators) {
 
 TEST(SybilTest, EvaluateReportsBothPayoffs) {
   const AttackScenario s = FairShareScenario();
-  auto caf = auction::MakeMechanism("caf");
-  ASSERT_TRUE(caf.ok());
-  Rng rng(1);
-  auto report = EvaluateSybilAttack(**caf, s.instance, s.capacity,
-                                    s.attacker, s.attack, rng);
+  service::AdmissionService service;
+  auto report = EvaluateSybilAttack(service, "caf", s.instance,
+                                    s.capacity, s.attacker, s.attack,
+                                    /*seed=*/1);
   ASSERT_TRUE(report.ok());
   // §V-A: attacker (user 2) loses without the attack, wins cheaply with
   // it (CSF drops from 4 to 1).
@@ -39,11 +38,10 @@ TEST(SybilTest, EvaluateReportsBothPayoffs) {
 
 TEST(SybilTest, SameAttackHarmlessAgainstCat) {
   const AttackScenario s = FairShareScenario();
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(2);
-  auto report = EvaluateSybilAttack(**cat, s.instance, s.capacity,
-                                    s.attacker, s.attack, rng);
+  service::AdmissionService service;
+  auto report = EvaluateSybilAttack(service, "cat", s.instance,
+                                    s.capacity, s.attacker, s.attack,
+                                    /*seed=*/2);
   ASSERT_TRUE(report.ok());
   // CAT prices by total load: fakes do not deflate anything.
   EXPECT_FALSE(report->Profitable());
@@ -54,22 +52,19 @@ TEST(SybilTest, SearchFindsCafVulnerability) {
   // must find a strictly profitable attack against CAF (Theorem 15:
   // universally vulnerable).
   const AttackScenario s = FairShareScenario();
-  auto caf = auction::MakeMechanism("caf");
-  ASSERT_TRUE(caf.ok());
-  Rng rng(3);
+  service::AdmissionService service;
   const SybilReport best =
-      SearchSybilAttacks(**caf, s.instance, s.capacity, rng,
-                         /*max_attackers=*/2);
+      SearchSybilAttacks(service, "caf", s.instance, s.capacity,
+                         /*seed=*/3, /*max_attackers=*/2);
   EXPECT_TRUE(best.Profitable());
 }
 
 TEST(SybilTest, SearchFindsNothingAgainstCatOnSmallInstances) {
   const AttackScenario s = FairShareScenario();
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(4);
+  service::AdmissionService service;
   const SybilReport best =
-      SearchSybilAttacks(**cat, s.instance, s.capacity, rng, 2);
+      SearchSybilAttacks(service, "cat", s.instance, s.capacity,
+                         /*seed=*/4, 2);
   EXPECT_FALSE(best.Profitable());
 }
 

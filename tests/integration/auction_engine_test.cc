@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "auction/metrics.h"
-#include "auction/registry.h"
+#include "service/admission_service.h"
 #include "stream/load_estimator.h"
 #include "stream/query_builder.h"
 
@@ -48,7 +48,20 @@ class AuctionEngineTest : public ::testing::Test {
     return sub;
   }
 
+  static service::AdmissionRequest MakeRequest(
+      const auction::AuctionInstance& instance,
+      const std::string& mechanism, double capacity, uint64_t seed) {
+    service::AdmissionRequest request;
+    request.instance = &instance;
+    request.capacity = capacity;
+    request.mechanism = mechanism;
+    request.seed = seed;
+    request.options.check_feasibility = true;
+    return request;
+  }
+
   Engine engine_;
+  service::AdmissionService service_;
 };
 
 TEST_F(AuctionEngineTest, SharingLetsMoreQueriesFit) {
@@ -66,12 +79,10 @@ TEST_F(AuctionEngineTest, SharingLetsMoreQueriesFit) {
   EXPECT_EQ(build->instance.num_operators(), 2);
   EXPECT_EQ(build->instance.sharing_degree(0), 5);
 
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(1);
-  const auction::Allocation alloc =
-      (*cat)->Run(build->instance, engine_.options().capacity, rng);
-  EXPECT_EQ(alloc.NumAdmitted(), 6);
+  auto response = service_.Admit(
+      MakeRequest(build->instance, "cat", engine_.options().capacity, 1));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->allocation.NumAdmitted(), 6);
 }
 
 TEST_F(AuctionEngineTest, WinnersExecuteAndLoadsConverge) {
@@ -80,11 +91,10 @@ TEST_F(AuctionEngineTest, WinnersExecuteAndLoadsConverge) {
   auto build = stream::BuildAuctionInstance(engine_, subs, {});
   ASSERT_TRUE(build.ok());
 
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(2);
-  const auction::Allocation alloc =
-      (*cat)->Run(build->instance, 3.0, rng);
+  auto response =
+      service_.Admit(MakeRequest(build->instance, "cat", 3.0, 2));
+  ASSERT_TRUE(response.ok());
+  const auction::Allocation& alloc = response->allocation;
   ASSERT_TRUE(IsFeasible(build->instance, alloc));
 
   engine_.BeginTransition();
@@ -119,12 +129,11 @@ TEST_F(AuctionEngineTest, EveryMechanismProducesInstallableWinners) {
   auto build = stream::BuildAuctionInstance(engine_, subs, {});
   ASSERT_TRUE(build.ok());
 
-  for (const std::string& name : auction::AllMechanismNames()) {
-    auto m = auction::MakeMechanism(name);
-    ASSERT_TRUE(m.ok());
-    Rng rng(3);
-    const auction::Allocation alloc =
-        (*m)->Run(build->instance, 3.0, rng);
+  for (const std::string& name : service_.MechanismNames()) {
+    auto response =
+        service_.Admit(MakeRequest(build->instance, name, 3.0, 3));
+    ASSERT_TRUE(response.ok()) << name;
+    const auction::Allocation& alloc = response->allocation;
     ASSERT_TRUE(IsFeasible(build->instance, alloc)) << name;
 
     Engine fresh(EngineOptions{3.0, 1.0, 8});

@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
+#include "service/admission_service.h"
 #include "gametheory/properties.h"
 #include "workload/generator.h"
 
@@ -28,41 +28,40 @@ class CriticalValueSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CriticalValueSweep, CafPaymentsAreCriticalValues) {
   const auction::AuctionInstance inst = RandomShared(GetParam());
-  auto caf = auction::MakeMechanism("caf").value();
-  Rng rng(GetParam() + 11);
+  service::AdmissionService service;
   const double disc = gametheory::MaxCriticalValueDiscrepancy(
-      *caf, inst, inst.total_union_load() * 0.5, rng, /*max_queries=*/8);
+      service, "caf", inst, inst.total_union_load() * 0.5,
+      /*seed=*/GetParam() + 11, /*max_queries=*/8);
   EXPECT_LT(disc, 1e-5);
 }
 
 TEST_P(CriticalValueSweep, CatPaymentsAreCriticalValues) {
   const auction::AuctionInstance inst = RandomShared(GetParam());
-  auto cat = auction::MakeMechanism("cat").value();
-  Rng rng(GetParam() + 22);
+  service::AdmissionService service;
   const double disc = gametheory::MaxCriticalValueDiscrepancy(
-      *cat, inst, inst.total_union_load() * 0.5, rng, 8);
+      service, "cat", inst, inst.total_union_load() * 0.5,
+      /*seed=*/GetParam() + 22, 8);
   EXPECT_LT(disc, 1e-5);
 }
 
 TEST_P(CriticalValueSweep, GvPaymentsAreCriticalValues) {
   const auction::AuctionInstance inst = RandomShared(GetParam());
-  auto gv = auction::MakeMechanism("gv").value();
-  Rng rng(GetParam() + 33);
+  service::AdmissionService service;
   const double disc = gametheory::MaxCriticalValueDiscrepancy(
-      *gv, inst, inst.total_union_load() * 0.5, rng, 8);
+      service, "gv", inst, inst.total_union_load() * 0.5,
+      /*seed=*/GetParam() + 33, 8);
   EXPECT_LT(disc, 1e-5);
 }
 
 TEST_P(CriticalValueSweep, MechanismsAreMonotone) {
   const auction::AuctionInstance inst = RandomShared(GetParam());
-  Rng rng(GetParam() + 44);
+  service::AdmissionService service;
   for (const char* name : {"caf", "caf+", "cat", "cat+", "gv"}) {
-    auto m = auction::MakeMechanism(name).value();
     const gametheory::MonotonicityReport r =
-        gametheory::CheckMonotonicity(*m, inst,
+        gametheory::CheckMonotonicity(service, name, inst,
                                       inst.total_union_load() * 0.5,
                                       /*check_subset_monotonicity=*/true,
-                                      rng);
+                                      /*seed=*/GetParam() + 44);
     EXPECT_TRUE(r.monotone)
         << name << " violated by query " << r.violating_query
         << " at bid " << r.violating_bid;

@@ -14,6 +14,7 @@
 
 #include "auction/mechanisms/density.h"
 #include "auction/metrics.h"
+#include "auction/context.h"
 #include "auction/registry.h"
 #include "workload/generator.h"
 
@@ -45,8 +46,8 @@ TEST_P(MechanismInvariants, FeasibleAndIndividuallyRational) {
   for (const std::string& name : auction::AllMechanismNames()) {
     auto m = auction::MakeMechanism(name);
     ASSERT_TRUE(m.ok());
-    Rng rng(seed * 31 + 7);
-    const Allocation alloc = (*m)->Run(inst, capacity, rng);
+    auction::AuctionContext context(seed * 31 + 7);
+    const Allocation alloc = (*m)->Run(inst, capacity, context);
     EXPECT_TRUE(IsFeasible(inst, alloc)) << name;
     for (auction::QueryId i = 0; i < inst.num_queries(); ++i) {
       if (!alloc.IsAdmitted(i)) {
@@ -78,13 +79,13 @@ TEST_P(MechanismInvariants, SkipVariantsAdmitSupersets) {
   const auto [seed, capacity_fraction] = GetParam();
   const AuctionInstance inst = RandomInstance(seed, 60, 25, 12);
   const double capacity = inst.total_union_load() * capacity_fraction;
-  Rng rng(seed);
-  const Allocation caf = auction::MakeCaf()->Run(inst, capacity, rng);
+  auction::AuctionContext context(seed);
+  const Allocation caf = auction::MakeCaf()->Run(inst, capacity, context);
   const Allocation caf_plus =
-      auction::MakeCafPlus()->Run(inst, capacity, rng);
-  const Allocation cat = auction::MakeCat()->Run(inst, capacity, rng);
+      auction::MakeCafPlus()->Run(inst, capacity, context);
+  const Allocation cat = auction::MakeCat()->Run(inst, capacity, context);
   const Allocation cat_plus =
-      auction::MakeCatPlus()->Run(inst, capacity, rng);
+      auction::MakeCatPlus()->Run(inst, capacity, context);
   for (auction::QueryId i = 0; i < inst.num_queries(); ++i) {
     if (caf.IsAdmitted(i)) {
       EXPECT_TRUE(caf_plus.IsAdmitted(i)) << "query " << i;
@@ -105,9 +106,10 @@ TEST_P(MechanismInvariants, DeterministicMechanismsAreStable) {
                            "opt-c"}) {
     auto m = auction::MakeMechanism(name);
     ASSERT_TRUE(m.ok());
-    Rng rng_a(1), rng_b(999);  // Different rngs: must not matter.
-    const Allocation a = (*m)->Run(inst, capacity, rng_a);
-    const Allocation b = (*m)->Run(inst, capacity, rng_b);
+    // Different RNG streams: must not matter for deterministic runs.
+    auction::AuctionContext context_a(1), context_b(999);
+    const Allocation a = (*m)->Run(inst, capacity, context_a);
+    const Allocation b = (*m)->Run(inst, capacity, context_b);
     EXPECT_EQ(a.admitted, b.admitted) << name;
     EXPECT_EQ(a.payments, b.payments) << name;
   }

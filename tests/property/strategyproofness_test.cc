@@ -2,11 +2,12 @@
 // Empirical strategyproofness (paper Theorems 4, 7, 8, 9, 10): across
 // seeded random shared-operator workloads, no query can profit from any
 // deviating bid in the search grid. Parameterized over workload seeds.
+// All auctions run through the AdmissionService.
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
 #include "gametheory/deviation.h"
+#include "service/admission_service.h"
 #include "workload/generator.h"
 
 namespace streambid {
@@ -37,73 +38,41 @@ double TightCapacity(const AuctionInstance& inst) {
 
 class StrategyproofSweep : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(StrategyproofSweep, CafHasNoProfitableDeviation) {
-  const AuctionInstance inst = RandomSharedInstance(GetParam());
-  auto m = auction::MakeMechanism("caf");
-  ASSERT_TRUE(m.ok());
-  Rng rng(GetParam() + 1000);
+/// Shared body: no profitable deviation for `mechanism` on this seed.
+void ExpectNoDeviation(const char* mechanism, uint64_t seed,
+                       uint64_t seed_offset) {
+  const AuctionInstance inst = RandomSharedInstance(seed);
+  service::AdmissionService service;
   DeviationOptions options;
   options.probe_other_bids = false;  // Factor grid suffices; keeps the
                                      // sweep O(queries * factors).
   const DeviationReport r =
-      SweepDeviations(**m, inst, TightCapacity(inst), options, rng, 12);
+      SweepDeviations(service, mechanism, inst, TightCapacity(inst),
+                      options, /*seed=*/seed + seed_offset, 12);
   EXPECT_FALSE(r.profitable_deviation_found)
-      << "query " << r.query << " gains " << r.Gain() << " bidding "
-      << r.best_deviant_bid << " (value " << r.true_value << ")";
+      << mechanism << ": query " << r.query << " gains " << r.Gain()
+      << " bidding " << r.best_deviant_bid << " (value " << r.true_value
+      << ")";
+}
+
+TEST_P(StrategyproofSweep, CafHasNoProfitableDeviation) {
+  ExpectNoDeviation("caf", GetParam(), 1000);
 }
 
 TEST_P(StrategyproofSweep, CatHasNoProfitableDeviation) {
-  const AuctionInstance inst = RandomSharedInstance(GetParam());
-  auto m = auction::MakeMechanism("cat");
-  ASSERT_TRUE(m.ok());
-  Rng rng(GetParam() + 2000);
-  DeviationOptions options;
-  options.probe_other_bids = false;
-  const DeviationReport r =
-      SweepDeviations(**m, inst, TightCapacity(inst), options, rng, 12);
-  EXPECT_FALSE(r.profitable_deviation_found)
-      << "query " << r.query << " gains " << r.Gain();
+  ExpectNoDeviation("cat", GetParam(), 2000);
 }
 
 TEST_P(StrategyproofSweep, GvHasNoProfitableDeviation) {
-  const AuctionInstance inst = RandomSharedInstance(GetParam());
-  auto m = auction::MakeMechanism("gv");
-  ASSERT_TRUE(m.ok());
-  Rng rng(GetParam() + 3000);
-  DeviationOptions options;
-  options.probe_other_bids = false;
-  const DeviationReport r =
-      SweepDeviations(**m, inst, TightCapacity(inst), options, rng, 12);
-  EXPECT_FALSE(r.profitable_deviation_found)
-      << "query " << r.query << " gains " << r.Gain();
+  ExpectNoDeviation("gv", GetParam(), 3000);
 }
 
 TEST_P(StrategyproofSweep, CafPlusHasNoProfitableDeviation) {
-  const AuctionInstance inst = RandomSharedInstance(GetParam());
-  auto m = auction::MakeMechanism("caf+");
-  ASSERT_TRUE(m.ok());
-  Rng rng(GetParam() + 4000);
-  DeviationOptions options;
-  options.probe_other_bids = false;
-  const DeviationReport r =
-      SweepDeviations(**m, inst, TightCapacity(inst), options, rng, 12);
-  EXPECT_FALSE(r.profitable_deviation_found)
-      << "query " << r.query << " gains " << r.Gain() << " bidding "
-      << r.best_deviant_bid << " (value " << r.true_value << ")";
+  ExpectNoDeviation("caf+", GetParam(), 4000);
 }
 
 TEST_P(StrategyproofSweep, CatPlusHasNoProfitableDeviation) {
-  const AuctionInstance inst = RandomSharedInstance(GetParam());
-  auto m = auction::MakeMechanism("cat+");
-  ASSERT_TRUE(m.ok());
-  Rng rng(GetParam() + 5000);
-  DeviationOptions options;
-  options.probe_other_bids = false;
-  const DeviationReport r =
-      SweepDeviations(**m, inst, TightCapacity(inst), options, rng, 12);
-  EXPECT_FALSE(r.profitable_deviation_found)
-      << "query " << r.query << " gains " << r.Gain() << " bidding "
-      << r.best_deviant_bid << " (value " << r.true_value << ")";
+  ExpectNoDeviation("cat+", GetParam(), 5000);
 }
 
 TEST_P(StrategyproofSweep, CarIsManipulableSomewhere) {
@@ -112,13 +81,12 @@ TEST_P(StrategyproofSweep, CarIsManipulableSomewhere) {
   // strong, so this test only accumulates evidence and the companion
   // aggregate test below asserts it.
   const AuctionInstance inst = RandomSharedInstance(GetParam());
-  auto m = auction::MakeMechanism("car");
-  ASSERT_TRUE(m.ok());
-  Rng rng(GetParam() + 6000);
+  service::AdmissionService service;
   DeviationOptions options;
   options.probe_other_bids = true;
   const DeviationReport r =
-      SweepDeviations(**m, inst, TightCapacity(inst), options, rng, 12);
+      SweepDeviations(service, "car", inst, TightCapacity(inst), options,
+                      /*seed=*/GetParam() + 6000, 12);
   RecordProperty("car_gain", std::to_string(r.Gain()));
   SUCCEED();
 }
@@ -127,15 +95,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StrategyproofSweep,
                          ::testing::Range<uint64_t>(1, 13));
 
 TEST(CarManipulableAggregate, FindsAtLeastOneProfitableLie) {
-  auto m = auction::MakeMechanism("car");
-  ASSERT_TRUE(m.ok());
+  service::AdmissionService service;
   DeviationOptions options;
   bool found = false;
   for (uint64_t seed = 1; seed <= 12 && !found; ++seed) {
     const AuctionInstance inst = RandomSharedInstance(seed);
-    Rng rng(seed + 7000);
-    const DeviationReport r = SweepDeviations(
-        **m, inst, TightCapacity(inst), options, rng, 20);
+    const DeviationReport r =
+        SweepDeviations(service, "car", inst, TightCapacity(inst),
+                        options, /*seed=*/seed + 7000, 20);
     found = r.profitable_deviation_found;
   }
   EXPECT_TRUE(found) << "CAR resisted manipulation on every seed — "

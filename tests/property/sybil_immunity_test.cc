@@ -1,12 +1,13 @@
 // Copyright 2026 The streambid Authors
 // Empirical sybil immunity (paper §V): CAT never profits from the
 // attack family; CAF/CAF+ are (universally) vulnerable — the §V-A
-// attack must succeed on shared instances.
+// attack must succeed on shared instances. All auctions run through the
+// AdmissionService.
 
 #include <gtest/gtest.h>
 
-#include "auction/registry.h"
 #include "gametheory/sybil.h"
+#include "service/admission_service.h"
 #include "workload/generator.h"
 
 namespace streambid {
@@ -31,11 +32,10 @@ class SybilSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SybilSweep, CatNeverProfitsFromSybilAttacks) {
   const AuctionInstance inst = RandomSharedInstance(GetParam());
-  auto cat = auction::MakeMechanism("cat");
-  ASSERT_TRUE(cat.ok());
-  Rng rng(GetParam() + 100);
+  service::AdmissionService service;
   const SybilReport best = SearchSybilAttacks(
-      **cat, inst, inst.total_union_load() * 0.5, rng, /*max_attackers=*/8);
+      service, "cat", inst, inst.total_union_load() * 0.5,
+      /*seed=*/GetParam() + 100, /*max_attackers=*/8);
   EXPECT_FALSE(best.Profitable())
       << "gain " << best.Gain() << " — CAT is sybil-strategyproof "
       << "(Theorem 19), the harness found a counterexample";
@@ -48,28 +48,26 @@ TEST(SybilVulnerabilityTest, CafAttackSucceedsSomewhere) {
   // Theorem 15: CAF is universally vulnerable. The search should find a
   // profitable attack on at least one (in practice nearly every)
   // shared instance at competitive capacity.
-  auto caf = auction::MakeMechanism("caf");
-  ASSERT_TRUE(caf.ok());
+  service::AdmissionService service;
   bool found = false;
   for (uint64_t seed = 1; seed <= 10 && !found; ++seed) {
     const AuctionInstance inst = RandomSharedInstance(seed);
-    Rng rng(seed + 200);
     const SybilReport best = SearchSybilAttacks(
-        **caf, inst, inst.total_union_load() * 0.5, rng, 10);
+        service, "caf", inst, inst.total_union_load() * 0.5,
+        /*seed=*/seed + 200, 10);
     found = best.Profitable();
   }
   EXPECT_TRUE(found);
 }
 
 TEST(SybilVulnerabilityTest, CafPlusAttackSucceedsSomewhere) {
-  auto caf_plus = auction::MakeMechanism("caf+");
-  ASSERT_TRUE(caf_plus.ok());
+  service::AdmissionService service;
   bool found = false;
   for (uint64_t seed = 1; seed <= 10 && !found; ++seed) {
     const AuctionInstance inst = RandomSharedInstance(seed);
-    Rng rng(seed + 300);
     const SybilReport best = SearchSybilAttacks(
-        **caf_plus, inst, inst.total_union_load() * 0.5, rng, 10);
+        service, "caf+", inst, inst.total_union_load() * 0.5,
+        /*seed=*/seed + 300, 10);
     found = best.Profitable();
   }
   EXPECT_TRUE(found);
