@@ -21,9 +21,25 @@ namespace streambid::auction {
 /// allocation-free. Contents are unspecified between calls; callers must
 /// overwrite before reading.
 struct AuctionWorkspace {
+  /// Lazy-heap entry (CAR): the priority, the query it scores, and the
+  /// remaining-load stamp the priority was computed from (stale entries
+  /// are detected by stamp mismatch and discarded on pop).
+  struct HeapSlot {
+    double priority;
+    QueryId query;
+    double stamp;
+  };
+
   std::vector<double> priority;   ///< Per-query priority Pr_i.
   std::vector<QueryId> order;     ///< Priority-sorted query ids.
   std::vector<double> values;     ///< Valuation scratch (Two-price).
+  std::vector<HeapSlot> heap;     ///< Binary-heap storage (CAR).
+  std::vector<double> remaining;  ///< Per-query remaining load (CAR).
+  std::vector<double> selection;  ///< Load at selection time (CAR).
+  std::vector<uint8_t> flags;     ///< Per-query boolean scratch.
+  std::vector<QueryId> winners;   ///< Winner accumulation (OPT_C).
+  std::vector<QueryId> candidates;  ///< Per-price trial set (OPT_C).
+  std::vector<QueryId> ties;      ///< Boundary tie class (OPT_C).
 };
 
 /// Execution context for one or more auction runs. Holds the RNG stream

@@ -2,9 +2,9 @@
 
 #include "auction/mechanisms/car.h"
 
+#include <algorithm>
 #include <limits>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -14,20 +14,17 @@
 namespace streambid::auction {
 namespace {
 
-/// Max-heap entry for the lazy priority queue. Priorities only increase
-/// over the run (CR shrinks as operators get admitted), so we push a fresh
-/// entry whenever a query's CR changes and discard stale entries on pop.
-struct HeapEntry {
-  double priority;
-  QueryId query;
-  double cr_at_push;  // CR value the priority was computed from.
+using HeapSlot = AuctionWorkspace::HeapSlot;
 
-  bool operator<(const HeapEntry& other) const {
-    if (priority != other.priority) return priority < other.priority;
-    // Deterministic tie-break: lower id wins, so it must compare greater.
-    return query > other.query;
-  }
-};
+/// Max-heap order for the lazy priority queue (std::push_heap places the
+/// *greatest* element first). Priorities only increase over the run (CR
+/// shrinks as operators get admitted), so we push a fresh entry whenever
+/// a query's CR changes and discard stale entries on pop.
+bool HeapLess(const HeapSlot& a, const HeapSlot& b) {
+  if (a.priority != b.priority) return a.priority < b.priority;
+  // Deterministic tie-break: lower id wins, so it must compare greater.
+  return a.query > b.query;
+}
 
 class CarMechanism : public Mechanism {
  public:
@@ -45,35 +42,41 @@ class CarMechanism : public Mechanism {
 
   Allocation Run(const AuctionInstance& instance, double capacity,
                  AuctionContext& context) const override {
-    (void)context;  // Deterministic; the heap dominates, no scratch reuse.
     const int n = instance.num_queries();
     Allocation alloc = MakeEmptyAllocation("car", capacity, n);
     if (n == 0) return alloc;
 
+    // All scratch lives in the context workspace, so a service running
+    // steady-state auctions of similar size pays no allocations here.
+    AuctionWorkspace& ws = context.workspace();
     // Current remaining load per query, updated incrementally as
     // operators get admitted.
-    std::vector<double> cr(static_cast<size_t>(n));
-    std::vector<bool> done(static_cast<size_t>(n), false);
-    std::priority_queue<HeapEntry> heap;
+    std::vector<double>& cr = ws.remaining;
+    cr.resize(static_cast<size_t>(n));
+    std::vector<uint8_t>& done = ws.flags;
+    done.assign(static_cast<size_t>(n), 0);
+    std::vector<HeapSlot>& heap = ws.heap;
+    heap.clear();
+    heap.reserve(static_cast<size_t>(n));
     for (QueryId i = 0; i < n; ++i) {
       cr[static_cast<size_t>(i)] = instance.total_load(i);
-      heap.push({Priority(instance.bid(i), cr[static_cast<size_t>(i)]), i,
-                 cr[static_cast<size_t>(i)]});
+      Push(heap, {Priority(instance.bid(i), cr[static_cast<size_t>(i)]), i,
+                  cr[static_cast<size_t>(i)]});
     }
 
     AdmittedSet set(instance);
     // Selection-time remaining load of each winner — the load its payment
     // is based on (§IV-A).
-    std::vector<double> cr_at_selection(static_cast<size_t>(n), 0.0);
+    std::vector<double>& cr_at_selection = ws.selection;
+    cr_at_selection.assign(static_cast<size_t>(n), 0.0);
     QueryId lost = kNoQuery;
     double lost_cr = 0.0;
 
     while (!heap.empty()) {
-      const HeapEntry top = heap.top();
-      heap.pop();
+      const HeapSlot top = Pop(heap);
       const auto qi = static_cast<size_t>(top.query);
-      if (done[qi]) continue;
-      if (top.cr_at_push != cr[qi]) continue;  // Stale entry.
+      if (done[qi] != 0) continue;
+      if (top.stamp != cr[qi]) continue;  // Stale entry.
 
       const QueryId q = top.query;
       const double q_cr = cr[qi];
@@ -85,7 +88,7 @@ class CarMechanism : public Mechanism {
         break;
       }
       // Admit q; update CRs of queries sharing its not-yet-admitted ops.
-      done[qi] = true;
+      done[qi] = 1;
       alloc.admitted[qi] = true;
       cr_at_selection[qi] = q_cr;
       for (OperatorId j : instance.query_operators(q)) {
@@ -93,10 +96,10 @@ class CarMechanism : public Mechanism {
         const double load = instance.operator_load(j);
         for (QueryId other : instance.operator_queries(j)) {
           const auto oi = static_cast<size_t>(other);
-          if (done[oi] || other == q) continue;
+          if (done[oi] != 0 || other == q) continue;
           cr[oi] -= load;
           if (cr[oi] < 0.0) cr[oi] = 0.0;  // Guard rounding.
-          heap.push({Priority(instance.bid(other), cr[oi]), other, cr[oi]});
+          Push(heap, {Priority(instance.bid(other), cr[oi]), other, cr[oi]});
         }
       }
       set.Admit(q);
@@ -117,6 +120,18 @@ class CarMechanism : public Mechanism {
   }
 
  private:
+  static void Push(std::vector<HeapSlot>& heap, HeapSlot slot) {
+    heap.push_back(slot);
+    std::push_heap(heap.begin(), heap.end(), HeapLess);
+  }
+
+  static HeapSlot Pop(std::vector<HeapSlot>& heap) {
+    std::pop_heap(heap.begin(), heap.end(), HeapLess);
+    const HeapSlot top = heap.back();
+    heap.pop_back();
+    return top;
+  }
+
   static double Priority(double bid, double cr) {
     // A fully covered query (CR = 0) costs nothing to admit; it sorts
     // ahead of everything (and trivially fits).

@@ -13,12 +13,22 @@ namespace streambid::auction {
 
 ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
                                            double capacity) {
+  AuctionWorkspace workspace;
+  return OptimalConstantPricing(instance, capacity, workspace);
+}
+
+ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
+                                           double capacity,
+                                           AuctionWorkspace& workspace) {
   ConstantPriceResult best;
   const int n = instance.num_queries();
   if (n == 0) return best;
 
-  // Queries sorted by non-increasing valuation.
-  std::vector<QueryId> order(static_cast<size_t>(n));
+  // Queries sorted by non-increasing valuation (workspace-backed: the
+  // sort and the tie-packing buffers below are allocation-free once the
+  // workspace has grown to the instance size).
+  std::vector<QueryId>& order = workspace.order;
+  order.resize(static_cast<size_t>(n));
   for (QueryId i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
   std::stable_sort(order.begin(), order.end(), [&](QueryId a, QueryId b) {
     return instance.bid(a) > instance.bid(b);
@@ -27,7 +37,14 @@ ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
   // Walk distinct valuations from high to low, keeping the mandatory set
   // {v > p} admitted incrementally.
   AdmittedSet mandatory(instance);
-  std::vector<QueryId> mandatory_winners;
+  std::vector<QueryId>& mandatory_winners = workspace.winners;
+  mandatory_winners.clear();
+  std::vector<QueryId>& winners = workspace.candidates;
+  std::vector<QueryId>& ties = workspace.ties;
+  std::vector<uint8_t>& taken = workspace.flags;
+  // Declared once and copy-assigned per price class so the operator
+  // bitset's storage is reused instead of reallocated.
+  AdmittedSet set(instance);
   bool mandatory_valid = true;
   size_t pos = 0;
   while (pos < order.size() && mandatory_valid) {
@@ -42,16 +59,16 @@ ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
 
     // Mandatory winners {v > price} are already admitted. Pack the tie
     // class greedily by smallest remaining load.
-    AdmittedSet set = mandatory;
-    std::vector<QueryId> winners = mandatory_winners;
-    std::vector<QueryId> ties(order.begin() + static_cast<long>(pos),
-                              order.begin() + static_cast<long>(tie_end));
-    std::vector<bool> taken(ties.size(), false);
+    set = mandatory;
+    winners.assign(mandatory_winners.begin(), mandatory_winners.end());
+    ties.assign(order.begin() + static_cast<long>(pos),
+                order.begin() + static_cast<long>(tie_end));
+    taken.assign(ties.size(), 0);
     while (true) {
       double best_load = std::numeric_limits<double>::infinity();
       size_t best_k = ties.size();
       for (size_t k = 0; k < ties.size(); ++k) {
-        if (taken[k]) continue;
+        if (taken[k] != 0) continue;
         const double rem = set.RemainingLoad(ties[k]);
         if (rem < best_load) {
           best_load = rem;
@@ -62,14 +79,14 @@ ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
       if (set.used() + best_load > capacity + kFitEpsilon) break;
       set.Admit(ties[best_k]);
       winners.push_back(ties[best_k]);
-      taken[best_k] = true;
+      taken[best_k] = 1;
     }
 
     const double profit = price * static_cast<double>(winners.size());
     if (profit > best.profit) {
       best.profit = profit;
       best.price = price;
-      best.winners = winners;
+      best.winners.assign(winners.begin(), winners.end());
     }
 
     // Advance: the tie class becomes mandatory for all lower prices.
@@ -103,11 +120,10 @@ class OptCMechanism : public Mechanism {
 
   Allocation Run(const AuctionInstance& instance, double capacity,
                  AuctionContext& context) const override {
-    (void)context;  // Deterministic.
     Allocation alloc =
         MakeEmptyAllocation("opt-c", capacity, instance.num_queries());
     const ConstantPriceResult r =
-        OptimalConstantPricing(instance, capacity);
+        OptimalConstantPricing(instance, capacity, context.workspace());
     for (QueryId q : r.winners) {
       alloc.admitted[static_cast<size_t>(q)] = true;
       alloc.payments[static_cast<size_t>(q)] = r.price;

@@ -35,6 +35,14 @@ struct ConstantPriceResult {
 ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
                                            double capacity);
 
+/// Workspace-backed variant: the valuation sort and the tie-packing
+/// buffers live in `workspace`, so repeated calls on a hot context (one
+/// per executor worker) run allocation-free in steady state. Results are
+/// identical to the plain overload.
+ConstantPriceResult OptimalConstantPricing(const AuctionInstance& instance,
+                                           double capacity,
+                                           AuctionWorkspace& workspace);
+
 /// Mechanism adapter ("opt-c"): admits the OPT_C winners and charges each
 /// the constant price. Not strategyproof (it is a profit benchmark, not a
 /// deployable auction); exposed so the bench harness can run it alongside

@@ -3,6 +3,8 @@
 #include "cloud/dsms_center.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/check.h"
 
@@ -36,36 +38,52 @@ Status DsmsCenter::Submit(stream::QuerySubmission submission) {
   return Status::Ok();
 }
 
-Result<PeriodReport> DsmsCenter::RunPeriod() {
+Result<PreparedAuction> DsmsCenter::PrepareAuction() {
+  PreparedAuction prepared;
+  if (pending_.empty()) return prepared;
+
+  STREAMBID_ASSIGN_OR_RETURN(
+      stream::AuctionBuild build,
+      stream::BuildAuctionInstance(*engine_, pending_,
+                                   options_.load_options));
+  prepared.build =
+      std::make_unique<stream::AuctionBuild>(std::move(build));
+  prepared.has_auction = true;
+  prepared.request.instance = &prepared.build->instance;
+  prepared.request.capacity = engine_->options().capacity;
+  prepared.request.mechanism = options_.mechanism;
+  prepared.request.seed = options_.seed;
+  // One auction per period: the period number is the replica index, so
+  // period k replays identically regardless of earlier periods.
+  prepared.request.request_index =
+      static_cast<uint32_t>(history_.size());
+  prepared.request.options.check_feasibility = true;
+  return prepared;
+}
+
+Result<PeriodReport> DsmsCenter::CompletePeriod(
+    const service::AdmissionResponse* response) {
   PeriodReport report;
   report.period = static_cast<int>(history_.size());
+  report.mechanism = options_.mechanism;
   report.submissions = static_cast<int>(pending_.size());
 
-  const double capacity = engine_->options().capacity;
-
-  // --- Auction over pending submissions. ---
-  auction::Allocation alloc;
-  stream::AuctionBuild build{
-      auction::AuctionInstance::Create({}, {}).value(), {}, {}};
+  const auction::Allocation* alloc = nullptr;
   if (!pending_.empty()) {
-    STREAMBID_ASSIGN_OR_RETURN(
-        build, stream::BuildAuctionInstance(*engine_, pending_,
-                                            options_.load_options));
-    service::AdmissionRequest request;
-    request.instance = &build.instance;
-    request.capacity = capacity;
-    request.mechanism = options_.mechanism;
-    request.seed = options_.seed;
-    // One auction per period: the period number is the replica index,
-    // so period k replays identically regardless of earlier periods.
-    request.request_index = static_cast<uint32_t>(report.period);
-    request.options.check_feasibility = true;
-    STREAMBID_ASSIGN_OR_RETURN(service::AdmissionResponse response,
-                               service_.Admit(request));
-    alloc = std::move(response.allocation);
-    report.total_payoff = response.metrics.total_payoff;
-    report.auction_utilization = response.metrics.utilization;
-    report.auction_elapsed_ms = response.elapsed_ms;
+    if (response == nullptr) {
+      return Status::InvalidArgument(
+          "pending submissions but no admission response");
+    }
+    if (response->allocation.admitted.size() != pending_.size()) {
+      return Status::InvalidArgument(
+          "admission response sized for " +
+          std::to_string(response->allocation.admitted.size()) +
+          " queries, " + std::to_string(pending_.size()) + " pending");
+    }
+    alloc = &response->allocation;
+    report.total_payoff = response->metrics.total_payoff;
+    report.auction_utilization = response->metrics.utilization;
+    report.auction_elapsed_ms = response->elapsed_ms;
   }
 
   // --- Transition phase: expired queries out, winners in (§II). ---
@@ -75,13 +93,13 @@ Result<PeriodReport> DsmsCenter::RunPeriod() {
   }
   active_.clear();
   for (size_t i = 0; i < pending_.size(); ++i) {
-    if (!alloc.IsAdmitted(static_cast<auction::QueryId>(i))) continue;
+    if (!alloc->IsAdmitted(static_cast<auction::QueryId>(i))) continue;
     const stream::QuerySubmission& sub = pending_[i];
     STREAMBID_RETURN_IF_ERROR(
         engine_->InstallQuery(sub.query_id, sub.plan));
     active_.push_back(sub.query_id);
     const double payment =
-        alloc.Payment(static_cast<auction::QueryId>(i));
+        alloc->Payment(static_cast<auction::QueryId>(i));
     ledger_.Charge(sub.user, payment);
     report.revenue += payment;
     report.payments[sub.query_id] = payment;
@@ -97,6 +115,14 @@ Result<PeriodReport> DsmsCenter::RunPeriod() {
 
   history_.push_back(report);
   return report;
+}
+
+Result<PeriodReport> DsmsCenter::RunPeriod() {
+  STREAMBID_ASSIGN_OR_RETURN(PreparedAuction prepared, PrepareAuction());
+  if (!prepared.has_auction) return CompletePeriod(nullptr);
+  STREAMBID_ASSIGN_OR_RETURN(service::AdmissionResponse response,
+                             service_.Admit(prepared.request));
+  return CompletePeriod(&response);
 }
 
 }  // namespace streambid::cloud

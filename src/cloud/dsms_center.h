@@ -38,6 +38,10 @@ struct DsmsCenterOptions {
 /// Outcome of one subscription period.
 struct PeriodReport {
   int period = 0;
+  /// Admission mechanism that ran this period's auction — carried so
+  /// aggregated reports (cluster layer) need not reach back into the
+  /// center's options.
+  std::string mechanism;
   int submissions = 0;
   int admitted = 0;
   double revenue = 0.0;
@@ -78,6 +82,20 @@ class BillingLedger {
   double total_ = 0.0;
 };
 
+/// The auction inputs for one period boundary, built from the pending
+/// submissions. The admission request's instance points into `build`,
+/// which is heap-held so the struct stays valid across moves — the
+/// cluster layer collects one of these per shard, runs the requests
+/// through its parallel executor, and hands each response back to
+/// CompletePeriod.
+struct PreparedAuction {
+  /// False when no submissions are pending (the period still runs:
+  /// CompletePeriod(nullptr) expires active queries and executes).
+  bool has_auction = false;
+  std::unique_ptr<stream::AuctionBuild> build;
+  service::AdmissionRequest request;
+};
+
 /// The admission-controlled streaming service. Borrows an engine whose
 /// capacity defines the auction capacity.
 class DsmsCenter {
@@ -98,7 +116,24 @@ class DsmsCenter {
   /// in), executes one period of stream processing, and bills winners.
   /// Queries run for exactly one period; users must resubmit to renew
   /// (see SubscriptionManager for the §VII multi-period extension).
+  /// Equivalent to PrepareAuction + Admit on the own service +
+  /// CompletePeriod.
   Result<PeriodReport> RunPeriod();
+
+  /// Builds this period's auction instance and admission request from
+  /// the pending submissions without running anything. The request's
+  /// stream is (options.seed, period), exactly as RunPeriod would use,
+  /// so admitting it through any AdmissionService — including another
+  /// thread's — yields the identical allocation.
+  Result<PreparedAuction> PrepareAuction();
+
+  /// Applies an admission outcome and finishes the period: transition,
+  /// execution, billing, history. `response` must be the result of
+  /// admitting the PreparedAuction request (null iff there was no
+  /// auction; kInvalidArgument when submissions are pending but the
+  /// response is missing or mis-sized).
+  Result<PeriodReport> CompletePeriod(
+      const service::AdmissionResponse* response);
 
   /// Total revenue across periods.
   double total_revenue() const { return ledger_.total(); }
@@ -110,7 +145,12 @@ class DsmsCenter {
     return static_cast<int>(pending_.size());
   }
   stream::Engine& engine() { return *engine_; }
+  const stream::Engine& engine() const { return *engine_; }
   service::AdmissionService& admission_service() { return service_; }
+  const service::AdmissionService& admission_service() const {
+    return service_;
+  }
+  const DsmsCenterOptions& options() const { return options_; }
 
  private:
   DsmsCenterOptions options_;

@@ -1,0 +1,167 @@
+// Copyright 2026 The streambid Authors
+// The parallel admission runtime of the cluster layer: a fixed pool of
+// worker threads, each owning its own AdmissionService (and therefore
+// its own AuctionContext scratch arena — the service header's "shard one
+// service per thread"). Because every AdmissionRequest carries its own
+// deterministic (seed, request_index) RNG stream, a request's response
+// is a pure function of the request: it does not matter which worker
+// runs it, in what order, or how many workers exist. That is the
+// contract that makes the two surfaces below safe:
+//
+//  - AdmitBatchParallel: blocking batch sharded across the pool,
+//    responses positionally aligned and byte-identical to serial
+//    AdmissionService::AdmitBatch (timing fields excepted);
+//  - Enqueue / Poll / Wait: async submit of individual auctions with
+//    ticket-based completion draining, for callers (the ClusterCenter,
+//    period pipelines) that overlap admission with other work.
+//
+// Worker-side diagnostics are folded into per-mechanism rolling stats
+// (count, admit rate, utilization, elapsed, deadline overruns) exposed
+// via StatsReport() — the cluster bench's observability surface.
+
+#ifndef STREAMBID_CLUSTER_ADMISSION_EXECUTOR_H_
+#define STREAMBID_CLUSTER_ADMISSION_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "service/admission_service.h"
+
+namespace streambid::cluster {
+
+/// Executor configuration.
+struct ExecutorOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (at
+  /// least 1).
+  int num_threads = 0;
+};
+
+/// Completion handle returned by Enqueue. Tickets are issued once and
+/// consumed once: a successful Poll/Wait removes the result.
+using Ticket = uint64_t;
+
+/// Rolling per-mechanism statistics aggregated from the
+/// AdmissionDiagnostics of every successful request the executor ran.
+struct MechanismRollingStats {
+  int64_t count = 0;              ///< Successful requests.
+  int64_t deadline_overruns = 0;  ///< diagnostics.deadline_exceeded.
+  RunningStats admit_rate;        ///< admitted / submitted per request.
+  RunningStats utilization;       ///< diagnostics.capacity_utilization.
+  RunningStats elapsed_ms;        ///< Mechanism wall clock per request.
+};
+
+/// Snapshot returned by StatsReport(). Ordered by mechanism name so
+/// reports print deterministically.
+struct ExecutorStats {
+  int64_t total_requests = 0;   ///< Successful requests across mechanisms.
+  int64_t failed_requests = 0;  ///< Requests whose execution errored.
+  std::map<std::string, MechanismRollingStats> per_mechanism;
+};
+
+/// Thread-pool admission runtime. Thread-safe: any thread may submit
+/// batches, enqueue requests, and poll tickets concurrently. Instances
+/// referenced by in-flight requests must outlive their completion
+/// (instances are immutable and may back many concurrent requests).
+class AdmissionExecutor {
+ public:
+  explicit AdmissionExecutor(const ExecutorOptions& options = {});
+  /// Drains nothing: queued work is dropped, running auctions finish,
+  /// and unconsumed tickets complete with kFailedPrecondition so a
+  /// straggling Wait unblocks. Destruction must still happen-after any
+  /// concurrent Poll/Wait/AdmitBatchParallel call returns (they use the
+  /// executor's synchronization internals).
+  ~AdmissionExecutor();
+
+  AdmissionExecutor(const AdmissionExecutor&) = delete;
+  AdmissionExecutor& operator=(const AdmissionExecutor&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `requests` across the worker pool and returns responses
+  /// positionally aligned with the requests — byte-identical to serial
+  /// AdmissionService::AdmitBatch on the same requests (timing fields
+  /// excluded), for every pool size. Validation fails the whole batch up
+  /// front with the same "request i: ..." errors as the serial path; an
+  /// execution failure (feasibility check) returns the status of the
+  /// lowest-index failing request.
+  Result<std::vector<service::AdmissionResponse>> AdmitBatchParallel(
+      const std::vector<service::AdmissionRequest>& requests);
+
+  /// Validates and enqueues one auction; the returned ticket completes
+  /// on some worker. Validation errors are returned here, execution
+  /// errors via Poll/Wait.
+  Result<Ticket> Enqueue(const service::AdmissionRequest& request);
+
+  /// Non-blocking completion check: empty while the ticket is still
+  /// queued or running; otherwise the response (or execution error),
+  /// which is removed — a second Poll of the same ticket is kNotFound.
+  std::optional<Result<service::AdmissionResponse>> Poll(Ticket ticket);
+
+  /// Blocks until the ticket completes and returns its result (removing
+  /// it, as Poll does). kNotFound for never-issued or already-consumed
+  /// tickets.
+  Result<service::AdmissionResponse> Wait(Ticket ticket);
+
+  /// Outstanding (enqueued, not yet consumed) async tickets.
+  int pending_tickets() const;
+
+  /// Copies the rolling per-mechanism stats accumulated so far.
+  ExecutorStats StatsReport() const;
+
+  /// Clears the rolling stats (benches reset between phases).
+  void ResetStats();
+
+ private:
+  /// One unit of work: an async ticket or one index of a batch job.
+  struct BatchJob;
+  struct WorkItem {
+    service::AdmissionRequest request;
+    Ticket ticket = 0;          ///< Valid when job == nullptr.
+    BatchJob* job = nullptr;    ///< Valid for batch items.
+    size_t index = 0;           ///< Position within the batch.
+  };
+
+  void WorkerLoop(int worker_id);
+  void RecordStats(int worker_id,
+                   const Result<service::AdmissionResponse>& result);
+
+  std::vector<std::unique_ptr<service::AdmissionService>> services_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Signals queued work / shutdown.
+  std::condition_variable done_cv_;  ///< Signals completions.
+  std::deque<WorkItem> queue_;
+  Ticket next_ticket_ = 1;
+  /// Issued-but-unconsumed async tickets; presence without a result
+  /// means queued or running.
+  std::unordered_map<Ticket,
+                     std::optional<Result<service::AdmissionResponse>>>
+      tickets_;
+  bool stopping_ = false;
+
+  /// Stats are sharded per worker so the hot path never contends on a
+  /// global lock (each worker touches only its own accumulator; the
+  /// per-shard mutex only synchronizes against StatsReport/ResetStats
+  /// readers). StatsReport merges via RunningStats::Merge.
+  struct WorkerStats {
+    mutable std::mutex mutex;
+    ExecutorStats stats;
+  };
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+};
+
+}  // namespace streambid::cluster
+
+#endif  // STREAMBID_CLUSTER_ADMISSION_EXECUTOR_H_

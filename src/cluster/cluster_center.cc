@@ -1,0 +1,189 @@
+// Copyright 2026 The streambid Authors
+
+#include "cluster/cluster_center.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "stream/load_estimator.h"
+
+namespace streambid::cluster {
+
+ClusterCenter::ClusterCenter(const ClusterOptions& options,
+                             const EngineConfigurator& configure_engine)
+    : options_(options),
+      router_(options.routing, options.num_shards),
+      executor_(ExecutorOptions{options.executor_threads}) {
+  STREAMBID_CHECK_GE(options.num_shards, 1);
+  STREAMBID_CHECK_GT(options.total_capacity, 0.0);
+
+  stream::EngineOptions engine_options = options.engine_options;
+  engine_options.capacity =
+      options.total_capacity / options.num_shards;
+
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  statuses_.resize(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    Shard shard;
+    shard.engine = std::make_unique<stream::Engine>(engine_options);
+    if (configure_engine) {
+      const Status status = configure_engine(*shard.engine);
+      STREAMBID_CHECK(status.ok());
+    }
+    cloud::DsmsCenterOptions center_options;
+    center_options.period_length = options.period_length;
+    center_options.mechanism = options.mechanism;
+    center_options.load_options = options.load_options;
+    // Independent per-shard streams: shard s replays from (seed + s,
+    // period) no matter what the other shards do.
+    center_options.seed = options.seed + static_cast<uint64_t>(s);
+    shard.center = std::make_unique<cloud::DsmsCenter>(center_options,
+                                                       shard.engine.get());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Result<int> ClusterCenter::Submit(stream::QuerySubmission submission) {
+  const int s = router_.Route(submission, statuses_);
+  Shard& shard = shards_[static_cast<size_t>(s)];
+  // Estimate before the submission is moved into the shard: the router's
+  // least-loaded policy runs on these pending-load accumulations.
+  STREAMBID_ASSIGN_OR_RETURN(
+      const stream::PlanLoadEstimate estimate,
+      stream::EstimatePlanLoad(*shard.engine, submission.plan,
+                               options_.load_options));
+  STREAMBID_RETURN_IF_ERROR(shard.center->Submit(std::move(submission)));
+  ShardStatus& status = statuses_[static_cast<size_t>(s)];
+  status.pending_load += estimate.total_load;
+  ++status.pending_count;
+  return s;
+}
+
+Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
+  const int n = num_shards();
+  Timer timer;
+
+  // --- Phase 1: every shard builds its auction (serial, cheap). ---
+  std::vector<cloud::PreparedAuction> prepared;
+  prepared.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    STREAMBID_ASSIGN_OR_RETURN(
+        cloud::PreparedAuction p,
+        shards_[static_cast<size_t>(s)].center->PrepareAuction());
+    prepared.push_back(std::move(p));
+  }
+
+  // --- Phase 2: all shard auctions through the parallel executor. ---
+  std::vector<service::AdmissionRequest> requests;
+  std::vector<int> owner;  // requests[k] belongs to shard owner[k].
+  for (int s = 0; s < n; ++s) {
+    if (!prepared[static_cast<size_t>(s)].has_auction) continue;
+    requests.push_back(prepared[static_cast<size_t>(s)].request);
+    owner.push_back(s);
+  }
+  STREAMBID_ASSIGN_OR_RETURN(
+      const std::vector<service::AdmissionResponse> responses,
+      executor_.AdmitBatchParallel(requests));
+  std::vector<const service::AdmissionResponse*> response_of(
+      static_cast<size_t>(n), nullptr);
+  for (size_t k = 0; k < owner.size(); ++k) {
+    response_of[static_cast<size_t>(owner[k])] = &responses[k];
+  }
+
+  // --- Phase 3: shards complete their periods concurrently. Each
+  // slot is touched by exactly one thread (a shard's engine, ledger,
+  // and history are private to it), so the fan-out cannot change any
+  // per-shard outcome. Parallelism is capped at the hardware so a
+  // many-shard cluster does not oversubscribe the machine with one
+  // thread per shard. ---
+  std::vector<std::optional<Result<cloud::PeriodReport>>> completed(
+      static_cast<size_t>(n));
+  {
+    int pool = static_cast<int>(std::thread::hardware_concurrency());
+    if (pool <= 0) pool = 1;
+    pool = std::min(pool, n);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(pool));
+    for (int w = 0; w < pool; ++w) {
+      threads.emplace_back([this, w, pool, n, &response_of, &completed] {
+        for (int s = w; s < n; s += pool) {
+          completed[static_cast<size_t>(s)] =
+              shards_[static_cast<size_t>(s)].center->CompletePeriod(
+                  response_of[static_cast<size_t>(s)]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // --- Refresh the router's view for every shard that completed:
+  // pending demand was consumed, and the price-aware policy keys off
+  // this period's clearing. This runs before any failure surfaces so a
+  // partial failure does not leave stale pending-load bias on the
+  // surviving shards (a failed shard itself is unrecoverable — its
+  // engine may be mid-transition — matching DsmsCenter::RunPeriod
+  // error semantics). ---
+  Status first_error;
+  for (int s = 0; s < n; ++s) {
+    const Result<cloud::PeriodReport>& result =
+        *completed[static_cast<size_t>(s)];
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    const cloud::PeriodReport& shard_report = *result;
+    ShardStatus& status = statuses_[static_cast<size_t>(s)];
+    status.pending_load = 0.0;
+    status.pending_count = 0;
+    if (shard_report.submissions > 0) {
+      status.has_history = true;
+      // Admitting nobody means saturation, not free service: mark the
+      // clearing infinite so the price-aware policy repels traffic
+      // instead of funneling everything into the saturated shard.
+      status.last_clearing_price =
+          shard_report.admitted > 0
+              ? shard_report.revenue / shard_report.admitted
+              : std::numeric_limits<double>::infinity();
+      status.last_admission_rate =
+          static_cast<double>(shard_report.admitted) /
+          shard_report.submissions;
+    }
+  }
+  if (!first_error.ok()) return first_error;
+
+  // --- Merge into the cluster view. ---
+  ClusterPeriodReport report;
+  report.period = static_cast<int>(history_.size());
+  report.shard_reports.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    Result<cloud::PeriodReport>& result =
+        *completed[static_cast<size_t>(s)];
+    const cloud::PeriodReport& shard_report = *result;
+    report.submissions += shard_report.submissions;
+    report.admitted += shard_report.admitted;
+    report.revenue += shard_report.revenue;
+    report.total_payoff += shard_report.total_payoff;
+    report.auction_utilization += shard_report.auction_utilization / n;
+    report.measured_utilization +=
+        shard_report.measured_utilization / n;
+    report.shard_reports.push_back(std::move(result).value());
+  }
+  report.elapsed_ms = timer.ElapsedMillis();
+  history_.push_back(report);
+  return report;
+}
+
+double ClusterCenter::total_revenue() const {
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.center->total_revenue();
+  }
+  return total;
+}
+
+}  // namespace streambid::cluster

@@ -1,0 +1,136 @@
+// Copyright 2026 The streambid Authors
+// The sharded multi-center deployment: N DsmsCenters (each with its own
+// engine at total_capacity / N) behind a ShardRouter, with all shards'
+// period auctions admitted through one parallel AdmissionExecutor and
+// the per-shard PeriodReports merged into a ClusterPeriodReport. This is
+// the ROADMAP "sharded multi-center" item: the shape that lets the bench
+// compare {1 big center} against {N shards at equal total capacity}
+// across mechanisms and routing policies.
+//
+// A period runs in three phases:
+//   1. every shard prepares its auction (instance build, serial);
+//   2. all shard auctions go down as one AdmitBatchParallel — each
+//      shard's (seed, period) request stream makes the outcome identical
+//      to the shard auctioning alone;
+//   3. every shard completes its period (transition + engine execution +
+//      billing) on its own thread — shards share no state, so the
+//      per-shard reports are deterministic regardless of interleaving.
+
+#ifndef STREAMBID_CLUSTER_CLUSTER_CENTER_H_
+#define STREAMBID_CLUSTER_CLUSTER_CENTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/dsms_center.h"
+#include "cluster/admission_executor.h"
+#include "cluster/shard_router.h"
+#include "common/status.h"
+#include "stream/engine.h"
+
+namespace streambid::cluster {
+
+/// Cluster configuration.
+struct ClusterOptions {
+  /// Number of DsmsCenter shards (>= 1).
+  int num_shards = 2;
+  /// Total engine capacity, split evenly across shards.
+  double total_capacity = 1000.0;
+  /// Submission routing policy.
+  RoutingPolicy routing = RoutingPolicy::kHashUser;
+  /// Admission mechanism run by every shard.
+  std::string mechanism = "cat";
+  /// Per-period virtual execution length (see DsmsCenterOptions).
+  stream::VirtualTime period_length = 3600.0;
+  /// Load model for the per-shard auctions and the router's pending-load
+  /// estimates.
+  stream::LoadEstimateOptions load_options;
+  /// Base seed; shard s auctions on stream (seed + s, period), so shard
+  /// outcomes are independent and individually replayable.
+  uint64_t seed = 1;
+  /// Engine settings applied to every shard (capacity is overridden with
+  /// the per-shard share).
+  stream::EngineOptions engine_options;
+  /// Executor pool size; 0 sizes to the hardware.
+  int executor_threads = 0;
+};
+
+/// One cluster period: the merged view plus the per-shard breakdown.
+struct ClusterPeriodReport {
+  int period = 0;
+  int submissions = 0;       ///< Sum over shards.
+  int admitted = 0;          ///< Sum over shards.
+  double revenue = 0.0;      ///< Sum over shards.
+  double total_payoff = 0.0;
+  /// Capacity-weighted means (shards have equal capacity, so these are
+  /// plain means over shards).
+  double auction_utilization = 0.0;
+  double measured_utilization = 0.0;
+  /// Wall clock of the whole cluster period (prepare + parallel
+  /// admission + parallel completion).
+  double elapsed_ms = 0.0;
+  /// Indexed by shard; each report carries its mechanism name.
+  std::vector<cloud::PeriodReport> shard_reports;
+};
+
+/// N admission-controlled centers behind one router and one executor.
+/// Not thread-safe at the surface (one caller drives submissions and
+/// periods); internally the executor and the completion phase fan out.
+class ClusterCenter {
+ public:
+  /// Applied to every shard engine at construction (register sources,
+  /// etc.) before any submission arrives.
+  using EngineConfigurator = std::function<Status(stream::Engine&)>;
+
+  /// Preconditions (checked): num_shards >= 1, positive total capacity,
+  /// registered mechanism (verified by each shard's DsmsCenter
+  /// constructor). The configurator must succeed on every shard engine
+  /// (checked).
+  ClusterCenter(const ClusterOptions& options,
+                const EngineConfigurator& configure_engine);
+
+  /// Routes the submission to a shard and queues it there for the next
+  /// period. Returns the shard index. Routing happens before admission:
+  /// a submission rejected by its shard's auction is not re-routed.
+  Result<int> Submit(stream::QuerySubmission submission);
+
+  /// Runs one period on every shard (see the phase breakdown in the file
+  /// header) and merges the shard reports.
+  Result<ClusterPeriodReport> RunPeriod();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ClusterOptions& options() const { return options_; }
+  const ShardRouter& router() const { return router_; }
+  AdmissionExecutor& executor() { return executor_; }
+  const cloud::DsmsCenter& shard(int s) const {
+    return *shards_[static_cast<size_t>(s)].center;
+  }
+  /// Router-visible status snapshots, indexed by shard.
+  const std::vector<ShardStatus>& shard_statuses() const {
+    return statuses_;
+  }
+  const std::vector<ClusterPeriodReport>& history() const {
+    return history_;
+  }
+  /// Aggregate revenue across shards and periods.
+  double total_revenue() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<stream::Engine> engine;
+    std::unique_ptr<cloud::DsmsCenter> center;
+  };
+
+  ClusterOptions options_;
+  ShardRouter router_;
+  AdmissionExecutor executor_;
+  std::vector<Shard> shards_;
+  std::vector<ShardStatus> statuses_;
+  std::vector<ClusterPeriodReport> history_;
+};
+
+}  // namespace streambid::cluster
+
+#endif  // STREAMBID_CLUSTER_CLUSTER_CENTER_H_

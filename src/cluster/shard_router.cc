@@ -1,0 +1,96 @@
+// Copyright 2026 The streambid Authors
+
+#include "cluster/shard_router.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace streambid::cluster {
+
+const char* RoutingPolicyName(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kHashUser:
+      return "hash";
+    case RoutingPolicy::kLeastLoaded:
+      return "least-loaded";
+    case RoutingPolicy::kPriceAware:
+      return "price-aware";
+  }
+  return "unknown";
+}
+
+ShardRouter::ShardRouter(RoutingPolicy policy, int num_shards)
+    : policy_(policy), num_shards_(num_shards) {
+  STREAMBID_CHECK_GE(num_shards, 1);
+}
+
+uint64_t ShardRouter::HashUser(auction::UserId user) {
+  // User ids are typically small and sequential; Mix64 spreads them
+  // evenly over shards.
+  return Mix64(static_cast<uint64_t>(static_cast<int64_t>(user)) +
+               0x9E3779B97F4A7C15ull);
+}
+
+int ShardRouter::RouteHash(
+    const stream::QuerySubmission& submission) const {
+  return static_cast<int>(HashUser(submission.user) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+int ShardRouter::Route(const stream::QuerySubmission& submission,
+                       const std::vector<ShardStatus>& shards) const {
+  STREAMBID_CHECK_EQ(static_cast<int>(shards.size()), num_shards_);
+  switch (policy_) {
+    case RoutingPolicy::kHashUser:
+      return RouteHash(submission);
+
+    case RoutingPolicy::kLeastLoaded: {
+      int best = 0;
+      for (int s = 1; s < num_shards_; ++s) {
+        // Strict <: ties stay on the lowest index (deterministic).
+        if (shards[static_cast<size_t>(s)].pending_load <
+            shards[static_cast<size_t>(best)].pending_load) {
+          best = s;
+        }
+      }
+      return best;
+    }
+
+    case RoutingPolicy::kPriceAware: {
+      // No shard has run a period yet: nothing to compare prices on, so
+      // place by the stable hash instead.
+      bool any_history = false;
+      for (const ShardStatus& status : shards) {
+        any_history = any_history || status.has_history;
+      }
+      if (!any_history) return RouteHash(submission);
+
+      // A shard without history is optimistically price 0 / rate 1, so
+      // unexplored capacity attracts traffic until it clears a period —
+      // otherwise a shard the hash never seeded could stay dead weight
+      // forever. Ties go to the lowest index.
+      const auto price = [](const ShardStatus& s) {
+        return s.has_history ? s.last_clearing_price : 0.0;
+      };
+      const auto rate = [](const ShardStatus& s) {
+        return s.has_history ? s.last_admission_rate : 1.0;
+      };
+      int best = 0;
+      for (int s = 1; s < num_shards_; ++s) {
+        const ShardStatus& status = shards[static_cast<size_t>(s)];
+        const ShardStatus& incumbent =
+            shards[static_cast<size_t>(best)];
+        if (price(status) < price(incumbent) ||
+            (price(status) == price(incumbent) &&
+             rate(status) > rate(incumbent))) {
+          best = s;
+        }
+      }
+      return best;
+    }
+  }
+  STREAMBID_CHECK(false);
+  return 0;
+}
+
+}  // namespace streambid::cluster

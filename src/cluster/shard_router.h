@@ -1,0 +1,83 @@
+// Copyright 2026 The streambid Authors
+// Routing of query submissions across the shards of a multi-center
+// deployment. The router is a pure policy: it sees one submission plus a
+// status snapshot per shard (pending load, last period's outcome) and
+// picks a shard index. Three policies, per the sharded-multi-center
+// ROADMAP item:
+//
+//  - hash(user): stable user -> shard assignment, oblivious to load;
+//  - least-loaded: the shard with the lowest pending auction load
+//    (ties to the lowest index), balancing the next auction's demand;
+//  - price-aware: the shard whose last period cleared cheapest — the
+//    lowest mean winner payment, ties broken by higher admission rate —
+//    i.e. where a marginal bidder most likely wins. Shards without
+//    history are explored optimistically (price 0, rate 1) so unused
+//    capacity attracts traffic; until any shard has history at all,
+//    routing falls back to hash(user).
+
+#ifndef STREAMBID_CLUSTER_SHARD_ROUTER_H_
+#define STREAMBID_CLUSTER_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auction/types.h"
+#include "stream/load_estimator.h"
+
+namespace streambid::cluster {
+
+/// Shard-selection policy.
+enum class RoutingPolicy {
+  kHashUser,
+  kLeastLoaded,
+  kPriceAware,
+};
+
+/// Stable lowercase name ("hash", "least-loaded", "price-aware").
+const char* RoutingPolicyName(RoutingPolicy policy);
+
+/// What the router knows about one shard when routing. Maintained by the
+/// ClusterCenter: pending_* reset at each period boundary, the last_*
+/// fields refresh from the shard's PeriodReport.
+struct ShardStatus {
+  double pending_load = 0.0;  ///< Estimated load of pending submissions.
+  int pending_count = 0;
+  bool has_history = false;   ///< Completed at least one auction period.
+  /// Mean payment per admitted query last period. 0 means everyone won
+  /// for free (the cheapest clearing); +infinity marks a saturated
+  /// period that admitted nobody — saturation must repel traffic, not
+  /// read as free service.
+  double last_clearing_price = 0.0;
+  double last_admission_rate = 0.0;  ///< admitted / submitted last period.
+};
+
+/// Stateless shard selector. Thread-compatible (const after
+/// construction).
+class ShardRouter {
+ public:
+  /// Precondition (checked): num_shards >= 1.
+  ShardRouter(RoutingPolicy policy, int num_shards);
+
+  /// Picks the shard for `submission` given the current shard statuses.
+  /// Precondition (checked): shards.size() == num_shards().
+  int Route(const stream::QuerySubmission& submission,
+            const std::vector<ShardStatus>& shards) const;
+
+  RoutingPolicy policy() const { return policy_; }
+  int num_shards() const { return num_shards_; }
+
+  /// The stable user hash (SplitMix64 finalizer) behind kHashUser —
+  /// exposed so tests and rebalancing tooling can predict placements.
+  static uint64_t HashUser(auction::UserId user);
+
+ private:
+  int RouteHash(const stream::QuerySubmission& submission) const;
+
+  RoutingPolicy policy_;
+  int num_shards_;
+};
+
+}  // namespace streambid::cluster
+
+#endif  // STREAMBID_CLUSTER_SHARD_ROUTER_H_

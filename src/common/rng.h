@@ -13,6 +13,16 @@
 
 namespace streambid {
 
+/// The SplitMix64 finalizer: a bijective 64-bit mix used wherever
+/// nearby integers (seeds, user ids) must map to unrelated values —
+/// Rng seeding, the admission service's per-request stream derivation,
+/// and the cluster router's user hash all share this one definition.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic 64-bit PRNG (xoshiro256** by Blackman & Vigna).
 /// Not cryptographic; chosen for speed, quality, and full reproducibility
 /// across platforms (unlike std::mt19937 + std::uniform_*_distribution,
@@ -24,12 +34,8 @@ class Rng {
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
     uint64_t x = seed;
     for (auto& s : state_) {
-      // SplitMix64 step.
-      x += 0x9E3779B97F4A7C15ull;
-      uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      s = z ^ (z >> 31);
+      x += 0x9E3779B97F4A7C15ull;  // SplitMix64 increment.
+      s = Mix64(x);
     }
   }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "auction/registry.h"
+#include "common/rng.h"
 #include "common/timer.h"
 
 namespace streambid::service {
@@ -20,13 +21,10 @@ AdmissionService::AdmissionService()
 
 uint64_t AdmissionService::DeriveStreamSeed(uint64_t seed,
                                             uint32_t request_index) {
-  // SplitMix64 finalizer over the combined words: nearby (seed, index)
-  // pairs must yield unrelated streams, and index 0 must not collapse to
-  // the bare seed (callers often use small integer seeds elsewhere).
-  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (request_index + 1ull);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  // Mix64 over the combined words: nearby (seed, index) pairs must
+  // yield unrelated streams, and index 0 must not collapse to the bare
+  // seed (callers often use small integer seeds elsewhere).
+  return Mix64(seed + 0x9E3779B97F4A7C15ull * (request_index + 1ull));
 }
 
 const auction::Mechanism* AdmissionService::Find(

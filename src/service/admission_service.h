@@ -122,6 +122,13 @@ class AdmissionService {
 
   bool HasMechanism(std::string_view name) const;
 
+  /// Checks a request without running it: kInvalidArgument for a null
+  /// instance or negative capacity, kNotFound for an unknown mechanism.
+  /// Admit/AdmitBatch validate internally; this is exposed so batching
+  /// layers (the cluster AdmissionExecutor) can fail fast at enqueue
+  /// time with the same errors the serial path would produce.
+  Status Validate(const AdmissionRequest& request) const;
+
   /// Claimed Table-I properties of a registered mechanism; kNotFound
   /// for unknown names.
   Result<auction::MechanismProperties> Properties(
@@ -143,7 +150,6 @@ class AdmissionService {
   };
 
   const auction::Mechanism* Find(std::string_view name) const;
-  Status Validate(const AdmissionRequest& request) const;
   /// Runs a validated request against its resolved mechanism,
   /// including the optional feasibility re-check.
   Result<AdmissionResponse> Execute(const AdmissionRequest& request,

@@ -103,5 +103,22 @@ TEST(CarTest, NotStrategyproofByProperties) {
   EXPECT_FALSE(MakeCar()->properties().strategyproof);
 }
 
+TEST(CarTest, WorkspaceReuseDoesNotChangeResults) {
+  // The heap and load buffers live in the context workspace; a context
+  // hot from other runs must produce the same allocation as a fresh one.
+  AuctionInstance small =
+      Make({4.0, 4.0}, {{0, 40.0, {0}}, {1, 1.0, {0}}, {2, 39.0, {1}}});
+  AuctionInstance inst = gametheory::Example1Instance();
+  const MechanismPtr car = MakeCar();
+  AuctionContext hot(1);
+  (void)car->Run(small, 4.0, hot);   // Dirty the workspace...
+  (void)car->Run(inst, 100.0, hot);  // ...at a different size too.
+  const Allocation reused = car->Run(inst, 10.0, hot);
+  AuctionContext fresh(1);
+  const Allocation expected = car->Run(inst, 10.0, fresh);
+  EXPECT_EQ(reused.admitted, expected.admitted);
+  EXPECT_EQ(reused.payments, expected.payments);
+}
+
 }  // namespace
 }  // namespace streambid::auction

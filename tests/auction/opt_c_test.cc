@@ -105,5 +105,21 @@ TEST(OptCTest, ZeroBidsEarnNothing) {
   EXPECT_DOUBLE_EQ(r.profit, 0.0);
 }
 
+TEST(OptCTest, WorkspaceReuseDoesNotChangeResults) {
+  // The sort/tie-packing buffers live in the workspace; results must not
+  // depend on what a hot workspace ran before (ties exercise the
+  // tie-class buffers).
+  AuctionInstance ties = UnitQueries({6.0, 6.0, 6.0, 2.0});
+  AuctionInstance inst = UnitQueries({10.0, 6.0, 6.0, 1.0});
+  AuctionWorkspace workspace;
+  (void)OptimalConstantPricing(ties, 2.0, workspace);
+  const ConstantPriceResult reused =
+      OptimalConstantPricing(inst, 3.0, workspace);
+  const ConstantPriceResult fresh = OptimalConstantPricing(inst, 3.0);
+  EXPECT_DOUBLE_EQ(reused.price, fresh.price);
+  EXPECT_DOUBLE_EQ(reused.profit, fresh.profit);
+  EXPECT_EQ(reused.winners, fresh.winners);
+}
+
 }  // namespace
 }  // namespace streambid::auction

@@ -1,0 +1,254 @@
+// Copyright 2026 The streambid Authors
+// AdmissionExecutor contract tests: parallel batches are byte-identical
+// to the serial AdmitBatch at every pool size, the async surface
+// completes out of order, and the rolling stats aggregate diagnostics.
+
+#include "cluster/admission_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace streambid::cluster {
+namespace {
+
+/// A workload big enough that every mechanism does real work and shards
+/// actually interleave across workers.
+auction::AuctionInstance TestInstance() {
+  workload::WorkloadParams params;
+  params.num_queries = 60;
+  params.base_num_operators = 25;
+  Rng rng(0xFEEDu);
+  return workload::GenerateBaseWorkload(params, rng).ToInstance().value();
+}
+
+/// The sweep shape of the benches: mechanisms x capacities x trials.
+std::vector<service::AdmissionRequest> TestRequests(
+    const auction::AuctionInstance& instance) {
+  std::vector<service::AdmissionRequest> requests;
+  for (const char* name : {"cat", "car", "two-price", "random", "caf+"}) {
+    for (double capacity : {20.0, 60.0}) {
+      for (uint32_t trial = 0; trial < 3; ++trial) {
+        service::AdmissionRequest request;
+        request.instance = &instance;
+        request.capacity = capacity;
+        request.mechanism = name;
+        request.seed = 77;
+        request.request_index = trial;
+        requests.push_back(std::move(request));
+      }
+    }
+  }
+  return requests;
+}
+
+/// Everything except the timing fields must match byte for byte.
+void ExpectIdentical(const service::AdmissionResponse& a,
+                     const service::AdmissionResponse& b, size_t index) {
+  EXPECT_EQ(a.allocation.admitted, b.allocation.admitted) << index;
+  EXPECT_EQ(a.allocation.payments, b.allocation.payments) << index;
+  EXPECT_EQ(a.allocation.mechanism, b.allocation.mechanism) << index;
+  EXPECT_EQ(a.metrics.profit, b.metrics.profit) << index;
+  EXPECT_EQ(a.metrics.admission_rate, b.metrics.admission_rate) << index;
+  EXPECT_EQ(a.metrics.total_payoff, b.metrics.total_payoff) << index;
+  EXPECT_EQ(a.metrics.utilization, b.metrics.utilization) << index;
+  EXPECT_EQ(a.diagnostics.mechanism, b.diagnostics.mechanism) << index;
+  EXPECT_EQ(a.diagnostics.capacity, b.diagnostics.capacity) << index;
+  EXPECT_EQ(a.diagnostics.used_capacity, b.diagnostics.used_capacity)
+      << index;
+  EXPECT_EQ(a.diagnostics.capacity_utilization,
+            b.diagnostics.capacity_utilization)
+      << index;
+  EXPECT_EQ(a.diagnostics.num_queries, b.diagnostics.num_queries) << index;
+  EXPECT_EQ(a.diagnostics.admitted_count, b.diagnostics.admitted_count)
+      << index;
+  EXPECT_EQ(a.diagnostics.rejected_count, b.diagnostics.rejected_count)
+      << index;
+}
+
+TEST(AdmissionExecutorTest, ParallelBatchMatchesSerialAtEveryPoolSize) {
+  const auction::AuctionInstance instance = TestInstance();
+  const std::vector<service::AdmissionRequest> requests =
+      TestRequests(instance);
+
+  service::AdmissionService serial_service;
+  const auto serial = serial_service.AdmitBatch(requests);
+  ASSERT_TRUE(serial.ok());
+
+  for (int threads : {1, 2, 8}) {
+    AdmissionExecutor executor(ExecutorOptions{threads});
+    EXPECT_EQ(executor.num_threads(), threads);
+    const auto parallel = executor.AdmitBatchParallel(requests);
+    ASSERT_TRUE(parallel.ok()) << threads << " threads";
+    ASSERT_EQ(parallel->size(), serial->size());
+    for (size_t i = 0; i < serial->size(); ++i) {
+      ExpectIdentical((*parallel)[i], (*serial)[i], i);
+    }
+  }
+}
+
+TEST(AdmissionExecutorTest, RepeatedParallelBatchesAreStable) {
+  // Worker contexts are reused across batches; the per-request streams
+  // must keep results independent of what ran before.
+  const auction::AuctionInstance instance = TestInstance();
+  const std::vector<service::AdmissionRequest> requests =
+      TestRequests(instance);
+  AdmissionExecutor executor(ExecutorOptions{4});
+  const auto first = executor.AdmitBatchParallel(requests);
+  const auto second = executor.AdmitBatchParallel(requests);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  for (size_t i = 0; i < first->size(); ++i) {
+    ExpectIdentical((*first)[i], (*second)[i], i);
+  }
+}
+
+TEST(AdmissionExecutorTest, BatchValidationMatchesSerialErrorSpelling) {
+  const auction::AuctionInstance instance = TestInstance();
+  std::vector<service::AdmissionRequest> requests(2);
+  requests[0].instance = &instance;
+  requests[0].capacity = 10.0;
+  requests[0].mechanism = "cat";
+  requests[1].instance = &instance;
+  requests[1].capacity = 10.0;
+  requests[1].mechanism = "bogus";
+
+  service::AdmissionService serial_service;
+  const auto serial = serial_service.AdmitBatch(requests);
+  AdmissionExecutor executor(ExecutorOptions{2});
+  const auto parallel = executor.AdmitBatchParallel(requests);
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().code(), serial.status().code());
+  EXPECT_EQ(parallel.status().message(), serial.status().message());
+}
+
+TEST(AdmissionExecutorTest, EmptyBatchIsEmpty) {
+  AdmissionExecutor executor(ExecutorOptions{2});
+  const auto responses = executor.AdmitBatchParallel({});
+  ASSERT_TRUE(responses.ok());
+  EXPECT_TRUE(responses->empty());
+}
+
+TEST(AdmissionExecutorTest, AsyncCompletionsDrainOutOfOrder) {
+  const auction::AuctionInstance instance = TestInstance();
+  AdmissionExecutor executor(ExecutorOptions{2});
+  service::AdmissionService serial_service;
+
+  std::vector<Ticket> tickets;
+  std::vector<service::AdmissionRequest> requests;
+  for (uint32_t t = 0; t < 6; ++t) {
+    service::AdmissionRequest request;
+    request.instance = &instance;
+    request.capacity = 30.0;
+    request.mechanism = t % 2 == 0 ? "two-price" : "cat";
+    request.seed = 5;
+    request.request_index = t;
+    const auto ticket = executor.Enqueue(request);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+    requests.push_back(std::move(request));
+  }
+
+  // Drain newest-first: completion order must not matter.
+  for (size_t k = tickets.size(); k-- > 0;) {
+    const auto response = executor.Wait(tickets[k]);
+    ASSERT_TRUE(response.ok()) << k;
+    const auto expected = serial_service.Admit(requests[k]);
+    ASSERT_TRUE(expected.ok());
+    ExpectIdentical(*response, *expected, k);
+  }
+  EXPECT_EQ(executor.pending_tickets(), 0);
+}
+
+TEST(AdmissionExecutorTest, PollEventuallyCompletesAndConsumes) {
+  const auction::AuctionInstance instance = TestInstance();
+  AdmissionExecutor executor(ExecutorOptions{1});
+  service::AdmissionRequest request;
+  request.instance = &instance;
+  request.capacity = 30.0;
+  request.mechanism = "cat";
+  const auto ticket = executor.Enqueue(request);
+  ASSERT_TRUE(ticket.ok());
+
+  std::optional<Result<service::AdmissionResponse>> polled;
+  while (!polled.has_value()) polled = executor.Poll(*ticket);
+  ASSERT_TRUE(polled->ok());
+  EXPECT_EQ((*polled)->diagnostics.mechanism, "cat");
+
+  // Consumed: a second poll (or wait) is kNotFound.
+  const auto again = executor.Poll(*ticket);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(executor.Wait(*ticket).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AdmissionExecutorTest, EnqueueValidatesUpFront) {
+  AdmissionExecutor executor(ExecutorOptions{1});
+  service::AdmissionRequest request;  // Null instance.
+  request.mechanism = "cat";
+  EXPECT_EQ(executor.Enqueue(request).status().code(),
+            StatusCode::kInvalidArgument);
+  const auction::AuctionInstance instance = TestInstance();
+  request.instance = &instance;
+  request.mechanism = "bogus";
+  EXPECT_EQ(executor.Enqueue(request).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(executor.pending_tickets(), 0);
+}
+
+TEST(AdmissionExecutorTest, UnknownTicketIsNotFound) {
+  AdmissionExecutor executor(ExecutorOptions{1});
+  const auto polled = executor.Poll(123);
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(executor.Wait(123).status().code(), StatusCode::kNotFound);
+}
+
+TEST(AdmissionExecutorTest, StatsAggregatePerMechanism) {
+  const auction::AuctionInstance instance = TestInstance();
+  AdmissionExecutor executor(ExecutorOptions{4});
+  const std::vector<service::AdmissionRequest> requests =
+      TestRequests(instance);
+  ASSERT_TRUE(executor.AdmitBatchParallel(requests).ok());
+
+  const ExecutorStats stats = executor.StatsReport();
+  EXPECT_EQ(stats.total_requests,
+            static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(stats.failed_requests, 0);
+  ASSERT_EQ(stats.per_mechanism.size(), 5u);
+  for (const auto& [name, m] : stats.per_mechanism) {
+    // 2 capacities x 3 trials per mechanism.
+    EXPECT_EQ(m.count, 6) << name;
+    EXPECT_EQ(m.admit_rate.count(), 6) << name;
+    EXPECT_GT(m.admit_rate.mean(), 0.0) << name;
+    EXPECT_GT(m.utilization.mean(), 0.0) << name;
+    EXPECT_GE(m.elapsed_ms.mean(), 0.0) << name;
+    EXPECT_EQ(m.deadline_overruns, 0) << name;
+  }
+
+  executor.ResetStats();
+  EXPECT_EQ(executor.StatsReport().total_requests, 0);
+  EXPECT_TRUE(executor.StatsReport().per_mechanism.empty());
+}
+
+TEST(AdmissionExecutorTest, StatsCountDeadlineOverruns) {
+  const auction::AuctionInstance instance = TestInstance();
+  AdmissionExecutor executor(ExecutorOptions{1});
+  service::AdmissionRequest request;
+  request.instance = &instance;
+  request.capacity = 30.0;
+  request.mechanism = "cat";
+  // Any positive elapsed time overruns a denormal budget.
+  request.options.time_budget_ms = 1e-300;
+  const auto ticket = executor.Enqueue(request);
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(executor.Wait(*ticket).ok());
+  const ExecutorStats stats = executor.StatsReport();
+  EXPECT_EQ(stats.per_mechanism.at("cat").deadline_overruns, 1);
+}
+
+}  // namespace
+}  // namespace streambid::cluster

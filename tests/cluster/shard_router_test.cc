@@ -1,0 +1,152 @@
+// Copyright 2026 The streambid Authors
+// ShardRouter policy tests: hash stability, least-loaded tie-breaking,
+// and the price-aware fallback when no shard has history.
+
+#include "cluster/shard_router.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+namespace streambid::cluster {
+namespace {
+
+stream::QuerySubmission SubmissionFor(auction::UserId user) {
+  stream::QuerySubmission submission;
+  submission.query_id = user;
+  submission.user = user;
+  submission.bid = 10.0;
+  return submission;
+}
+
+TEST(ShardRouterTest, PolicyNames) {
+  EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kHashUser), "hash");
+  EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kLeastLoaded),
+               "least-loaded");
+  EXPECT_STREQ(RoutingPolicyName(RoutingPolicy::kPriceAware),
+               "price-aware");
+}
+
+TEST(ShardRouterTest, HashIsStableAndMatchesExposedHash) {
+  ShardRouter router(RoutingPolicy::kHashUser, 4);
+  const std::vector<ShardStatus> shards(4);
+  for (auction::UserId user = 0; user < 200; ++user) {
+    const int first = router.Route(SubmissionFor(user), shards);
+    const int second = router.Route(SubmissionFor(user), shards);
+    EXPECT_EQ(first, second) << user;
+    EXPECT_EQ(first,
+              static_cast<int>(ShardRouter::HashUser(user) % 4ull));
+    EXPECT_GE(first, 0);
+    EXPECT_LT(first, 4);
+  }
+}
+
+TEST(ShardRouterTest, HashSpreadsUsersAcrossShards) {
+  ShardRouter router(RoutingPolicy::kHashUser, 4);
+  const std::vector<ShardStatus> shards(4);
+  std::set<int> hit;
+  for (auction::UserId user = 0; user < 64; ++user) {
+    hit.insert(router.Route(SubmissionFor(user), shards));
+  }
+  // 64 sequential users over 4 shards: every shard must be reached (the
+  // SplitMix64 finalizer spreads sequential ids).
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(ShardRouterTest, HashIsObliviousToLoad) {
+  ShardRouter router(RoutingPolicy::kHashUser, 2);
+  std::vector<ShardStatus> shards(2);
+  const int before = router.Route(SubmissionFor(7), shards);
+  shards[static_cast<size_t>(before)].pending_load = 1e9;
+  EXPECT_EQ(router.Route(SubmissionFor(7), shards), before);
+}
+
+TEST(ShardRouterTest, LeastLoadedPicksMinimum) {
+  ShardRouter router(RoutingPolicy::kLeastLoaded, 3);
+  std::vector<ShardStatus> shards(3);
+  shards[0].pending_load = 5.0;
+  shards[1].pending_load = 1.0;
+  shards[2].pending_load = 3.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+TEST(ShardRouterTest, LeastLoadedTiesToLowestIndex) {
+  ShardRouter router(RoutingPolicy::kLeastLoaded, 3);
+  std::vector<ShardStatus> shards(3);
+  // All equal: shard 0.
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 0);
+  // Tie between 1 and 2: shard 1.
+  shards[0].pending_load = 2.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+TEST(ShardRouterTest, PriceAwareFallsBackToHashWithoutHistory) {
+  ShardRouter price_router(RoutingPolicy::kPriceAware, 4);
+  ShardRouter hash_router(RoutingPolicy::kHashUser, 4);
+  const std::vector<ShardStatus> shards(4);  // No history anywhere.
+  for (auction::UserId user = 0; user < 50; ++user) {
+    EXPECT_EQ(price_router.Route(SubmissionFor(user), shards),
+              hash_router.Route(SubmissionFor(user), shards))
+        << user;
+  }
+}
+
+TEST(ShardRouterTest, PriceAwarePrefersCheapestClearing) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 3);
+  std::vector<ShardStatus> shards(3);
+  for (ShardStatus& s : shards) s.has_history = true;
+  shards[0].last_clearing_price = 9.0;
+  shards[1].last_clearing_price = 2.0;
+  shards[2].last_clearing_price = 4.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+TEST(ShardRouterTest, PriceAwareBreaksTiesByAdmissionRate) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 3);
+  std::vector<ShardStatus> shards(3);
+  for (ShardStatus& s : shards) {
+    s.has_history = true;
+    s.last_clearing_price = 3.0;
+  }
+  shards[0].last_admission_rate = 0.4;
+  shards[1].last_admission_rate = 0.9;
+  shards[2].last_admission_rate = 0.9;  // Equal to 1: first wins.
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+TEST(ShardRouterTest, PriceAwareExploresShardsWithoutHistory) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 3);
+  std::vector<ShardStatus> shards(3);
+  // Shard 2 cleared at a positive price; shards 0-1 never saw traffic.
+  // Unexplored capacity is optimistically price 0, so shard 0 (lowest
+  // index among the unexplored) attracts the submission.
+  shards[2].has_history = true;
+  shards[2].last_clearing_price = 8.0;
+  shards[2].last_admission_rate = 1.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 0);
+  // A free-clearing shard ties unexplored ones on price; its rate 1.0
+  // ties their optimistic rate too, so the lowest index still wins.
+  shards[2].last_clearing_price = 0.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 0);
+}
+
+TEST(ShardRouterTest, PriceAwareAvoidsSaturatedShards) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 2);
+  std::vector<ShardStatus> shards(2);
+  // Shard 0 admitted nobody last period (clearing marked infinite by
+  // the cluster); shard 1 cleared at a high-but-finite price and must
+  // still win — saturation repels, it does not read as free service.
+  shards[0].has_history = true;
+  shards[0].last_clearing_price =
+      std::numeric_limits<double>::infinity();
+  shards[0].last_admission_rate = 0.0;
+  shards[1].has_history = true;
+  shards[1].last_clearing_price = 1e6;
+  shards[1].last_admission_rate = 0.2;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+}  // namespace
+}  // namespace streambid::cluster
