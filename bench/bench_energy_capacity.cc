@@ -39,9 +39,10 @@ int main() {
     const auto evals = cloud::EvaluateCapacities(
         service, name, inst, candidates, energy, /*seed=*/11,
         properties->randomized ? config.trials * 4 : 1);
+    STREAMBID_CHECK(evals.ok());
     TextTable table({"capacity", "gross_profit", "energy_cost",
                      "net_profit", "utilization", "admitted"});
-    for (const auto& e : evals) {
+    for (const auto& e : *evals) {
       table.AddRow({FormatDouble(e.capacity, 0),
                     FormatDouble(e.gross_profit, 1),
                     FormatDouble(e.energy_cost, 1),
@@ -54,10 +55,11 @@ int main() {
     const auto best = cloud::OptimizeCapacity(service, name, inst,
                                               candidates, energy,
                                               /*seed=*/11, 1);
+    STREAMBID_CHECK(best.ok());
     std::printf("# most beneficial capacity for %s: %.0f "
                 "(%.0f%% of demand), net %.1f\n",
-                name, best.capacity, 100.0 * best.capacity / demand,
-                best.net_profit);
+                name, best->capacity, 100.0 * best->capacity / demand,
+                best->net_profit);
   }
   return 0;
 }

@@ -1,0 +1,82 @@
+// Copyright 2026 The streambid Authors
+// Closed-loop capacity autoscaling in ~60 lines: a DsmsCenter with
+// DsmsCenterOptions::autoscale enabled rides a bursty tenant stream.
+// Watch the per-period decisions — idle shrink through the lull,
+// optimized growth when the burst lands, dwell holds in between — and
+// the net-profit ledger that prices energy into every period.
+
+#include <cstdio>
+
+#include "cloud/dsms_center.h"
+#include "common/check.h"
+#include "stream/query_builder.h"
+#include "stream/stream_source.h"
+
+using namespace streambid;
+
+namespace {
+
+stream::QuerySubmission MakeTenant(int id, double bid,
+                                   double threshold) {
+  stream::QueryBuilder b;
+  const int src = b.Source("quotes");
+  const int sel = b.Select(src, "price", stream::CompareOp::kGt,
+                           stream::Value(threshold));
+  stream::QuerySubmission sub;
+  sub.query_id = id;
+  sub.user = id;
+  sub.bid = bid;
+  sub.plan = b.Build(sel);
+  return sub;
+}
+
+}  // namespace
+
+int main() {
+  stream::Engine engine(stream::EngineOptions{/*capacity=*/8.0,
+                                              /*tick=*/1.0,
+                                              /*sink_history=*/4});
+  STREAMBID_CHECK(engine
+                      .RegisterSource(stream::MakeStockQuoteSource(
+                          "quotes", {"IBM", "AAPL", "MSFT"},
+                          /*rate=*/100.0, 5))
+                      .ok());
+
+  cloud::DsmsCenterOptions options;
+  options.mechanism = "cat";
+  options.period_length = 20.0;
+  options.seed = 7;
+  options.autoscale.enabled = true;
+  options.autoscale.min_capacity_ratio = 0.25;  // Floor: 2 units.
+  options.autoscale.min_dwell_periods = 2;      // Hold >= 2 periods.
+  options.autoscale.max_step_ratio = 0.5;       // Move <= 50% a step.
+  options.autoscale.energy.idle_cost_per_capacity = 0.05;
+  cloud::DsmsCenter center(options, &engine);
+
+  // 12 periods: a lull (2 tenants), a burst (10 tenants), a lull.
+  std::printf("period tenants capacity  reason     admitted revenue "
+              "energy   net\n");
+  double net = 0.0;
+  for (int period = 0; period < 12; ++period) {
+    const int tenants = (period >= 4 && period < 8) ? 10 : 2;
+    for (int t = 1; t <= tenants; ++t) {
+      STREAMBID_CHECK(
+          center
+              .Submit(MakeTenant(t, 40.0 - 2.0 * t,
+                                 100.0 + 5.0 * (t % 5)))
+              .ok());
+    }
+    const auto report = center.RunPeriod();
+    STREAMBID_CHECK(report.ok());
+    net += report->revenue - report->energy_cost;
+    std::printf("%6d %7d %8.2f  %-9s %8d %7.2f %6.3f %7.2f\n",
+                report->period, tenants, report->provisioned_capacity,
+                report->autoscale_decision->reason.c_str(),
+                report->admitted, report->revenue, report->energy_cost,
+                report->revenue - report->energy_cost);
+  }
+  std::printf("net profit over 12 periods: %.2f (baseline capacity "
+              "8.0, floor %.1f)\n",
+              net, center.autoscaler()->min_capacity());
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "cloud/dsms_center.h"
 #include "cloud/energy.h"
 #include "cloud/subscription.h"
+#include "common/check.h"
 #include "common/table.h"
 #include "stream/query_builder.h"
 #include "workload/generator.h"
@@ -145,10 +146,11 @@ int main() {
       admission, "cat", inst,
       {demand * 0.25, demand * 0.5, demand * 0.75, demand * 1.0},
       cloud::EnergyModel{}, /*seed=*/29);
+  STREAMBID_CHECK(best.ok());
   std::printf("demand %.0f units -> best capacity %.0f (%.0f%% of "
               "demand): gross $%.1f, energy $%.1f, net $%.1f\n",
-              demand, best.capacity, 100.0 * best.capacity / demand,
-              best.gross_profit, best.energy_cost, best.net_profit);
+              demand, best->capacity, 100.0 * best->capacity / demand,
+              best->gross_profit, best->energy_cost, best->net_profit);
   std::printf("(the paper's §VII observation: full provisioning is not "
               "always the most profitable)\n");
   return 0;

@@ -15,6 +15,12 @@ DsmsCenter::DsmsCenter(const DsmsCenterOptions& options,
     : options_(options), engine_(engine) {
   STREAMBID_CHECK(engine != nullptr);
   STREAMBID_CHECK(service_.HasMechanism(options.mechanism));
+  if (options_.autoscale.enabled) {
+    autoscaler_.emplace(options_.autoscale, engine_->options().capacity);
+    // The controller may clamp the baseline into its bounds; the engine
+    // must start the first period at the controller's capacity.
+    engine_->SetCapacity(autoscaler_->capacity());
+  }
 }
 
 Status DsmsCenter::Submit(stream::QuerySubmission submission) {
@@ -40,15 +46,33 @@ Status DsmsCenter::Submit(stream::QuerySubmission submission) {
 
 Result<PreparedAuction> DsmsCenter::PrepareAuction() {
   PreparedAuction prepared;
-  if (pending_.empty()) return prepared;
+  if (!pending_.empty()) {
+    STREAMBID_ASSIGN_OR_RETURN(
+        stream::AuctionBuild build,
+        stream::BuildAuctionInstance(*engine_, pending_,
+                                     options_.load_options));
+    prepared.build =
+        std::make_unique<stream::AuctionBuild>(std::move(build));
+    prepared.has_auction = true;
+  }
 
-  STREAMBID_ASSIGN_OR_RETURN(
-      stream::AuctionBuild build,
-      stream::BuildAuctionInstance(*engine_, pending_,
-                                   options_.load_options));
-  prepared.build =
-      std::make_unique<stream::AuctionBuild>(std::move(build));
-  prepared.has_auction = true;
+  // Closed loop: the autoscaler re-provisions the engine for the
+  // upcoming period from its observation window and the period's own
+  // demand. This runs on the caller's thread against the center's own
+  // service (the cluster layer prepares shards serially), so the
+  // decision replays byte-identically at any executor pool size.
+  if (autoscaler_) {
+    STREAMBID_ASSIGN_OR_RETURN(
+        AutoscaleDecision decision,
+        autoscaler_->Propose(
+            service_, options_.mechanism,
+            prepared.has_auction ? &prepared.build->instance : nullptr,
+            options_.seed));
+    engine_->SetCapacity(decision.capacity);
+    pending_decision_ = std::move(decision);
+  }
+  if (!prepared.has_auction) return prepared;
+
   prepared.request.instance = &prepared.build->instance;
   prepared.request.capacity = engine_->options().capacity;
   prepared.request.mechanism = options_.mechanism;
@@ -67,6 +91,11 @@ Result<PeriodReport> DsmsCenter::CompletePeriod(
   report.period = static_cast<int>(history_.size());
   report.mechanism = options_.mechanism;
   report.submissions = static_cast<int>(pending_.size());
+  report.provisioned_capacity = engine_->options().capacity;
+  if (pending_decision_) {
+    report.autoscale_decision = std::move(pending_decision_);
+    pending_decision_.reset();
+  }
 
   const auction::Allocation* alloc = nullptr;
   if (!pending_.empty()) {
@@ -112,6 +141,22 @@ Result<PeriodReport> DsmsCenter::CompletePeriod(
   // --- Execute the period. ---
   engine_->Run(options_.period_length);
   report.measured_utilization = engine_->LastRunUtilization();
+  report.shed_fraction = engine_->LastRunShedFraction();
+  report.energy_cost = options_.autoscale.energy.PeriodCost(
+      report.provisioned_capacity,
+      report.measured_utilization * report.provisioned_capacity);
+
+  if (autoscaler_) {
+    PeriodObservation observation;
+    observation.provisioned_capacity = report.provisioned_capacity;
+    observation.measured_utilization = report.measured_utilization;
+    observation.auction_utilization = report.auction_utilization;
+    observation.revenue = report.revenue;
+    observation.shed_fraction = report.shed_fraction;
+    observation.submissions = report.submissions;
+    observation.admitted = report.admitted;
+    autoscaler_->Observe(observation);
+  }
 
   history_.push_back(report);
   return report;

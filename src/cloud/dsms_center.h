@@ -11,10 +11,12 @@
 #define STREAMBID_CLOUD_DSMS_CENTER_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "cloud/autoscaler.h"
 #include "common/status.h"
 #include "service/admission_service.h"
 #include "stream/engine.h"
@@ -33,6 +35,12 @@ struct DsmsCenterOptions {
   stream::LoadEstimateOptions load_options;
   /// Seed for randomized mechanisms.
   uint64_t seed = 1;
+  /// Closed-loop capacity autoscaling (§VII). When enabled, each
+  /// PrepareAuction re-provisions the engine via a CapacityAutoscaler
+  /// seeded with the engine's construction-time capacity as baseline.
+  /// The energy model inside prices PeriodReport::energy_cost whether
+  /// or not autoscaling is on.
+  AutoscalerOptions autoscale;
 };
 
 /// Outcome of one subscription period.
@@ -51,6 +59,19 @@ struct PeriodReport {
   double auction_utilization = 0.0;
   /// Utilization actually measured by the engine over the period.
   double measured_utilization = 0.0;
+  /// Fraction of arriving source tuples shed by engine overload
+  /// protection (0 unless EngineOptions::shed_on_overload).
+  double shed_fraction = 0.0;
+  /// Capacity the engine ran this period at (equals the construction
+  /// capacity unless the autoscaler re-provisioned).
+  double provisioned_capacity = 0.0;
+  /// Energy cost of the period under the configured EnergyModel
+  /// (options.autoscale.energy), computed whether or not autoscaling
+  /// is enabled so fixed-vs-autoscaled net profit is comparable.
+  double energy_cost = 0.0;
+  /// The autoscaler's decision for this period; absent when
+  /// autoscaling is disabled.
+  std::optional<AutoscaleDecision> autoscale_decision;
   /// Wall-clock milliseconds the admission auction took.
   double auction_elapsed_ms = 0.0;
   /// Engine query ids admitted this period.
@@ -124,7 +145,10 @@ class DsmsCenter {
   /// the pending submissions without running anything. The request's
   /// stream is (options.seed, period), exactly as RunPeriod would use,
   /// so admitting it through any AdmissionService — including another
-  /// thread's — yields the identical allocation.
+  /// thread's — yields the identical allocation. With autoscaling
+  /// enabled this also commits the period's provisioning decision
+  /// (engine re-provisioned, request capacity set) — call it exactly
+  /// once per period.
   Result<PreparedAuction> PrepareAuction();
 
   /// Applies an admission outcome and finishes the period: transition,
@@ -151,6 +175,10 @@ class DsmsCenter {
     return service_;
   }
   const DsmsCenterOptions& options() const { return options_; }
+  /// The capacity controller; null unless options.autoscale.enabled.
+  const CapacityAutoscaler* autoscaler() const {
+    return autoscaler_ ? &*autoscaler_ : nullptr;
+  }
 
  private:
   DsmsCenterOptions options_;
@@ -161,6 +189,10 @@ class DsmsCenter {
   std::vector<int> active_;  // Engine query ids installed this period.
   BillingLedger ledger_;
   std::vector<PeriodReport> history_;
+  std::optional<CapacityAutoscaler> autoscaler_;
+  /// Decision taken at PrepareAuction, recorded into the report by
+  /// CompletePeriod.
+  std::optional<AutoscaleDecision> pending_decision_;
 };
 
 }  // namespace streambid::cloud

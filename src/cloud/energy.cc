@@ -2,16 +2,33 @@
 
 #include "cloud/energy.h"
 
+#include <cmath>
+#include <string>
+
 #include "common/check.h"
 
 namespace streambid::cloud {
 
-std::vector<CapacityEvaluation> EvaluateCapacities(
+Result<std::vector<CapacityEvaluation>> EvaluateCapacities(
     service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance,
     const std::vector<double>& candidate_capacities,
     const EnergyModel& energy, uint64_t seed, int trials) {
-  STREAMBID_CHECK_GT(trials, 0);
+  if (candidate_capacities.empty()) {
+    return Status::InvalidArgument("no candidate capacities");
+  }
+  if (trials < 1) {
+    return Status::InvalidArgument("trials must be >= 1, got " +
+                                   std::to_string(trials));
+  }
+  for (size_t i = 0; i < candidate_capacities.size(); ++i) {
+    const double capacity = candidate_capacities[i];
+    if (!(capacity > 0.0) || !std::isfinite(capacity)) {
+      return Status::InvalidArgument(
+          "candidate capacity " + std::to_string(i) +
+          " must be positive and finite, got " + std::to_string(capacity));
+    }
+  }
 
   // One batch over capacities x trials; each request keeps its own
   // deterministic stream so the sweep is order-independent.
@@ -29,8 +46,9 @@ std::vector<CapacityEvaluation> EvaluateCapacities(
       requests.push_back(std::move(request));
     }
   }
-  auto responses = service.AdmitBatch(requests);
-  STREAMBID_CHECK(responses.ok());
+  STREAMBID_ASSIGN_OR_RETURN(
+      const std::vector<service::AdmissionResponse> responses,
+      service.AdmitBatch(requests));
 
   std::vector<CapacityEvaluation> out;
   out.reserve(candidate_capacities.size());
@@ -40,7 +58,7 @@ std::vector<CapacityEvaluation> EvaluateCapacities(
     eval.capacity = capacity;
     double profit = 0.0, used = 0.0, admitted = 0.0;
     for (int t = 0; t < trials; ++t, ++r) {
-      const service::AdmissionResponse& response = (*responses)[r];
+      const service::AdmissionResponse& response = responses[r];
       profit += response.metrics.profit;
       used += response.diagnostics.used_capacity;
       admitted += response.diagnostics.admitted_count;
@@ -56,17 +74,11 @@ std::vector<CapacityEvaluation> EvaluateCapacities(
   return out;
 }
 
-CapacityEvaluation OptimizeCapacity(
-    service::AdmissionService& service, std::string_view mechanism,
-    const auction::AuctionInstance& instance,
-    const std::vector<double>& candidate_capacities,
-    const EnergyModel& energy, uint64_t seed, int trials) {
-  STREAMBID_CHECK(!candidate_capacities.empty());
-  const std::vector<CapacityEvaluation> evals =
-      EvaluateCapacities(service, mechanism, instance,
-                         candidate_capacities, energy, seed, trials);
-  const CapacityEvaluation* best = &evals[0];
-  for (const CapacityEvaluation& e : evals) {
+const CapacityEvaluation& BestEvaluation(
+    const std::vector<CapacityEvaluation>& evaluations) {
+  STREAMBID_CHECK(!evaluations.empty());
+  const CapacityEvaluation* best = &evaluations[0];
+  for (const CapacityEvaluation& e : evaluations) {
     if (e.net_profit > best->net_profit ||
         (e.net_profit == best->net_profit &&
          e.capacity < best->capacity)) {
@@ -74,6 +86,18 @@ CapacityEvaluation OptimizeCapacity(
     }
   }
   return *best;
+}
+
+Result<CapacityEvaluation> OptimizeCapacity(
+    service::AdmissionService& service, std::string_view mechanism,
+    const auction::AuctionInstance& instance,
+    const std::vector<double>& candidate_capacities,
+    const EnergyModel& energy, uint64_t seed, int trials) {
+  STREAMBID_ASSIGN_OR_RETURN(
+      const std::vector<CapacityEvaluation> evals,
+      EvaluateCapacities(service, mechanism, instance,
+                         candidate_capacities, energy, seed, trials));
+  return BestEvaluation(evals);
 }
 
 }  // namespace streambid::cloud

@@ -47,15 +47,26 @@ struct CapacityEvaluation {
 /// Runs `mechanism` over `instance` at each candidate capacity and
 /// returns all evaluations (net = revenue - energy). Randomized
 /// mechanisms are averaged over `trials` (seed, trial)-streamed runs.
-std::vector<CapacityEvaluation> EvaluateCapacities(
+/// Errors:
+/// - kInvalidArgument: empty candidate list, a candidate capacity that
+///   is zero/negative/non-finite, or trials < 1;
+/// - admission errors (unknown mechanism, ...) propagate unchanged.
+Result<std::vector<CapacityEvaluation>> EvaluateCapacities(
     service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance,
     const std::vector<double>& candidate_capacities,
     const EnergyModel& energy, uint64_t seed = 0, int trials = 1);
 
+/// The net-profit argmax of `evaluations`, with ties going to the
+/// smaller (greener) capacity — the one tie-break rule shared by
+/// OptimizeCapacity and the CapacityAutoscaler's grid selection.
+/// Precondition (checked): non-empty.
+const CapacityEvaluation& BestEvaluation(
+    const std::vector<CapacityEvaluation>& evaluations);
+
 /// The net-profit-maximizing candidate (ties go to the smaller, i.e.
-/// greener, capacity).
-CapacityEvaluation OptimizeCapacity(
+/// greener, capacity). Same errors as EvaluateCapacities.
+Result<CapacityEvaluation> OptimizeCapacity(
     service::AdmissionService& service, std::string_view mechanism,
     const auction::AuctionInstance& instance,
     const std::vector<double>& candidate_capacities,

@@ -42,8 +42,13 @@ ClusterCenter::ClusterCenter(const ClusterOptions& options,
     // Independent per-shard streams: shard s replays from (seed + s,
     // period) no matter what the other shards do.
     center_options.seed = options.seed + static_cast<uint64_t>(s);
+    center_options.autoscale = options.autoscale;
     shard.center = std::make_unique<cloud::DsmsCenter>(center_options,
                                                        shard.engine.get());
+    // The router sees each shard's provisioning from the start (the
+    // autoscaler may have clamped the baseline into its bounds).
+    statuses_[static_cast<size_t>(s)].next_capacity =
+        shard.engine->options().capacity;
     shards_.push_back(std::move(shard));
   }
 }
@@ -68,7 +73,12 @@ Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
   const int n = num_shards();
   Timer timer;
 
-  // --- Phase 1: every shard builds its auction (serial, cheap). ---
+  // --- Phase 1: every shard builds its auction. Serial; cheap without
+  // autoscaling, but an autoscaled shard also runs its candidate-grid
+  // what-if auctions here. Each shard's Propose touches only
+  // shard-local state (own service, own window), so this loop could
+  // fan out through the executor without changing any outcome — see
+  // the ROADMAP period-pipelining item before doing it. ---
   std::vector<cloud::PreparedAuction> prepared;
   prepared.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
@@ -140,6 +150,10 @@ Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
     ShardStatus& status = statuses_[static_cast<size_t>(s)];
     status.pending_load = 0.0;
     status.pending_count = 0;
+    // The engine keeps this period's provisioning until the next
+    // prepare phase re-decides, so it is the router's best view of the
+    // shard's next-period capacity.
+    status.next_capacity = shard_report.provisioned_capacity;
     if (shard_report.submissions > 0) {
       status.has_history = true;
       // Admitting nobody means saturation, not free service: mark the
@@ -171,6 +185,8 @@ Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
     report.auction_utilization += shard_report.auction_utilization / n;
     report.measured_utilization +=
         shard_report.measured_utilization / n;
+    report.provisioned_capacity += shard_report.provisioned_capacity;
+    report.energy_cost += shard_report.energy_cost;
     report.shard_reports.push_back(std::move(result).value());
   }
   report.elapsed_ms = timer.ElapsedMillis();

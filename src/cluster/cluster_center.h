@@ -55,6 +55,13 @@ struct ClusterOptions {
   stream::EngineOptions engine_options;
   /// Executor pool size; 0 sizes to the hardware.
   int executor_threads = 0;
+  /// Per-shard closed-loop capacity autoscaling. Each shard runs its
+  /// own CapacityAutoscaler against its share of total_capacity (the
+  /// ratio bounds apply to the per-shard baseline); decisions happen in
+  /// the serial prepare phase, so the cluster's determinism contract is
+  /// unchanged. The ClusterPeriodReport aggregates the shards' total
+  /// provisioned capacity and energy cost.
+  cloud::AutoscalerOptions autoscale;
 };
 
 /// One cluster period: the merged view plus the per-shard breakdown.
@@ -64,10 +71,16 @@ struct ClusterPeriodReport {
   int admitted = 0;          ///< Sum over shards.
   double revenue = 0.0;      ///< Sum over shards.
   double total_payoff = 0.0;
-  /// Capacity-weighted means (shards have equal capacity, so these are
-  /// plain means over shards).
+  /// Plain means over shards (shards start at equal capacity; once the
+  /// autoscalers diverge these remain unweighted means, the per-shard
+  /// truth is in shard_reports).
   double auction_utilization = 0.0;
   double measured_utilization = 0.0;
+  /// Total capacity provisioned across shards this period (== the
+  /// configured total unless autoscaling re-provisioned shards).
+  double provisioned_capacity = 0.0;
+  /// Summed per-shard energy cost under the configured EnergyModel.
+  double energy_cost = 0.0;
   /// Wall clock of the whole cluster period (prepare + parallel
   /// admission + parallel completion).
   double elapsed_ms = 0.0;

@@ -31,10 +31,18 @@ uint64_t ShardRouter::HashUser(auction::UserId user) {
                0x9E3779B97F4A7C15ull);
 }
 
-int ShardRouter::RouteHash(
-    const stream::QuerySubmission& submission) const {
-  return static_cast<int>(HashUser(submission.user) %
-                          static_cast<uint64_t>(num_shards_));
+int ShardRouter::RouteHash(const stream::QuerySubmission& submission,
+                           const std::vector<ShardStatus>& shards) const {
+  const int home = static_cast<int>(HashUser(submission.user) %
+                                    static_cast<uint64_t>(num_shards_));
+  // Probe forward from the home shard past drained ones, so the
+  // placement stays stable while a shard's provisioning is at zero and
+  // snaps back the period it recovers.
+  for (int k = 0; k < num_shards_; ++k) {
+    const int s = (home + k) % num_shards_;
+    if (Eligible(shards[static_cast<size_t>(s)])) return s;
+  }
+  return home;  // Everything drained: deterministic degenerate choice.
 }
 
 int ShardRouter::Route(const stream::QuerySubmission& submission,
@@ -42,28 +50,30 @@ int ShardRouter::Route(const stream::QuerySubmission& submission,
   STREAMBID_CHECK_EQ(static_cast<int>(shards.size()), num_shards_);
   switch (policy_) {
     case RoutingPolicy::kHashUser:
-      return RouteHash(submission);
+      return RouteHash(submission, shards);
 
     case RoutingPolicy::kLeastLoaded: {
-      int best = 0;
-      for (int s = 1; s < num_shards_; ++s) {
+      int best = -1;
+      for (int s = 0; s < num_shards_; ++s) {
+        if (!Eligible(shards[static_cast<size_t>(s)])) continue;
         // Strict <: ties stay on the lowest index (deterministic).
-        if (shards[static_cast<size_t>(s)].pending_load <
-            shards[static_cast<size_t>(best)].pending_load) {
+        if (best < 0 || shards[static_cast<size_t>(s)].pending_load <
+                            shards[static_cast<size_t>(best)].pending_load) {
           best = s;
         }
       }
-      return best;
+      return best >= 0 ? best : RouteHash(submission, shards);
     }
 
     case RoutingPolicy::kPriceAware: {
-      // No shard has run a period yet: nothing to compare prices on, so
-      // place by the stable hash instead.
+      // No eligible shard has run a period yet: nothing to compare
+      // prices on, so place by the stable hash instead.
       bool any_history = false;
       for (const ShardStatus& status : shards) {
-        any_history = any_history || status.has_history;
+        any_history =
+            any_history || (Eligible(status) && status.has_history);
       }
-      if (!any_history) return RouteHash(submission);
+      if (!any_history) return RouteHash(submission, shards);
 
       // A shard without history is optimistically price 0 / rate 1, so
       // unexplored capacity attracts traffic until it clears a period —
@@ -75,9 +85,14 @@ int ShardRouter::Route(const stream::QuerySubmission& submission,
       const auto rate = [](const ShardStatus& s) {
         return s.has_history ? s.last_admission_rate : 1.0;
       };
-      int best = 0;
-      for (int s = 1; s < num_shards_; ++s) {
+      int best = -1;
+      for (int s = 0; s < num_shards_; ++s) {
         const ShardStatus& status = shards[static_cast<size_t>(s)];
+        if (!Eligible(status)) continue;
+        if (best < 0) {
+          best = s;
+          continue;
+        }
         const ShardStatus& incumbent =
             shards[static_cast<size_t>(best)];
         if (price(status) < price(incumbent) ||
@@ -86,7 +101,7 @@ int ShardRouter::Route(const stream::QuerySubmission& submission,
           best = s;
         }
       }
-      return best;
+      return best >= 0 ? best : RouteHash(submission, shards);
     }
   }
   STREAMBID_CHECK(false);

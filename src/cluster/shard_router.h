@@ -19,6 +19,7 @@
 #define STREAMBID_CLUSTER_SHARD_ROUTER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,12 @@ struct ShardStatus {
   /// read as free service.
   double last_clearing_price = 0.0;
   double last_admission_rate = 0.0;  ///< admitted / submitted last period.
+  /// Capacity the shard is provisioned at for the next period (the
+  /// autoscaler's latest decision, refreshed by the ClusterCenter at
+  /// each period close; nullopt when the owner does not track
+  /// provisioning). A shard with a known zero capacity is drained:
+  /// every routing policy routes around it.
+  std::optional<double> next_capacity;
 };
 
 /// Stateless shard selector. Thread-compatible (const after
@@ -60,9 +67,18 @@ class ShardRouter {
   ShardRouter(RoutingPolicy policy, int num_shards);
 
   /// Picks the shard for `submission` given the current shard statuses.
+  /// Drained shards (known next-period capacity of zero) are never
+  /// targeted unless every shard is drained (then the stable hash
+  /// placement applies — the period will reject, but deterministically).
   /// Precondition (checked): shards.size() == num_shards().
   int Route(const stream::QuerySubmission& submission,
             const std::vector<ShardStatus>& shards) const;
+
+  /// True when `status` may receive traffic (no known zero next-period
+  /// capacity).
+  static bool Eligible(const ShardStatus& status) {
+    return !status.next_capacity.has_value() || *status.next_capacity > 0.0;
+  }
 
   RoutingPolicy policy() const { return policy_; }
   int num_shards() const { return num_shards_; }
@@ -72,7 +88,9 @@ class ShardRouter {
   static uint64_t HashUser(auction::UserId user);
 
  private:
-  int RouteHash(const stream::QuerySubmission& submission) const;
+  /// Stable hash placement probing past drained shards.
+  int RouteHash(const stream::QuerySubmission& submission,
+                const std::vector<ShardStatus>& shards) const;
 
   RoutingPolicy policy_;
   int num_shards_;

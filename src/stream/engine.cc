@@ -38,6 +38,11 @@ Engine::Engine(EngineOptions options) : options_(options) {
 
 Engine::~Engine() = default;
 
+void Engine::SetCapacity(double capacity) {
+  STREAMBID_CHECK_GT(capacity, 0.0);
+  options_.capacity = capacity;
+}
+
 Status Engine::RegisterSource(StreamSourcePtr source) {
   STREAMBID_CHECK(source != nullptr);
   const std::string& name = source->name();
@@ -376,6 +381,9 @@ void Engine::Run(VirtualTime duration) {
   STREAMBID_CHECK_GE(duration, 0.0);
   for (Node* node : topo_) node->run_cost = 0.0;
   last_run_duration_ = duration;
+  // Snapshot: a later SetCapacity (autoscaling) must not retroactively
+  // rescale this run's utilization.
+  last_run_capacity_ = options_.capacity;
   last_run_shed_ = 0;
   last_run_ingested_ = 0;
   shed_probability_ = 0.0;
@@ -469,8 +477,8 @@ Result<double> Engine::MeasuredLoad(const std::string& signature) const {
 }
 
 double Engine::LastRunUtilization() const {
-  if (last_run_duration_ <= 0.0) return 0.0;
-  return last_run_cost_ / (last_run_duration_ * options_.capacity);
+  if (last_run_duration_ <= 0.0 || last_run_capacity_ <= 0.0) return 0.0;
+  return last_run_cost_ / (last_run_duration_ * last_run_capacity_);
 }
 
 int Engine::num_shared_nodes() const {

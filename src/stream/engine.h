@@ -162,6 +162,12 @@ class Engine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// Re-provisions the engine's capacity (the autoscaler's actuator;
+  /// call between periods, not mid-Run). Affects the shedding budget
+  /// and the utilization denominator of subsequent Runs. Precondition
+  /// (checked): capacity > 0.
+  void SetCapacity(double capacity);
+
  private:
   struct Node;
 
@@ -194,6 +200,7 @@ class Engine {
   VirtualTime now_ = 0.0;
   double last_run_cost_ = 0.0;
   VirtualTime last_run_duration_ = 0.0;
+  double last_run_capacity_ = 0.0;  // Capacity during the last Run().
   int64_t last_run_shed_ = 0;
   int64_t last_run_ingested_ = 0;
   double shed_probability_ = 0.0;  // Closed-loop shedding control.

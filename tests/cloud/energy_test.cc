@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "service/admission_service.h"
 #include "workload/generator.h"
 
@@ -39,8 +41,9 @@ TEST(EnergyTest, EvaluatesEveryCandidate) {
       inst.total_union_load() * 1.0};
   const auto evals = EvaluateCapacities(service, "cat", inst, candidates,
                                         EnergyModel{}, seed);
-  ASSERT_EQ(evals.size(), 3u);
-  for (const CapacityEvaluation& e : evals) {
+  ASSERT_TRUE(evals.ok());
+  ASSERT_EQ(evals->size(), 3u);
+  for (const CapacityEvaluation& e : *evals) {
     EXPECT_GE(e.gross_profit, 0.0);
     EXPECT_GE(e.energy_cost, 0.0);
     EXPECT_DOUBLE_EQ(e.net_profit, e.gross_profit - e.energy_cost);
@@ -56,12 +59,14 @@ TEST(EnergyTest, OptimizePicksBestNet) {
   const std::vector<double> candidates = {
       inst.total_union_load() * 0.2, inst.total_union_load() * 0.4,
       inst.total_union_load() * 0.7, inst.total_union_load() * 1.1};
-  const CapacityEvaluation best =
+  const auto best =
       OptimizeCapacity(service, "cat", inst, candidates, EnergyModel{}, seed);
+  ASSERT_TRUE(best.ok());
   const auto evals = EvaluateCapacities(service, "cat", inst, candidates,
                                         EnergyModel{}, seed);
-  for (const CapacityEvaluation& e : evals) {
-    EXPECT_GE(best.net_profit, e.net_profit - 1e-9);
+  ASSERT_TRUE(evals.ok());
+  for (const CapacityEvaluation& e : *evals) {
+    EXPECT_GE(best->net_profit, e.net_profit - 1e-9);
   }
 }
 
@@ -76,9 +81,10 @@ TEST(EnergyTest, OverProvisioningIsPenalized) {
   pricey.idle_cost_per_capacity = 0.01;
   const std::vector<double> candidates = {inst.total_union_load() * 0.5,
                                           inst.total_union_load() * 10.0};
-  const CapacityEvaluation best =
+  const auto best =
       OptimizeCapacity(service, "cat", inst, candidates, pricey, seed);
-  EXPECT_DOUBLE_EQ(best.capacity, inst.total_union_load() * 0.5);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->capacity, inst.total_union_load() * 0.5);
 }
 
 TEST(EnergyTest, TiesGoToSmallerCapacity) {
@@ -90,9 +96,62 @@ TEST(EnergyTest, TiesGoToSmallerCapacity) {
   ASSERT_TRUE(inst.ok());
   service::AdmissionService service;
   const uint64_t seed = 4;
-  const CapacityEvaluation best =
+  const auto best =
       OptimizeCapacity(service, "cat", *inst, {100.0, 10.0}, EnergyModel{}, seed);
-  EXPECT_DOUBLE_EQ(best.capacity, 10.0);
+  ASSERT_TRUE(best.ok());
+  EXPECT_DOUBLE_EQ(best->capacity, 10.0);
+}
+
+// --- Edge-case regressions: malformed candidate lists must fail with a
+// clean Status, not silently evaluate (or crash). ---
+
+TEST(EnergyTest, EmptyCandidateListIsInvalid) {
+  const auction::AuctionInstance inst = SharedWorkload(5);
+  service::AdmissionService service;
+  const auto evals =
+      EvaluateCapacities(service, "cat", inst, {}, EnergyModel{});
+  EXPECT_EQ(evals.status().code(), StatusCode::kInvalidArgument);
+  const auto best = OptimizeCapacity(service, "cat", inst, {}, EnergyModel{});
+  EXPECT_EQ(best.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnergyTest, ZeroAndNegativeCandidatesAreInvalid) {
+  const auction::AuctionInstance inst = SharedWorkload(6);
+  service::AdmissionService service;
+  for (const double bad : {0.0, -5.0}) {
+    const auto evals = EvaluateCapacities(service, "cat", inst,
+                                          {10.0, bad}, EnergyModel{});
+    EXPECT_EQ(evals.status().code(), StatusCode::kInvalidArgument) << bad;
+    const auto best =
+        OptimizeCapacity(service, "cat", inst, {bad}, EnergyModel{});
+    EXPECT_EQ(best.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(EnergyTest, NonFiniteCandidatesAreInvalid) {
+  const auction::AuctionInstance inst = SharedWorkload(7);
+  service::AdmissionService service;
+  const auto evals = EvaluateCapacities(
+      service, "cat", inst, {std::numeric_limits<double>::infinity()},
+      EnergyModel{});
+  EXPECT_EQ(evals.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnergyTest, NonPositiveTrialsAreInvalid) {
+  const auction::AuctionInstance inst = SharedWorkload(8);
+  service::AdmissionService service;
+  const auto evals = EvaluateCapacities(service, "cat", inst, {10.0},
+                                        EnergyModel{}, /*seed=*/0,
+                                        /*trials=*/0);
+  EXPECT_EQ(evals.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EnergyTest, UnknownMechanismPropagates) {
+  const auction::AuctionInstance inst = SharedWorkload(9);
+  service::AdmissionService service;
+  const auto evals = EvaluateCapacities(service, "no-such-mechanism",
+                                        inst, {10.0}, EnergyModel{});
+  EXPECT_EQ(evals.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

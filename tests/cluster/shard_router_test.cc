@@ -10,6 +10,8 @@
 #include <set>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace streambid::cluster {
 namespace {
 
@@ -130,6 +132,118 @@ TEST(ShardRouterTest, PriceAwareExploresShardsWithoutHistory) {
   // ties their optimistic rate too, so the lowest index still wins.
   shards[2].last_clearing_price = 0.0;
   EXPECT_EQ(router.Route(SubmissionFor(1), shards), 0);
+}
+
+// --- Autoscaled (shrinking/growing) shard capacities: a shard whose
+// next-period provisioning hit zero is drained and must never be
+// targeted by any policy while an alternative exists. ---
+
+TEST(ShardRouterTest, HashProbesPastDrainedShard) {
+  ShardRouter router(RoutingPolicy::kHashUser, 4);
+  std::vector<ShardStatus> shards(4);
+  const auction::UserId user = 9;
+  const int home = router.Route(SubmissionFor(user), shards);
+  shards[static_cast<size_t>(home)].next_capacity = 0.0;
+  const int rerouted = router.Route(SubmissionFor(user), shards);
+  EXPECT_NE(rerouted, home);
+  EXPECT_EQ(rerouted, (home + 1) % 4);  // Forward probe, deterministic.
+  // Recovery: once the shard is provisioned again, the stable
+  // placement snaps back.
+  shards[static_cast<size_t>(home)].next_capacity = 1.5;
+  EXPECT_EQ(router.Route(SubmissionFor(user), shards), home);
+}
+
+TEST(ShardRouterTest, LeastLoadedSkipsDrainedShard) {
+  ShardRouter router(RoutingPolicy::kLeastLoaded, 3);
+  std::vector<ShardStatus> shards(3);
+  shards[0].pending_load = 1.0;
+  shards[0].next_capacity = 0.0;  // Emptiest but drained.
+  shards[1].pending_load = 5.0;
+  shards[1].next_capacity = 2.0;
+  shards[2].pending_load = 3.0;
+  shards[2].next_capacity = 0.5;  // Shrunk, but alive.
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 2);
+}
+
+TEST(ShardRouterTest, PriceAwareSkipsDrainedShard) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 3);
+  std::vector<ShardStatus> shards(3);
+  for (ShardStatus& s : shards) s.has_history = true;
+  shards[0].last_clearing_price = 1.0;  // Cheapest but drained.
+  shards[0].next_capacity = 0.0;
+  shards[1].last_clearing_price = 4.0;
+  shards[1].next_capacity = 3.0;
+  shards[2].last_clearing_price = 2.0;
+  shards[2].next_capacity = 1.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 2);
+}
+
+TEST(ShardRouterTest, PriceAwareIgnoresDrainedHistoryForFallback) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 2);
+  std::vector<ShardStatus> shards(2);
+  // The only shard with history is drained: price comparison has no
+  // eligible data, so routing falls back to the (probing) hash and
+  // must land on the live shard.
+  shards[0].has_history = true;
+  shards[0].last_clearing_price = 1.0;
+  shards[0].next_capacity = 0.0;
+  shards[1].next_capacity = 2.0;
+  for (auction::UserId user = 0; user < 16; ++user) {
+    EXPECT_EQ(router.Route(SubmissionFor(user), shards), 1) << user;
+  }
+}
+
+TEST(ShardRouterTest, NeverTargetsZeroCapacityShard) {
+  // Randomized shrink/grow sweep: whatever the provisioning pattern,
+  // no policy may target a drained shard while any shard is live.
+  Rng rng(0xD2A1Eull);
+  for (const RoutingPolicy policy :
+       {RoutingPolicy::kHashUser, RoutingPolicy::kLeastLoaded,
+        RoutingPolicy::kPriceAware}) {
+    ShardRouter router(policy, 5);
+    for (int round = 0; round < 200; ++round) {
+      std::vector<ShardStatus> shards(5);
+      bool any_live = false;
+      for (ShardStatus& s : shards) {
+        // Autoscaled capacities: zero (drained), shrunk, or grown.
+        const double capacity = rng.NextBool(0.4)
+                                    ? 0.0
+                                    : rng.NextRange(0.25, 4.0);
+        s.next_capacity = capacity;
+        any_live = any_live || capacity > 0.0;
+        s.has_history = rng.NextBool(0.7);
+        s.last_clearing_price = rng.NextRange(0.0, 8.0);
+        s.last_admission_rate = rng.NextRange(0.0, 1.0);
+        s.pending_load = rng.NextRange(0.0, 10.0);
+      }
+      if (!any_live) continue;
+      const int target = router.Route(
+          SubmissionFor(static_cast<auction::UserId>(round)), shards);
+      EXPECT_TRUE(ShardRouter::Eligible(
+          shards[static_cast<size_t>(target)]))
+          << RoutingPolicyName(policy) << " round " << round;
+    }
+  }
+}
+
+TEST(ShardRouterTest, AllShardsDrainedFallsBackToStableHash) {
+  ShardRouter router(RoutingPolicy::kLeastLoaded, 4);
+  std::vector<ShardStatus> shards(4);
+  for (ShardStatus& s : shards) s.next_capacity = 0.0;
+  for (auction::UserId user = 0; user < 20; ++user) {
+    EXPECT_EQ(router.Route(SubmissionFor(user), shards),
+              static_cast<int>(ShardRouter::HashUser(user) % 4ull))
+        << user;
+  }
+}
+
+TEST(ShardRouterTest, UnknownNextCapacityStaysEligible) {
+  ShardStatus status;  // next_capacity unset: owner tracks nothing.
+  EXPECT_TRUE(ShardRouter::Eligible(status));
+  status.next_capacity = 0.0;
+  EXPECT_FALSE(ShardRouter::Eligible(status));
+  status.next_capacity = 0.75;
+  EXPECT_TRUE(ShardRouter::Eligible(status));
 }
 
 TEST(ShardRouterTest, PriceAwareAvoidsSaturatedShards) {
