@@ -1,7 +1,9 @@
 // Copyright 2026 The streambid Authors
 // The cluster layer in one page: a 2-shard ClusterCenter routing tenant
-// submissions by user hash, running each period's shard auctions through
-// the parallel AdmissionExecutor, and merging the shard reports.
+// submissions by least-loaded, running each period as per-shard
+// prepare -> admit -> complete chains on the executor's persistent
+// TaskExecutor pool (no per-period threads), and merging the shard
+// reports.
 //
 // Build & run:  ./build/examples/cluster_quickstart
 
@@ -81,7 +83,8 @@ int main() {
               cluster.total_revenue(), cluster.num_shards());
 
   // The executor's rolling stats double as the service observability
-  // surface: every shard auction it ran is folded in per mechanism.
+  // surface: every shard auction it ran is folded in per mechanism,
+  // and the generic pool counters show where the period chains landed.
   const cluster::ExecutorStats stats =
       cluster.executor().StatsReport();
   for (const auto& [name, m] : stats.per_mechanism) {
@@ -90,5 +93,11 @@ int main() {
                 name.c_str(), static_cast<long long>(m.count),
                 m.admit_rate.mean(), m.elapsed_ms.mean());
   }
+  for (size_t w = 0; w < stats.tasks_per_worker.size(); ++w) {
+    std::printf("pool worker %zu ran %lld period tasks\n", w,
+                static_cast<long long>(stats.tasks_per_worker[w]));
+  }
+  std::printf("queue high-water mark: %lld\n",
+              static_cast<long long>(stats.queue_high_water));
   return 0;
 }

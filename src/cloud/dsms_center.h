@@ -149,13 +149,21 @@ class DsmsCenter {
   /// enabled this also commits the period's provisioning decision
   /// (engine re-provisioned, request capacity set) — call it exactly
   /// once per period.
+  ///
+  /// Thread placement: PrepareAuction and CompletePeriod may run on any
+  /// thread (the cluster layer schedules them on its TaskExecutor pool
+  /// workers), as long as calls against one center are externally
+  /// serialized — the center itself is not thread-safe. Both are
+  /// deterministic functions of center-local state, so placement never
+  /// changes a report.
   Result<PreparedAuction> PrepareAuction();
 
   /// Applies an admission outcome and finishes the period: transition,
   /// execution, billing, history. `response` must be the result of
   /// admitting the PreparedAuction request (null iff there was no
   /// auction; kInvalidArgument when submissions are pending but the
-  /// response is missing or mis-sized).
+  /// response is missing or mis-sized). See PrepareAuction for the
+  /// thread-placement contract.
   Result<PeriodReport> CompletePeriod(
       const service::AdmissionResponse* response);
 

@@ -2,96 +2,28 @@
 
 #include "cluster/admission_executor.h"
 
-#include <algorithm>
+#include <string>
 #include <utility>
 
 namespace streambid::cluster {
 
-/// Shared state of one AdmitBatchParallel call. Results are collected
-/// positionally; the submitting thread waits on done_cv_ until
-/// `remaining` drains.
-struct AdmissionExecutor::BatchJob {
-  std::vector<std::optional<Result<service::AdmissionResponse>>> results;
-  size_t remaining = 0;
-};
-
-AdmissionExecutor::AdmissionExecutor(const ExecutorOptions& options) {
-  int n = options.num_threads;
-  if (n <= 0) {
-    n = static_cast<int>(std::thread::hardware_concurrency());
-    if (n <= 0) n = 1;
-  }
-  services_.reserve(static_cast<size_t>(n));
-  worker_stats_.reserve(static_cast<size_t>(n));
-  workers_.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    services_.push_back(std::make_unique<service::AdmissionService>());
+AdmissionExecutor::AdmissionExecutor(const ExecutorOptions& options)
+    : tasks_(options) {
+  worker_stats_.reserve(static_cast<size_t>(tasks_.num_threads()));
+  for (int i = 0; i < tasks_.num_threads(); ++i) {
     worker_stats_.push_back(std::make_unique<WorkerStats>());
   }
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
-  }
 }
 
-AdmissionExecutor::~AdmissionExecutor() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
-  // Queued work was dropped above; complete every unconsumed ticket
-  // with an error and wake waiters, so a straggling Wait() returns
-  // instead of sleeping forever on a result that will never arrive.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& [ticket, slot] : tickets_) {
-      if (!slot.has_value()) {
-        slot = Result<service::AdmissionResponse>(
-            Status::FailedPrecondition("executor shut down"));
-      }
-    }
-  }
-  done_cv_.notify_all();
-}
-
-void AdmissionExecutor::WorkerLoop(int worker_id) {
-  service::AdmissionService& service = *services_[static_cast<size_t>(
-      worker_id)];
-  for (;;) {
-    WorkItem item;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      // Shutdown drops queued work (the documented contract: only the
-      // auctions already running finish), so teardown with a deep
-      // backlog does not block on the backlog's runtime.
-      if (stopping_) return;
-      item = std::move(queue_.front());
-      queue_.pop_front();
-    }
-
-    // Execute outside the lock: auctions are the expensive part, and the
-    // per-request RNG stream makes the result independent of which
-    // worker (and which service/context) runs it.
-    Result<service::AdmissionResponse> result =
-        service.Admit(item.request);
-    RecordStats(worker_id, result);
-
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (item.job != nullptr) {
-        item.job->results[item.index] = std::move(result);
-        --item.job->remaining;
-      } else {
-        auto it = tickets_.find(item.ticket);
-        // The destructor never erases in-flight tickets, so the slot is
-        // present unless the executor is tearing down mid-item.
-        if (it != tickets_.end()) it->second = std::move(result);
-      }
-    }
-    done_cv_.notify_all();
-  }
+Result<service::AdmissionResponse> AdmissionExecutor::AdmitOn(
+    WorkerContext& context, const service::AdmissionRequest& request) {
+  // The worker's own service (and therefore its own AuctionContext
+  // scratch arena): the per-request RNG stream makes the result
+  // independent of which worker (and which service) runs it.
+  Result<service::AdmissionResponse> result =
+      context.service->Admit(request);
+  RecordStats(context.worker_id, result);
+  return result;
 }
 
 void AdmissionExecutor::RecordStats(
@@ -99,12 +31,12 @@ void AdmissionExecutor::RecordStats(
   WorkerStats& shard = *worker_stats_[static_cast<size_t>(worker_id)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (!result.ok()) {
-    ++shard.stats.failed_requests;
+    ++shard.failed_requests;
     return;
   }
   const service::AdmissionDiagnostics& diag = result->diagnostics;
-  ++shard.stats.total_requests;
-  MechanismRollingStats& m = shard.stats.per_mechanism[diag.mechanism];
+  ++shard.total_requests;
+  MechanismRollingStats& m = shard.per_mechanism[diag.mechanism];
   ++m.count;
   if (diag.deadline_exceeded) ++m.deadline_overruns;
   m.admit_rate.Add(diag.num_queries > 0
@@ -120,7 +52,7 @@ AdmissionExecutor::AdmitBatchParallel(
     const std::vector<service::AdmissionRequest>& requests) {
   // Same up-front whole-batch validation (and error spelling) as the
   // serial AdmitBatch: a bad request fails before any auction runs.
-  const service::AdmissionService& validator = *services_.front();
+  const service::AdmissionService& validator = tasks_.worker_service(0);
   for (size_t i = 0; i < requests.size(); ++i) {
     const Status status = validator.Validate(requests[i]);
     if (!status.ok()) {
@@ -129,102 +61,43 @@ AdmissionExecutor::AdmitBatchParallel(
     }
   }
 
-  BatchJob job;
-  job.results.resize(requests.size());
-  job.remaining = requests.size();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t i = 0; i < requests.size(); ++i) {
-      WorkItem item;
-      item.request = requests[i];
-      item.job = &job;
-      item.index = i;
-      queue_.push_back(std::move(item));
-    }
+  // One task per request; RunAll keeps results positionally aligned
+  // and, like serial AdmitBatch, reports the lowest-index failure.
+  std::vector<TaskExecutor::Task<service::AdmissionResponse>> tasks;
+  tasks.reserve(requests.size());
+  for (const service::AdmissionRequest& request : requests) {
+    tasks.push_back([this, &request](WorkerContext& context) {
+      return AdmitOn(context, request);
+    });
   }
-  work_cv_.notify_all();
-
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&job] { return job.remaining == 0; });
-  }
-
-  // Serial AdmitBatch stops at the first failing request and returns its
-  // status; mirror that by reporting the lowest-index failure.
-  std::vector<service::AdmissionResponse> responses;
-  responses.reserve(requests.size());
-  for (std::optional<Result<service::AdmissionResponse>>& slot :
-       job.results) {
-    if (!slot->ok()) return slot->status();
-    responses.push_back(std::move(*slot).value());
-  }
-  return responses;
+  return tasks_.RunAll(std::move(tasks));
 }
 
-Result<Ticket> AdmissionExecutor::Enqueue(
+Result<AdmissionTicket> AdmissionExecutor::Enqueue(
     const service::AdmissionRequest& request) {
-  STREAMBID_RETURN_IF_ERROR(services_.front()->Validate(request));
-  Ticket ticket = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ticket = next_ticket_++;
-    tickets_.emplace(ticket, std::nullopt);
-    WorkItem item;
-    item.request = request;
-    item.ticket = ticket;
-    queue_.push_back(std::move(item));
-  }
-  work_cv_.notify_one();
-  return ticket;
+  STREAMBID_RETURN_IF_ERROR(tasks_.worker_service(0).Validate(request));
+  return tasks_.Submit<service::AdmissionResponse>(
+      [this, request](WorkerContext& context) {
+        return AdmitOn(context, request);
+      });
 }
 
-std::optional<Result<service::AdmissionResponse>> AdmissionExecutor::Poll(
-    Ticket ticket) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = tickets_.find(ticket);
-  if (it == tickets_.end()) {
-    return Result<service::AdmissionResponse>(
-        Status::NotFound("unknown ticket: " + std::to_string(ticket)));
-  }
-  if (!it->second.has_value()) return std::nullopt;  // Still in flight.
-  std::optional<Result<service::AdmissionResponse>> result =
-      std::move(it->second);
-  tickets_.erase(it);
-  return result;
-}
-
-Result<service::AdmissionResponse> AdmissionExecutor::Wait(Ticket ticket) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto it = tickets_.find(ticket);
-  if (it == tickets_.end()) {
-    return Status::NotFound("unknown ticket: " + std::to_string(ticket));
-  }
-  done_cv_.wait(lock, [&] {
-    it = tickets_.find(ticket);
-    return it == tickets_.end() || it->second.has_value();
-  });
-  if (it == tickets_.end()) {
-    // Consumed concurrently by another Poll/Wait of the same ticket.
-    return Status::NotFound("ticket already consumed: " +
-                            std::to_string(ticket));
-  }
-  Result<service::AdmissionResponse> result = std::move(*it->second);
-  tickets_.erase(it);
-  return result;
-}
-
-int AdmissionExecutor::pending_tickets() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return static_cast<int>(tickets_.size());
+Result<AdmissionTicket> AdmissionExecutor::TryEnqueue(
+    const service::AdmissionRequest& request) {
+  STREAMBID_RETURN_IF_ERROR(tasks_.worker_service(0).Validate(request));
+  return tasks_.TrySubmit<service::AdmissionResponse>(
+      [this, request](WorkerContext& context) {
+        return AdmitOn(context, request);
+      });
 }
 
 ExecutorStats AdmissionExecutor::StatsReport() const {
   ExecutorStats merged;
   for (const std::unique_ptr<WorkerStats>& shard : worker_stats_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    merged.total_requests += shard->stats.total_requests;
-    merged.failed_requests += shard->stats.failed_requests;
-    for (const auto& [name, m] : shard->stats.per_mechanism) {
+    merged.total_requests += shard->total_requests;
+    merged.failed_requests += shard->failed_requests;
+    for (const auto& [name, m] : shard->per_mechanism) {
       MechanismRollingStats& out = merged.per_mechanism[name];
       out.count += m.count;
       out.deadline_overruns += m.deadline_overruns;
@@ -233,14 +106,20 @@ ExecutorStats AdmissionExecutor::StatsReport() const {
       out.elapsed_ms.Merge(m.elapsed_ms);
     }
   }
+  const TaskExecutorStats pool = tasks_.StatsReport();
+  merged.tasks_per_worker = pool.tasks_per_worker;
+  merged.queue_high_water = pool.queue_high_water;
   return merged;
 }
 
 void AdmissionExecutor::ResetStats() {
   for (const std::unique_ptr<WorkerStats>& shard : worker_stats_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    shard->stats = ExecutorStats{};
+    shard->total_requests = 0;
+    shard->failed_requests = 0;
+    shard->per_mechanism.clear();
   }
+  tasks_.ResetStats();
 }
 
 }  // namespace streambid::cluster

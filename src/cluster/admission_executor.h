@@ -1,55 +1,50 @@
 // Copyright 2026 The streambid Authors
-// The parallel admission runtime of the cluster layer: a fixed pool of
-// worker threads, each owning its own AdmissionService (and therefore
-// its own AuctionContext scratch arena — the service header's "shard one
-// service per thread"). Because every AdmissionRequest carries its own
-// deterministic (seed, request_index) RNG stream, a request's response
-// is a pure function of the request: it does not matter which worker
-// runs it, in what order, or how many workers exist. That is the
-// contract that makes the two surfaces below safe:
+// The admission facade over the generic TaskExecutor: the cluster
+// layer's parallel admission runtime, now expressed as closures on the
+// shared worker pool instead of its own bespoke thread army. Because
+// every AdmissionRequest carries its own deterministic
+// (seed, request_index) RNG stream, a request's response is a pure
+// function of the request: it does not matter which worker runs it, in
+// what order, or how many workers exist. That is the contract that
+// makes the three surfaces below safe:
 //
-//  - AdmitBatchParallel: blocking batch sharded across the pool,
-//    responses positionally aligned and byte-identical to serial
-//    AdmissionService::AdmitBatch (timing fields excepted);
-//  - Enqueue / Poll / Wait: async submit of individual auctions with
-//    ticket-based completion draining, for callers (the ClusterCenter,
-//    period pipelines) that overlap admission with other work.
+//  - AdmitBatchParallel: blocking batch fanned across the pool via
+//    TaskExecutor::RunAll, responses positionally aligned and
+//    byte-identical to serial AdmissionService::AdmitBatch (timing
+//    fields excepted);
+//  - Enqueue / TryEnqueue / Poll / Wait: async submit of individual
+//    auctions with typed-ticket completion draining; TryEnqueue is the
+//    backpressure path against a bounded queue (kResourceExhausted
+//    instead of unbounded growth);
+//  - AdmitOn: run one auction on a worker's own service from inside a
+//    generic task — the hook the ClusterCenter's pipelined period
+//    chains use so their admissions still land in these rolling stats.
 //
-// Worker-side diagnostics are folded into per-mechanism rolling stats
-// (count, admit rate, utilization, elapsed, deadline overruns) exposed
-// via StatsReport() — the cluster bench's observability surface.
+// Admission-specific diagnostics are folded into per-mechanism rolling
+// stats (count, admit rate, utilization, elapsed, deadline overruns);
+// StatsReport() combines them with the TaskExecutor's generic counters
+// (per-worker task counts, queue-depth high-water mark).
 
 #ifndef STREAMBID_CLUSTER_ADMISSION_EXECUTOR_H_
 #define STREAMBID_CLUSTER_ADMISSION_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
+#include "cluster/task_executor.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "service/admission_service.h"
 
 namespace streambid::cluster {
 
-/// Executor configuration.
-struct ExecutorOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency() (at
-  /// least 1).
-  int num_threads = 0;
-};
-
-/// Completion handle returned by Enqueue. Tickets are issued once and
-/// consumed once: a successful Poll/Wait removes the result.
-using Ticket = uint64_t;
+/// Completion handle for an asynchronously enqueued auction.
+using AdmissionTicket = Ticket<service::AdmissionResponse>;
 
 /// Rolling per-mechanism statistics aggregated from the
 /// AdmissionDiagnostics of every successful request the executor ran.
@@ -67,26 +62,34 @@ struct ExecutorStats {
   int64_t total_requests = 0;   ///< Successful requests across mechanisms.
   int64_t failed_requests = 0;  ///< Requests whose execution errored.
   std::map<std::string, MechanismRollingStats> per_mechanism;
+  /// Generic-pool observability (see TaskExecutorStats): every task the
+  /// underlying pool executed, per worker id. Includes non-admission
+  /// tasks (e.g. the ClusterCenter's period chains); its length equals
+  /// num_threads() — the pool is the only place work can run.
+  std::vector<int64_t> tasks_per_worker;
+  /// Highest queued-task depth observed at submission time.
+  int64_t queue_high_water = 0;
 };
 
-/// Thread-pool admission runtime. Thread-safe: any thread may submit
-/// batches, enqueue requests, and poll tickets concurrently. Instances
-/// referenced by in-flight requests must outlive their completion
-/// (instances are immutable and may back many concurrent requests).
+/// Thread-pool admission runtime, a facade over TaskExecutor.
+/// Thread-safe: any thread may submit batches, enqueue requests, and
+/// poll tickets concurrently. Instances referenced by in-flight
+/// requests must outlive their completion (instances are immutable and
+/// may back many concurrent requests).
 class AdmissionExecutor {
  public:
   explicit AdmissionExecutor(const ExecutorOptions& options = {});
-  /// Drains nothing: queued work is dropped, running auctions finish,
-  /// and unconsumed tickets complete with kFailedPrecondition so a
-  /// straggling Wait unblocks. Destruction must still happen-after any
-  /// concurrent Poll/Wait/AdmitBatchParallel call returns (they use the
-  /// executor's synchronization internals).
-  ~AdmissionExecutor();
 
   AdmissionExecutor(const AdmissionExecutor&) = delete;
   AdmissionExecutor& operator=(const AdmissionExecutor&) = delete;
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const { return tasks_.num_threads(); }
+
+  /// The generic task surface sharing this executor's pool — submit
+  /// arbitrary closures (period pipelines, prepare fan-outs) alongside
+  /// admissions. Lifecycle (Shutdown) also lives here.
+  TaskExecutor& tasks() { return tasks_; }
+  const TaskExecutor& tasks() const { return tasks_; }
 
   /// Runs `requests` across the worker pool and returns responses
   /// positionally aligned with the requests — byte-identical to serial
@@ -100,56 +103,54 @@ class AdmissionExecutor {
 
   /// Validates and enqueues one auction; the returned ticket completes
   /// on some worker. Validation errors are returned here, execution
-  /// errors via Poll/Wait.
-  Result<Ticket> Enqueue(const service::AdmissionRequest& request);
+  /// errors via Poll/Wait. Blocks for space when the queue is bounded
+  /// and full.
+  Result<AdmissionTicket> Enqueue(const service::AdmissionRequest& request);
+
+  /// Non-blocking Enqueue: kResourceExhausted when the bounded queue
+  /// (ExecutorOptions::max_queue_depth) is full — the backpressure
+  /// signal for async producers.
+  Result<AdmissionTicket> TryEnqueue(
+      const service::AdmissionRequest& request);
 
   /// Non-blocking completion check: empty while the ticket is still
   /// queued or running; otherwise the response (or execution error),
   /// which is removed — a second Poll of the same ticket is kNotFound.
-  std::optional<Result<service::AdmissionResponse>> Poll(Ticket ticket);
+  std::optional<Result<service::AdmissionResponse>> Poll(
+      AdmissionTicket ticket) {
+    return tasks_.Poll(ticket);
+  }
 
   /// Blocks until the ticket completes and returns its result (removing
   /// it, as Poll does). kNotFound for never-issued or already-consumed
   /// tickets.
-  Result<service::AdmissionResponse> Wait(Ticket ticket);
+  Result<service::AdmissionResponse> Wait(AdmissionTicket ticket) {
+    return tasks_.Wait(ticket);
+  }
 
-  /// Outstanding (enqueued, not yet consumed) async tickets.
-  int pending_tickets() const;
+  /// Outstanding (submitted, not yet consumed) tickets on the shared
+  /// pool — admission tickets plus any generic tasks.
+  int pending_tickets() const { return tasks_.pending_tasks(); }
 
-  /// Copies the rolling per-mechanism stats accumulated so far.
+  /// Runs one auction on `context`'s worker-local service and folds the
+  /// outcome into the rolling stats. For use from inside TaskExecutor
+  /// tasks (the ClusterCenter period chains): admission stays on the
+  /// worker's own service, so the one-service-per-thread rule holds
+  /// without extra locking.
+  Result<service::AdmissionResponse> AdmitOn(
+      WorkerContext& context, const service::AdmissionRequest& request);
+
+  /// Copies the rolling per-mechanism stats plus the generic pool
+  /// counters accumulated so far.
   ExecutorStats StatsReport() const;
 
-  /// Clears the rolling stats (benches reset between phases).
+  /// Clears the rolling stats and pool counters (benches reset between
+  /// phases).
   void ResetStats();
 
  private:
-  /// One unit of work: an async ticket or one index of a batch job.
-  struct BatchJob;
-  struct WorkItem {
-    service::AdmissionRequest request;
-    Ticket ticket = 0;          ///< Valid when job == nullptr.
-    BatchJob* job = nullptr;    ///< Valid for batch items.
-    size_t index = 0;           ///< Position within the batch.
-  };
-
-  void WorkerLoop(int worker_id);
   void RecordStats(int worker_id,
                    const Result<service::AdmissionResponse>& result);
-
-  std::vector<std::unique_ptr<service::AdmissionService>> services_;
-  std::vector<std::thread> workers_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;  ///< Signals queued work / shutdown.
-  std::condition_variable done_cv_;  ///< Signals completions.
-  std::deque<WorkItem> queue_;
-  Ticket next_ticket_ = 1;
-  /// Issued-but-unconsumed async tickets; presence without a result
-  /// means queued or running.
-  std::unordered_map<Ticket,
-                     std::optional<Result<service::AdmissionResponse>>>
-      tickets_;
-  bool stopping_ = false;
 
   /// Stats are sharded per worker so the hot path never contends on a
   /// global lock (each worker touches only its own accumulator; the
@@ -157,9 +158,16 @@ class AdmissionExecutor {
   /// readers). StatsReport merges via RunningStats::Merge.
   struct WorkerStats {
     mutable std::mutex mutex;
-    ExecutorStats stats;
+    int64_t total_requests = 0;
+    int64_t failed_requests = 0;
+    std::map<std::string, MechanismRollingStats> per_mechanism;
   };
+  /// Declared before tasks_ on purpose: members destroy in reverse
+  /// declaration order, and ~TaskExecutor joins the workers — which may
+  /// still be running AdmitOn closures that record into these shards.
+  /// The pool must die first, the stats it writes to last.
   std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  TaskExecutor tasks_;
 };
 
 }  // namespace streambid::cluster

@@ -2,23 +2,30 @@
 
 #include "cluster/cluster_center.h"
 
-#include <algorithm>
 #include <limits>
-#include <optional>
-#include <thread>
 #include <utility>
 
 #include "common/check.h"
-#include "common/timer.h"
 #include "stream/load_estimator.h"
 
 namespace streambid::cluster {
+
+namespace {
+
+ExecutorOptions MakeExecutorOptions(const ClusterOptions& options) {
+  ExecutorOptions executor_options;
+  executor_options.num_threads = options.executor_threads;
+  executor_options.max_queue_depth = options.executor_queue_depth;
+  return executor_options;
+}
+
+}  // namespace
 
 ClusterCenter::ClusterCenter(const ClusterOptions& options,
                              const EngineConfigurator& configure_engine)
     : options_(options),
       router_(options.routing, options.num_shards),
-      executor_(ExecutorOptions{options.executor_threads}) {
+      executor_(MakeExecutorOptions(options)) {
   STREAMBID_CHECK_GE(options.num_shards, 1);
   STREAMBID_CHECK_GT(options.total_capacity, 0.0);
 
@@ -54,6 +61,10 @@ ClusterCenter::ClusterCenter(const ClusterOptions& options,
 }
 
 Result<int> ClusterCenter::Submit(stream::QuerySubmission submission) {
+  if (period_in_flight_) {
+    return Status::FailedPrecondition(
+        "a period is in flight: EndPeriod before Submit");
+  }
   const int s = router_.Route(submission, statuses_);
   Shard& shard = shards_[static_cast<size_t>(s)];
   // Estimate before the submission is moved into the shard: the router's
@@ -69,16 +80,99 @@ Result<int> ClusterCenter::Submit(stream::QuerySubmission submission) {
   return s;
 }
 
+Result<cloud::PeriodReport> ClusterCenter::RunShardPeriod(
+    int s, WorkerContext& context) {
+  cloud::DsmsCenter& center = *shards_[static_cast<size_t>(s)].center;
+  // Stage 1: the autoscaled prepare (candidate grid + instance build)
+  // — shard-local, so fanning it onto the pool changes no outcome.
+  STREAMBID_ASSIGN_OR_RETURN(const cloud::PreparedAuction prepared,
+                             center.PrepareAuction());
+  // Stage 2: the auction, on this worker's own service. The
+  // (seed + shard, period) request stream makes the response identical
+  // to any other service running it.
+  const service::AdmissionResponse* response = nullptr;
+  service::AdmissionResponse admitted;
+  if (prepared.has_auction) {
+    STREAMBID_ASSIGN_OR_RETURN(
+        admitted, executor_.AdmitOn(context, prepared.request));
+    response = &admitted;
+  }
+  // Stage 3: transition + engine execution + billing.
+  return center.CompletePeriod(response);
+}
+
+Result<PendingPeriod> ClusterCenter::BeginPeriod() {
+  if (period_in_flight_) {
+    return Status::FailedPrecondition("a period is already in flight");
+  }
+  PendingPeriod period;
+  period.timer.Start();
+  period.shard_tickets.reserve(shards_.size());
+  period.owner = this;
+  period.epoch = ++period_epoch_;
+  period_in_flight_ = true;
+  for (int s = 0; s < num_shards(); ++s) {
+    const Result<Ticket<cloud::PeriodReport>> ticket =
+        executor_.tasks().Submit<cloud::PeriodReport>(
+            [this, s](WorkerContext& context) {
+              return RunShardPeriod(s, context);
+            });
+    if (!ticket.ok()) {
+      // Submission can only fail on a shut-down executor; wait out the
+      // chains already in flight so no task outlives this call's view
+      // of the cluster, then surface the error.
+      for (const Ticket<cloud::PeriodReport> t : period.shard_tickets) {
+        (void)executor_.tasks().Wait(t);
+      }
+      period_in_flight_ = false;
+      return ticket.status();
+    }
+    period.shard_tickets.push_back(*ticket);
+  }
+  return period;
+}
+
+Result<ClusterPeriodReport> ClusterCenter::EndPeriod(
+    PendingPeriod& period) {
+  if (period.consumed) {
+    return Status::FailedPrecondition("period already ended");
+  }
+  if (!period_in_flight_) {
+    return Status::FailedPrecondition("no period is in flight");
+  }
+  // Identity check before any state changes: a stale copy of an earlier
+  // handle, a foreign cluster's handle, or a default-constructed one
+  // must not unfreeze the surface while the live period's chains are
+  // still running (nor strand the live handle's tickets).
+  if (period.owner != this || period.epoch != period_epoch_ ||
+      period.shard_tickets.size() != shards_.size()) {
+    return Status::FailedPrecondition(
+        "period handle does not match this cluster's in-flight period");
+  }
+  period.consumed = true;
+  std::vector<Result<cloud::PeriodReport>> completed;
+  completed.reserve(period.shard_tickets.size());
+  for (const Ticket<cloud::PeriodReport> ticket : period.shard_tickets) {
+    completed.push_back(executor_.tasks().Wait(ticket));
+  }
+  period_in_flight_ = false;
+  return MergeCompleted(std::move(completed), period.timer);
+}
+
 Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
+  STREAMBID_ASSIGN_OR_RETURN(PendingPeriod period, BeginPeriod());
+  return EndPeriod(period);
+}
+
+Result<ClusterPeriodReport> ClusterCenter::RunPeriodBarriered() {
+  if (period_in_flight_) {
+    return Status::FailedPrecondition("a period is already in flight");
+  }
   const int n = num_shards();
   Timer timer;
 
-  // --- Phase 1: every shard builds its auction. Serial; cheap without
-  // autoscaling, but an autoscaled shard also runs its candidate-grid
-  // what-if auctions here. Each shard's Propose touches only
-  // shard-local state (own service, own window), so this loop could
-  // fan out through the executor without changing any outcome — see
-  // the ROADMAP period-pipelining item before doing it. ---
+  // --- Phase 1: every shard builds its auction (serial; with
+  // autoscaling this includes the candidate-grid what-if auctions). ---
   std::vector<cloud::PreparedAuction> prepared;
   prepared.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
@@ -88,7 +182,7 @@ Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
     prepared.push_back(std::move(p));
   }
 
-  // --- Phase 2: all shard auctions through the parallel executor. ---
+  // --- Phase 2: all shard auctions as one parallel batch. ---
   std::vector<service::AdmissionRequest> requests;
   std::vector<int> owner;  // requests[k] belongs to shard owner[k].
   for (int s = 0; s < n; ++s) {
@@ -105,31 +199,42 @@ Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
     response_of[static_cast<size_t>(owner[k])] = &responses[k];
   }
 
-  // --- Phase 3: shards complete their periods concurrently. Each
-  // slot is touched by exactly one thread (a shard's engine, ledger,
-  // and history are private to it), so the fan-out cannot change any
-  // per-shard outcome. Parallelism is capped at the hardware so a
-  // many-shard cluster does not oversubscribe the machine with one
-  // thread per shard. ---
-  std::vector<std::optional<Result<cloud::PeriodReport>>> completed(
-      static_cast<size_t>(n));
-  {
-    int pool = static_cast<int>(std::thread::hardware_concurrency());
-    if (pool <= 0) pool = 1;
-    pool = std::min(pool, n);
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(pool));
-    for (int w = 0; w < pool; ++w) {
-      threads.emplace_back([this, w, pool, n, &response_of, &completed] {
-        for (int s = w; s < n; s += pool) {
-          completed[static_cast<size_t>(s)] =
-              shards_[static_cast<size_t>(s)].center->CompletePeriod(
-                  response_of[static_cast<size_t>(s)]);
-        }
-      });
+  // --- Phase 3: shards complete their periods as pool tasks. Each
+  // slot is touched by exactly one task (a shard's engine, ledger, and
+  // history are private to it), so the fan-out cannot change any
+  // per-shard outcome — and the pool caps the parallelism, so a
+  // many-shard cluster does not oversubscribe the machine. ---
+  std::vector<Ticket<cloud::PeriodReport>> tickets;
+  tickets.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const service::AdmissionResponse* response =
+        response_of[static_cast<size_t>(s)];
+    const Result<Ticket<cloud::PeriodReport>> ticket =
+        executor_.tasks().Submit<cloud::PeriodReport>(
+            [this, s, response](WorkerContext&) {
+              return shards_[static_cast<size_t>(s)]
+                  .center->CompletePeriod(response);
+            });
+    if (!ticket.ok()) {
+      for (const Ticket<cloud::PeriodReport> t : tickets) {
+        (void)executor_.tasks().Wait(t);
+      }
+      return ticket.status();
     }
-    for (std::thread& t : threads) t.join();
+    tickets.push_back(*ticket);
   }
+  std::vector<Result<cloud::PeriodReport>> completed;
+  completed.reserve(static_cast<size_t>(n));
+  for (const Ticket<cloud::PeriodReport> ticket : tickets) {
+    completed.push_back(executor_.tasks().Wait(ticket));
+  }
+  return MergeCompleted(std::move(completed), timer);
+}
+
+Result<ClusterPeriodReport> ClusterCenter::MergeCompleted(
+    std::vector<Result<cloud::PeriodReport>> completed,
+    const Timer& timer) {
+  const int n = num_shards();
 
   // --- Refresh the router's view for every shard that completed:
   // pending demand was consumed, and the price-aware policy keys off
@@ -141,7 +246,7 @@ Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
   Status first_error;
   for (int s = 0; s < n; ++s) {
     const Result<cloud::PeriodReport>& result =
-        *completed[static_cast<size_t>(s)];
+        completed[static_cast<size_t>(s)];
     if (!result.ok()) {
       if (first_error.ok()) first_error = result.status();
       continue;
@@ -176,7 +281,7 @@ Result<ClusterPeriodReport> ClusterCenter::RunPeriod() {
   report.shard_reports.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
     Result<cloud::PeriodReport>& result =
-        *completed[static_cast<size_t>(s)];
+        completed[static_cast<size_t>(s)];
     const cloud::PeriodReport& shard_report = *result;
     report.submissions += shard_report.submissions;
     report.admitted += shard_report.admitted;

@@ -1,20 +1,32 @@
 // Copyright 2026 The streambid Authors
 // The sharded multi-center deployment: N DsmsCenters (each with its own
-// engine at total_capacity / N) behind a ShardRouter, with all shards'
-// period auctions admitted through one parallel AdmissionExecutor and
-// the per-shard PeriodReports merged into a ClusterPeriodReport. This is
-// the ROADMAP "sharded multi-center" item: the shape that lets the bench
-// compare {1 big center} against {N shards at equal total capacity}
-// across mechanisms and routing policies.
+// engine at total_capacity / N) behind a ShardRouter, with every period
+// stage — autoscaled prepare, admission, completion — running on the
+// executor's persistent worker pool and the per-shard PeriodReports
+// merged into a ClusterPeriodReport. This is the ROADMAP "sharded
+// multi-center" item plus the "period pipelining" item: no per-period
+// threads are ever spawned, and shards flow through their stages
+// independently instead of barriering between phases.
 //
-// A period runs in three phases:
-//   1. every shard prepares its auction (instance build, serial);
-//   2. all shard auctions go down as one AdmitBatchParallel — each
-//      shard's (seed, period) request stream makes the outcome identical
-//      to the shard auctioning alone;
-//   3. every shard completes its period (transition + engine execution +
-//      billing) on its own thread — shards share no state, so the
-//      per-shard reports are deterministic regardless of interleaving.
+// A period is one dependency chain per shard, submitted to the pool:
+//
+//   shard k:  PrepareAuction ──▶ Admit (worker service) ──▶ CompletePeriod
+//             (autoscaler grid)                             (transition +
+//                                                            engine + bill)
+//
+// Chains are mutually independent (a shard's service, engine, ledger,
+// and autoscaler are private to it), so shard k's engine execution
+// overlaps shard k+1's auction. Every stage is a deterministic function
+// of shard-local state — the (seed + shard, period) request streams
+// carry the auction RNG — so the pipelined report is byte-identical to
+// the barriered reference (RunPeriodBarriered) at every pool size.
+//
+// Surfaces: RunPeriod() runs one pipelined period synchronously;
+// BeginPeriod()/EndPeriod() split it so a caller can overlap the
+// period's execution with its own work (but not with Submit — see
+// BeginPeriod); RunPeriodBarriered() keeps the lock-step reference
+// implementation (serial prepare, one parallel admission batch, pooled
+// completion) for identity tests and the pipelining bench.
 
 #ifndef STREAMBID_CLUSTER_CLUSTER_CENTER_H_
 #define STREAMBID_CLUSTER_CLUSTER_CENTER_H_
@@ -28,6 +40,7 @@
 #include "cluster/admission_executor.h"
 #include "cluster/shard_router.h"
 #include "common/status.h"
+#include "common/timer.h"
 #include "stream/engine.h"
 
 namespace streambid::cluster {
@@ -55,12 +68,17 @@ struct ClusterOptions {
   stream::EngineOptions engine_options;
   /// Executor pool size; 0 sizes to the hardware.
   int executor_threads = 0;
+  /// Executor queue bound passed through to ExecutorOptions; 0 means
+  /// unbounded. A bound must admit at least the period fan-out (one
+  /// chain per shard) or BeginPeriod will block on its own backlog.
+  int executor_queue_depth = 0;
   /// Per-shard closed-loop capacity autoscaling. Each shard runs its
   /// own CapacityAutoscaler against its share of total_capacity (the
-  /// ratio bounds apply to the per-shard baseline); decisions happen in
-  /// the serial prepare phase, so the cluster's determinism contract is
-  /// unchanged. The ClusterPeriodReport aggregates the shards' total
-  /// provisioned capacity and energy cost.
+  /// ratio bounds apply to the per-shard baseline); decisions are made
+  /// in the shard's own prepare stage from shard-local history, so the
+  /// cluster's determinism contract is unchanged. The
+  /// ClusterPeriodReport aggregates the shards' total provisioned
+  /// capacity and energy cost.
   cloud::AutoscalerOptions autoscale;
 };
 
@@ -81,16 +99,33 @@ struct ClusterPeriodReport {
   double provisioned_capacity = 0.0;
   /// Summed per-shard energy cost under the configured EnergyModel.
   double energy_cost = 0.0;
-  /// Wall clock of the whole cluster period (prepare + parallel
-  /// admission + parallel completion).
+  /// Wall clock of the whole cluster period (BeginPeriod through the
+  /// merge, or all three barriered phases).
   double elapsed_ms = 0.0;
   /// Indexed by shard; each report carries its mechanism name.
   std::vector<cloud::PeriodReport> shard_reports;
 };
 
+/// Handle for an in-flight pipelined period issued by BeginPeriod and
+/// consumed (exactly once) by EndPeriod. Identity-tagged: EndPeriod
+/// only accepts the handle of ITS cluster's CURRENT in-flight period —
+/// stale copies, foreign clusters' handles, and default-constructed
+/// ones are all rejected with kFailedPrecondition.
+struct PendingPeriod {
+  /// One chain ticket per shard, indexed by shard.
+  std::vector<Ticket<cloud::PeriodReport>> shard_tickets;
+  Timer timer;  ///< Started at BeginPeriod; read at the merge.
+  bool consumed = false;
+  /// Issuing cluster and its period epoch at issue time; checked by
+  /// EndPeriod before any state changes.
+  const void* owner = nullptr;
+  uint64_t epoch = 0;
+};
+
 /// N admission-controlled centers behind one router and one executor.
 /// Not thread-safe at the surface (one caller drives submissions and
-/// periods); internally the executor and the completion phase fan out.
+/// periods); internally every period stage fans out on the executor's
+/// persistent pool — no other threads are ever created.
 class ClusterCenter {
  public:
   /// Applied to every shard engine at construction (register sources,
@@ -107,11 +142,31 @@ class ClusterCenter {
   /// Routes the submission to a shard and queues it there for the next
   /// period. Returns the shard index. Routing happens before admission:
   /// a submission rejected by its shard's auction is not re-routed.
+  /// kFailedPrecondition while a period is in flight (shard state is on
+  /// the workers' side of the fence until EndPeriod).
   Result<int> Submit(stream::QuerySubmission submission);
 
-  /// Runs one period on every shard (see the phase breakdown in the file
-  /// header) and merges the shard reports.
+  /// Runs one pipelined period (BeginPeriod + EndPeriod) and merges the
+  /// shard reports.
   Result<ClusterPeriodReport> RunPeriod();
+
+  /// Submits every shard's period chain (prepare -> admit -> complete)
+  /// to the executor pool and returns immediately. Until EndPeriod
+  /// consumes the handle, the cluster surface is frozen: Submit and
+  /// further Begin/Run calls fail with kFailedPrecondition. The caller
+  /// may do unrelated work — or drive other executors — in between.
+  Result<PendingPeriod> BeginPeriod();
+
+  /// Waits for every shard chain, refreshes the router's view, merges
+  /// the shard reports, and appends to history(). Consumes the handle:
+  /// a second EndPeriod on the same PendingPeriod is kFailedPrecondition.
+  Result<ClusterPeriodReport> EndPeriod(PendingPeriod& period);
+
+  /// The lock-step reference implementation the pipelined path is
+  /// byte-compared against: serial prepare over all shards, one
+  /// AdmitBatchParallel, then pooled completion tasks with a barrier
+  /// between phases. Same merged report (timing aside), more idle time.
+  Result<ClusterPeriodReport> RunPeriodBarriered();
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const ClusterOptions& options() const { return options_; }
@@ -136,12 +191,34 @@ class ClusterCenter {
     std::unique_ptr<cloud::DsmsCenter> center;
   };
 
+  /// Shard s's whole period, run as one task on a pool worker: the
+  /// autoscaled prepare, the auction on the worker's own service (via
+  /// AdmitOn, so it lands in the rolling stats), and the completion.
+  /// Touches only shard-local state plus the worker context.
+  Result<cloud::PeriodReport> RunShardPeriod(int s,
+                                             WorkerContext& context);
+  /// The serial tail every period variant shares: refresh the router's
+  /// per-shard view, surface the lowest-shard-index error, merge the
+  /// reports, and append to history. `completed` is indexed by shard.
+  Result<ClusterPeriodReport> MergeCompleted(
+      std::vector<Result<cloud::PeriodReport>> completed,
+      const Timer& timer);
+
   ClusterOptions options_;
   ShardRouter router_;
-  AdmissionExecutor executor_;
   std::vector<Shard> shards_;
   std::vector<ShardStatus> statuses_;
   std::vector<ClusterPeriodReport> history_;
+  bool period_in_flight_ = false;
+  /// Bumped by every BeginPeriod; the live PendingPeriod carries the
+  /// current value, so stale handle copies cannot end a later period.
+  uint64_t period_epoch_ = 0;
+  /// Declared last on purpose: members destroy in reverse declaration
+  /// order, and ~TaskExecutor (inside the facade) joins workers that
+  /// may still be running a shard's period chain — the pool must die
+  /// before the shards the chains dereference. This is what makes
+  /// dropping a PendingPeriod without EndPeriod safe.
+  AdmissionExecutor executor_;
 };
 
 }  // namespace streambid::cluster

@@ -1,0 +1,276 @@
+// Copyright 2026 The streambid Authors
+
+#include "cluster/task_executor.h"
+
+#include <algorithm>
+
+namespace streambid::cluster {
+
+TaskExecutor::TaskExecutor(const ExecutorOptions& options) {
+  int n = options.num_threads;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  max_queue_depth_ = options.max_queue_depth > 0
+                         ? static_cast<size_t>(options.max_queue_depth)
+                         : 0;
+  services_.reserve(static_cast<size_t>(n));
+  counters_.reserve(static_cast<size_t>(n));
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    services_.push_back(std::make_unique<service::AdmissionService>());
+    counters_.push_back(std::make_unique<WorkerCounters>());
+  }
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskExecutor::~TaskExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  // Queued work was dropped above; complete every unconsumed ticket
+  // with an error and wake waiters, so a straggling Wait() returns
+  // instead of sleeping forever on a result that will never arrive.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [ticket, slot] : tickets_) {
+      if (!slot.has_value()) {
+        slot = ErasedResult(Status::FailedPrecondition("executor shut down"));
+      }
+    }
+  }
+  done_cv_.notify_all();
+}
+
+void TaskExecutor::WorkerLoop(int worker_id) {
+  WorkerContext context;
+  context.worker_id = worker_id;
+  context.service = services_[static_cast<size_t>(worker_id)].get();
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || draining_ || !queue_.empty();
+      });
+      // Destructor teardown drops queued work (the documented contract:
+      // only the tasks already running finish), so teardown with a deep
+      // backlog does not block on the backlog's runtime. Shutdown()
+      // instead drains: workers keep popping until the queue is empty.
+      if (stopping_) return;
+      if (queue_.empty()) return;  // draining_ and nothing left.
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_cv_.notify_one();
+
+    // Execute outside the lock: the closure is the expensive part, and
+    // the executor adds no state of its own to the result — placement
+    // cannot change what a deterministic task computes.
+    ErasedResult result = item.task(context);
+    WorkerCounters& counters = *counters_[static_cast<size_t>(worker_id)];
+    counters.executed.fetch_add(1, std::memory_order_relaxed);
+    if (!result.ok()) {
+      counters.failed.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (item.job != nullptr) {
+        item.job->results[item.index] = std::move(result);
+        --item.job->remaining;
+      } else {
+        auto it = tickets_.find(item.ticket);
+        // Teardown never erases in-flight tickets, so the slot is
+        // present unless the executor is tearing down mid-item.
+        if (it != tickets_.end()) it->second = std::move(result);
+      }
+    }
+    done_cv_.notify_all();
+  }
+}
+
+Status TaskExecutor::ReserveSlotLocked(std::unique_lock<std::mutex>& lock,
+                                       bool blocking) {
+  if (stopping_ || draining_) {
+    return Status::FailedPrecondition("executor shut down");
+  }
+  if (max_queue_depth_ > 0 && queue_.size() >= max_queue_depth_) {
+    if (!blocking) {
+      return Status::ResourceExhausted(
+          "executor queue full (max_queue_depth " +
+          std::to_string(max_queue_depth_) + ")");
+    }
+    space_cv_.wait(lock, [this] {
+      return stopping_ || draining_ || queue_.size() < max_queue_depth_;
+    });
+    if (stopping_ || draining_) {
+      return Status::FailedPrecondition("executor shut down");
+    }
+  }
+  return Status::Ok();
+}
+
+void TaskExecutor::PushLocked(WorkItem item) {
+  queue_.push_back(std::move(item));
+  queue_high_water_ = std::max(queue_high_water_,
+                               static_cast<int64_t>(queue_.size()));
+  ++submitted_;
+}
+
+Result<uint64_t> TaskExecutor::SubmitErased(ErasedTask task, bool blocking) {
+  uint64_t ticket = 0;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    STREAMBID_RETURN_IF_ERROR(ReserveSlotLocked(lock, blocking));
+    // Mint the ticket only after the slot is granted (a rejected
+    // TrySubmit leaves no orphaned slot) and while the lock is still
+    // held (concurrent submitters must not observe the same id).
+    ticket = next_ticket_++;
+    tickets_.emplace(ticket, std::nullopt);
+    WorkItem item;
+    item.task = std::move(task);
+    item.ticket = ticket;
+    PushLocked(std::move(item));
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+std::optional<TaskExecutor::ErasedResult> TaskExecutor::PollErased(
+    uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return ErasedResult(
+        Status::NotFound("unknown ticket: " + std::to_string(ticket)));
+  }
+  if (!it->second.has_value()) return std::nullopt;  // Still in flight.
+  std::optional<ErasedResult> result = std::move(it->second);
+  tickets_.erase(it);
+  return result;
+}
+
+TaskExecutor::ErasedResult TaskExecutor::WaitErased(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) {
+    return Status::NotFound("unknown ticket: " + std::to_string(ticket));
+  }
+  done_cv_.wait(lock, [&] {
+    it = tickets_.find(ticket);
+    return it == tickets_.end() || it->second.has_value();
+  });
+  if (it == tickets_.end()) {
+    // Consumed concurrently by another Poll/Wait of the same ticket.
+    return Status::NotFound("ticket already consumed: " +
+                            std::to_string(ticket));
+  }
+  ErasedResult result = std::move(*it->second);
+  tickets_.erase(it);
+  return result;
+}
+
+Result<std::vector<TaskExecutor::ErasedResult>> TaskExecutor::RunAllErased(
+    std::vector<ErasedTask> tasks) {
+  BatchJob job;
+  job.results.resize(tasks.size());
+  job.remaining = tasks.size();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      const Status status = ReserveSlotLocked(lock, /*blocking=*/true);
+      if (status.ok()) {
+        WorkItem item;
+        item.task = std::move(tasks[i]);
+        item.job = &job;
+        item.index = i;
+        PushLocked(std::move(item));
+      } else {
+        // Lifecycle raced the batch (a documented contract violation).
+        // Account the unpushed tail and wait out the pushed head so no
+        // queued item outlives `job`, then surface the error.
+        job.remaining -= tasks.size() - i;
+        done_cv_.wait(lock, [&job] { return job.remaining == 0; });
+        return status;
+      }
+      // Wake workers as items land: with a bounded queue the batch only
+      // makes progress if workers drain while we are still pushing.
+      work_cv_.notify_one();
+    }
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&job] { return job.remaining == 0; });
+  }
+
+  std::vector<ErasedResult> results;
+  results.reserve(job.results.size());
+  for (std::optional<ErasedResult>& slot : job.results) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+Status TaskExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_called_) {
+      return Status::FailedPrecondition("executor already shut down");
+    }
+    shutdown_called_ = true;
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  return Status::Ok();
+}
+
+int TaskExecutor::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(tickets_.size());
+}
+
+TaskExecutorStats TaskExecutor::StatsReport() const {
+  TaskExecutorStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.submitted = submitted_;
+    stats.queue_high_water = queue_high_water_;
+  }
+  stats.tasks_per_worker.reserve(counters_.size());
+  for (const std::unique_ptr<WorkerCounters>& counters : counters_) {
+    const int64_t executed =
+        counters->executed.load(std::memory_order_relaxed);
+    stats.tasks_per_worker.push_back(executed);
+    stats.executed += executed;
+    stats.failed += counters->failed.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+void TaskExecutor::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  submitted_ = 0;
+  queue_high_water_ = 0;
+  for (const std::unique_ptr<WorkerCounters>& counters : counters_) {
+    counters->executed.store(0, std::memory_order_relaxed);
+    counters->failed.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace streambid::cluster

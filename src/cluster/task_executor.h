@@ -1,0 +1,313 @@
+// Copyright 2026 The streambid Authors
+// The generic task runtime of the cluster layer: a fixed pool of
+// persistent worker threads that runs arbitrary closures, not just
+// admission auctions. Each worker owns a WorkerContext — its worker id
+// plus its own AdmissionService (and therefore its own AuctionContext
+// scratch arena) — so admission work scheduled here still honors the
+// "shard one service per thread" rule, while non-admission stages
+// (auction preparation, engine execution, billing) share the same pool
+// instead of spawning ad-hoc threads.
+//
+// Determinism contract: the executor adds none of its own randomness.
+// A task's result is whatever the closure computes; closures that are
+// pure functions of their captures (the admission requests' per-request
+// RNG streams, a shard's private state) produce identical results at
+// every pool size, placement, and interleaving. That is what lets the
+// ClusterCenter pipeline whole periods through this pool and still
+// replay byte-identically.
+//
+// Surfaces:
+//  - Submit / TrySubmit -> Ticket<T>: async submission with typed
+//    completion handles. Submit blocks for space when the queue is
+//    bounded; TrySubmit returns kResourceExhausted instead (the
+//    backpressure path).
+//  - Poll / Wait (Ticket<T>): completion draining. Tickets are issued
+//    once and consumed once; errors inside the closure come back as the
+//    ticket's Result<T>.
+//  - RunAll: blocking batch fan-out, results positionally aligned; the
+//    lowest-index failure is returned (all tasks still run).
+//  - Shutdown(): drains every queued task, then stops the workers.
+//    Destruction without Shutdown discards queued work (fast teardown).
+//  - StatsReport(): per-worker task counts and the queue-depth
+//    high-water mark, the observability surface of the generic runtime.
+
+#ifndef STREAMBID_CLUSTER_TASK_EXECUTOR_H_
+#define STREAMBID_CLUSTER_TASK_EXECUTOR_H_
+
+#include <any>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "service/admission_service.h"
+
+namespace streambid::cluster {
+
+/// Executor configuration.
+struct ExecutorOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency() (at
+  /// least 1).
+  int num_threads = 0;
+  /// Maximum queued (not yet running) tasks; 0 means unbounded. When
+  /// the queue is full, Submit/RunAll block for space and TrySubmit
+  /// returns kResourceExhausted — the backpressure contract for async
+  /// producers.
+  int max_queue_depth = 0;
+};
+
+/// Typed completion handle. Tickets are issued once and consumed once:
+/// a successful Poll/Wait removes the result, and the T parameter binds
+/// the handle to its task's result type at compile time.
+template <typename T>
+struct Ticket {
+  uint64_t id = 0;
+};
+
+/// Worker-local state handed to every task. The service is owned by the
+/// worker (one per thread, never shared), so tasks may run admission
+/// auctions on it without synchronization — but must not stash the
+/// pointer beyond the task's own execution.
+struct WorkerContext {
+  int worker_id = 0;
+  service::AdmissionService* service = nullptr;
+};
+
+/// Snapshot returned by TaskExecutor::StatsReport().
+struct TaskExecutorStats {
+  /// Tasks accepted into the queue (async submissions + batch items).
+  int64_t submitted = 0;
+  /// Tasks a worker finished executing (sum of tasks_per_worker).
+  int64_t executed = 0;
+  /// Executed tasks whose closure returned an error Result.
+  int64_t failed = 0;
+  /// Highest queued-task count observed at submission time. Against a
+  /// bounded queue this approaches max_queue_depth under backpressure;
+  /// unbounded, it shows how deep async producers actually run ahead.
+  int64_t queue_high_water = 0;
+  /// Tasks executed per worker, indexed by worker id. The vector length
+  /// is always num_threads(): work landing anywhere else than these
+  /// workers is structurally impossible, which is the "no threads
+  /// outside the pool" observability hook the cluster tests assert.
+  std::vector<int64_t> tasks_per_worker;
+};
+
+/// Thread-pool task runtime. Thread-safe: any thread may submit tasks
+/// and poll tickets concurrently. Tasks themselves may submit further
+/// tasks, but from inside a task use TrySubmit and never block on the
+/// pool: a task Wait()ing on a ticket of the same executor — or a
+/// blocking Submit against a full bounded queue, which parks the
+/// worker that would have drained it — can deadlock the pool. Shutdown
+/// and destruction must happen-after every concurrent
+/// Submit/Poll/Wait/RunAll call has returned.
+class TaskExecutor {
+ public:
+  /// A unit of work: runs on some worker, sees that worker's context,
+  /// reports success or failure through Result<T>. T must be movable
+  /// and copy-constructible (results travel through the type-erased
+  /// completion slot).
+  template <typename T>
+  using Task = std::function<Result<T>(WorkerContext&)>;
+
+  explicit TaskExecutor(const ExecutorOptions& options = {});
+  /// Discards queued work (running tasks finish) and completes every
+  /// unconsumed ticket with kFailedPrecondition so a straggling Wait
+  /// unblocks. For a drained teardown call Shutdown() first.
+  ~TaskExecutor();
+
+  TaskExecutor(const TaskExecutor&) = delete;
+  TaskExecutor& operator=(const TaskExecutor&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Worker w's admission service — exposed so facades can validate
+  /// requests against the same registry the workers execute with.
+  /// Const registry reads (Validate, HasMechanism, MechanismNames) are
+  /// safe concurrently with tasks running on worker w; anything that
+  /// can touch the service's mutable state (Admit and friends, which
+  /// reuse the AuctionContext scratch) must not race them.
+  service::AdmissionService& worker_service(int worker_id) {
+    return *services_[static_cast<size_t>(worker_id)];
+  }
+  const service::AdmissionService& worker_service(int worker_id) const {
+    return *services_[static_cast<size_t>(worker_id)];
+  }
+
+  /// Queues `task`; the returned ticket completes on some worker. When
+  /// the queue is bounded and full, blocks until space frees up.
+  /// kFailedPrecondition after Shutdown.
+  template <typename T>
+  Result<Ticket<T>> Submit(Task<T> task) {
+    STREAMBID_ASSIGN_OR_RETURN(
+        const uint64_t id,
+        SubmitErased(Erase<T>(std::move(task)), /*blocking=*/true));
+    return Ticket<T>{id};
+  }
+
+  /// Non-blocking Submit: kResourceExhausted when the bounded queue is
+  /// full, so async producers get backpressure instead of unbounded
+  /// deque growth.
+  template <typename T>
+  Result<Ticket<T>> TrySubmit(Task<T> task) {
+    STREAMBID_ASSIGN_OR_RETURN(
+        const uint64_t id,
+        SubmitErased(Erase<T>(std::move(task)), /*blocking=*/false));
+    return Ticket<T>{id};
+  }
+
+  /// Non-blocking completion check: empty while the ticket is still
+  /// queued or running; otherwise the result (or the closure's error),
+  /// which is removed — a second Poll of the same ticket is kNotFound.
+  template <typename T>
+  std::optional<Result<T>> Poll(Ticket<T> ticket) {
+    std::optional<Result<std::any>> erased = PollErased(ticket.id);
+    if (!erased.has_value()) return std::nullopt;
+    return Unerase<T>(std::move(*erased));
+  }
+
+  /// Blocks until the ticket completes and returns its result (removing
+  /// it, as Poll does). kNotFound for never-issued or already-consumed
+  /// tickets. Never hangs across Shutdown (drained results stay
+  /// available) or destruction (pending tickets error out).
+  template <typename T>
+  Result<T> Wait(Ticket<T> ticket) {
+    return Unerase<T>(WaitErased(ticket.id));
+  }
+
+  /// Runs every task and blocks until all finish; results are
+  /// positionally aligned with the tasks. All tasks run even when some
+  /// fail; the lowest-index failure is returned. Must be called from
+  /// outside the pool.
+  template <typename T>
+  Result<std::vector<T>> RunAll(std::vector<Task<T>> tasks) {
+    std::vector<ErasedTask> erased;
+    erased.reserve(tasks.size());
+    for (Task<T>& task : tasks) {
+      erased.push_back(Erase<T>(std::move(task)));
+    }
+    STREAMBID_ASSIGN_OR_RETURN(std::vector<Result<std::any>> results,
+                               RunAllErased(std::move(erased)));
+    std::vector<T> out;
+    out.reserve(results.size());
+    for (Result<std::any>& result : results) {
+      STREAMBID_ASSIGN_OR_RETURN(T value, Unerase<T>(std::move(result)));
+      out.push_back(std::move(value));
+    }
+    return out;
+  }
+
+  /// Drains the queue (every already-submitted task runs to completion)
+  /// and joins the workers. Unconsumed tickets stay pollable afterwards;
+  /// new submissions fail with kFailedPrecondition. A second Shutdown is
+  /// kFailedPrecondition. Must not race in-flight RunAll calls.
+  Status Shutdown();
+
+  /// Outstanding (submitted, not yet consumed) tickets.
+  int pending_tasks() const;
+
+  /// Copies the generic runtime counters accumulated so far.
+  TaskExecutorStats StatsReport() const;
+
+  /// Clears the counters (benches reset between phases).
+  void ResetStats();
+
+ private:
+  using ErasedResult = Result<std::any>;
+  using ErasedTask = std::function<ErasedResult(WorkerContext&)>;
+
+  /// Shared state of one RunAll call. Results are collected
+  /// positionally; the submitting thread waits on done_cv_ until
+  /// `remaining` drains.
+  struct BatchJob {
+    std::vector<std::optional<ErasedResult>> results;
+    size_t remaining = 0;
+  };
+  /// One queued unit: an async ticket or one index of a batch job.
+  struct WorkItem {
+    ErasedTask task;
+    uint64_t ticket = 0;      ///< Valid when job == nullptr.
+    BatchJob* job = nullptr;  ///< Valid for batch items.
+    size_t index = 0;         ///< Position within the batch.
+  };
+
+  /// Wraps a typed task so the queue can hold it: the value travels as
+  /// std::any, the error as the task's own Status.
+  template <typename T>
+  static ErasedTask Erase(Task<T> task) {
+    return [task = std::move(task)](WorkerContext& context) -> ErasedResult {
+      Result<T> result = task(context);
+      if (!result.ok()) return result.status();
+      return std::any(std::move(result).value());
+    };
+  }
+
+  /// Recovers the typed result. A Ticket<T> can only be minted by
+  /// Submit<T>, so the cast matches by construction; a mismatch (a
+  /// forged ticket id reused across types) is reported as kInternal
+  /// rather than thrown.
+  template <typename T>
+  static Result<T> Unerase(ErasedResult erased) {
+    if (!erased.ok()) return erased.status();
+    std::any value = std::move(erased).value();
+    T* typed = std::any_cast<T>(&value);
+    if (typed == nullptr) {
+      return Status::Internal("ticket result type mismatch");
+    }
+    return std::move(*typed);
+  }
+
+  Result<uint64_t> SubmitErased(ErasedTask task, bool blocking);
+  std::optional<ErasedResult> PollErased(uint64_t ticket);
+  ErasedResult WaitErased(uint64_t ticket);
+  Result<std::vector<ErasedResult>> RunAllErased(
+      std::vector<ErasedTask> tasks);
+  void WorkerLoop(int worker_id);
+  /// Precondition: `lock` holds mutex_. Waits (or fails, when
+  /// non-blocking) until the bounded queue has room and the executor is
+  /// accepting work; on OK the caller may push exactly one item.
+  Status ReserveSlotLocked(std::unique_lock<std::mutex>& lock,
+                           bool blocking);
+  /// Precondition: mutex_ held and a slot reserved. Pushes one item and
+  /// maintains the submission counters.
+  void PushLocked(WorkItem item);
+
+  std::vector<std::unique_ptr<service::AdmissionService>> services_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< Signals queued work / teardown.
+  std::condition_variable done_cv_;   ///< Signals completions.
+  std::condition_variable space_cv_;  ///< Signals queue space freed.
+  std::deque<WorkItem> queue_;
+  uint64_t next_ticket_ = 1;
+  /// Issued-but-unconsumed tickets; presence without a result means
+  /// queued or running.
+  std::unordered_map<uint64_t, std::optional<ErasedResult>> tickets_;
+  size_t max_queue_depth_ = 0;  ///< 0 = unbounded.
+  bool stopping_ = false;       ///< Destructor: discard queued work.
+  bool draining_ = false;       ///< Shutdown(): run queued work, then stop.
+  bool shutdown_called_ = false;
+
+  int64_t submitted_ = 0;          ///< Guarded by mutex_.
+  int64_t queue_high_water_ = 0;   ///< Guarded by mutex_.
+  /// Execution counters are per worker and atomic so the hot path never
+  /// takes the queue lock to account a finished task.
+  struct WorkerCounters {
+    std::atomic<int64_t> executed{0};
+    std::atomic<int64_t> failed{0};
+  };
+  std::vector<std::unique_ptr<WorkerCounters>> counters_;
+};
+
+}  // namespace streambid::cluster
+
+#endif  // STREAMBID_CLUSTER_TASK_EXECUTOR_H_

@@ -1,0 +1,320 @@
+// Copyright 2026 The streambid Authors
+// TaskExecutor contract tests: typed tickets round-trip arbitrary
+// closure results, RunAll aligns positionally and surfaces the
+// lowest-index failure, the bounded queue backpressures TrySubmit,
+// shutdown drains without hanging, and every failure mode (error
+// Result, consumed ticket, double shutdown) returns a typed error.
+
+#include "cluster/task_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace streambid::cluster {
+namespace {
+
+TEST(TaskExecutorTest, SubmitWaitRoundTripsTypedResults) {
+  TaskExecutor executor(ExecutorOptions{2, 0});
+  EXPECT_EQ(executor.num_threads(), 2);
+
+  const auto int_ticket = executor.Submit<int>(
+      [](WorkerContext&) -> Result<int> { return 41 + 1; });
+  ASSERT_TRUE(int_ticket.ok());
+  const auto string_ticket = executor.Submit<std::string>(
+      [](WorkerContext&) -> Result<std::string> {
+        return std::string("pipelined");
+      });
+  ASSERT_TRUE(string_ticket.ok());
+
+  const Result<int> n = executor.Wait(*int_ticket);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 42);
+  const Result<std::string> s = executor.Wait(*string_ticket);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, "pipelined");
+  EXPECT_EQ(executor.pending_tasks(), 0);
+}
+
+TEST(TaskExecutorTest, WorkerContextExposesWorkerLocalService) {
+  TaskExecutor executor(ExecutorOptions{3, 0});
+  std::mutex mutex;
+  std::vector<const service::AdmissionService*> seen;
+  std::vector<int> ids;
+  std::vector<Ticket<bool>> tickets;
+  for (int i = 0; i < 12; ++i) {
+    const auto ticket = executor.Submit<bool>(
+        [&](WorkerContext& context) -> Result<bool> {
+          std::lock_guard<std::mutex> lock(mutex);
+          seen.push_back(context.service);
+          ids.push_back(context.worker_id);
+          return true;
+        });
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  for (const Ticket<bool> ticket : tickets) {
+    ASSERT_TRUE(executor.Wait(ticket).ok());
+  }
+  for (size_t k = 0; k < seen.size(); ++k) {
+    ASSERT_NE(seen[k], nullptr);
+    ASSERT_GE(ids[k], 0);
+    ASSERT_LT(ids[k], 3);
+    // The context service is the worker's own, never another worker's.
+    EXPECT_EQ(seen[k], &executor.worker_service(ids[k]));
+  }
+}
+
+TEST(TaskExecutorTest, RunAllAlignsPositionally) {
+  for (int threads : {1, 2, 8}) {
+    TaskExecutor executor(ExecutorOptions{threads, 0});
+    std::vector<TaskExecutor::Task<int>> tasks;
+    for (int i = 0; i < 20; ++i) {
+      tasks.push_back(
+          [i](WorkerContext&) -> Result<int> { return i * i; });
+    }
+    const Result<std::vector<int>> results =
+        executor.RunAll(std::move(tasks));
+    ASSERT_TRUE(results.ok()) << threads << " threads";
+    ASSERT_EQ(results->size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ((*results)[static_cast<size_t>(i)], i * i) << i;
+    }
+  }
+}
+
+TEST(TaskExecutorTest, RunAllEmptyBatchIsEmpty) {
+  TaskExecutor executor(ExecutorOptions{2, 0});
+  const Result<std::vector<int>> results = executor.RunAll<int>({});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(TaskExecutorTest, RunAllReportsLowestIndexFailure) {
+  TaskExecutor executor(ExecutorOptions{4, 0});
+  std::atomic<int> executed{0};
+  std::vector<TaskExecutor::Task<int>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i, &executed](WorkerContext&) -> Result<int> {
+      ++executed;
+      if (i == 2) return Status::Internal("boom at 2");
+      if (i == 5) return Status::InvalidArgument("boom at 5");
+      return i;
+    });
+  }
+  const Result<std::vector<int>> results =
+      executor.RunAll(std::move(tasks));
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(results.status().message(), "boom at 2");
+  // All tasks still ran; failure reporting does not cancel the batch.
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(TaskExecutorTest, ClosureErrorPropagatesThroughTicket) {
+  TaskExecutor executor(ExecutorOptions{1, 0});
+  const auto ticket = executor.Submit<int>(
+      [](WorkerContext&) -> Result<int> {
+        return Status::OutOfRange("task failed");
+      });
+  ASSERT_TRUE(ticket.ok());
+  const Result<int> result = executor.Wait(*ticket);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(result.status().message(), "task failed");
+  // The error consumed the ticket like any other result.
+  EXPECT_EQ(executor.Wait(*ticket).status().code(), StatusCode::kNotFound);
+  const TaskExecutorStats stats = executor.StatsReport();
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.executed, 1);
+}
+
+TEST(TaskExecutorTest, WaitOnConsumedOrUnknownTicketIsNotFound) {
+  TaskExecutor executor(ExecutorOptions{1, 0});
+  const auto ticket = executor.Submit<int>(
+      [](WorkerContext&) -> Result<int> { return 7; });
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(executor.Wait(*ticket).ok());
+  EXPECT_EQ(executor.Wait(*ticket).status().code(), StatusCode::kNotFound);
+  const auto polled = executor.Poll(*ticket);
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(executor.Wait(Ticket<int>{999}).status().code(),
+            StatusCode::kNotFound);
+}
+
+/// Parks the single worker on a latch so the queue state is fully
+/// deterministic: one running task, then exactly max_queue_depth queued.
+struct Latch {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool started = false;
+  bool release = false;
+
+  void WaitStarted() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return started; });
+  }
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      release = true;
+    }
+    cv.notify_all();
+  }
+};
+
+TEST(TaskExecutorTest, TrySubmitBackpressuresOnFullQueue) {
+  TaskExecutor executor(ExecutorOptions{1, 1});
+  Latch latch;
+  const auto blocker = executor.Submit<int>(
+      [&latch](WorkerContext&) -> Result<int> {
+        {
+          std::unique_lock<std::mutex> lock(latch.mutex);
+          latch.started = true;
+          latch.cv.notify_all();
+          latch.cv.wait(lock, [&latch] { return latch.release; });
+        }
+        return 1;
+      });
+  ASSERT_TRUE(blocker.ok());
+  latch.WaitStarted();  // Worker busy; the queue itself is empty.
+
+  const auto queued = executor.TrySubmit<int>(
+      [](WorkerContext&) -> Result<int> { return 2; });
+  ASSERT_TRUE(queued.ok());  // Fills the depth-1 queue.
+
+  const auto rejected = executor.TrySubmit<int>(
+      [](WorkerContext&) -> Result<int> { return 3; });
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // A blocking Submit parks until the worker frees queue space.
+  std::thread submitter([&executor] {
+    const auto late = executor.Submit<int>(
+        [](WorkerContext&) -> Result<int> { return 4; });
+    ASSERT_TRUE(late.ok());
+    const Result<int> result = executor.Wait(*late);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, 4);
+  });
+
+  latch.Release();
+  submitter.join();
+  EXPECT_EQ(*executor.Wait(*blocker), 1);
+  EXPECT_EQ(*executor.Wait(*queued), 2);
+  EXPECT_EQ(executor.pending_tasks(), 0);
+}
+
+TEST(TaskExecutorTest, ShutdownDrainsPendingTasksThenRejectsWork) {
+  TaskExecutor executor(ExecutorOptions{2, 0});
+  std::atomic<int> ran{0};
+  std::vector<Ticket<int>> tickets;
+  for (int i = 0; i < 16; ++i) {
+    const auto ticket = executor.Submit<int>(
+        [i, &ran](WorkerContext&) -> Result<int> {
+          ++ran;
+          return i;
+        });
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  ASSERT_TRUE(executor.Shutdown().ok());
+  // Drained: every queued task ran, and its result is still claimable.
+  EXPECT_EQ(ran.load(), 16);
+  for (int i = 0; i < 16; ++i) {
+    const Result<int> result =
+        executor.Wait(tickets[static_cast<size_t>(i)]);
+    ASSERT_TRUE(result.ok()) << i;
+    EXPECT_EQ(*result, i);
+  }
+
+  // Post-shutdown submissions are typed errors, not hangs.
+  const auto after = executor.Submit<int>(
+      [](WorkerContext&) -> Result<int> { return 0; });
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+  const auto try_after = executor.TrySubmit<int>(
+      [](WorkerContext&) -> Result<int> { return 0; });
+  ASSERT_FALSE(try_after.ok());
+  EXPECT_EQ(try_after.status().code(), StatusCode::kFailedPrecondition);
+  const auto batch_after = executor.RunAll<int>(
+      {[](WorkerContext&) -> Result<int> { return 0; }});
+  ASSERT_FALSE(batch_after.ok());
+  EXPECT_EQ(batch_after.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TaskExecutorTest, DoubleShutdownIsFailedPrecondition) {
+  TaskExecutor executor(ExecutorOptions{1, 0});
+  ASSERT_TRUE(executor.Shutdown().ok());
+  const Status second = executor.Shutdown();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TaskExecutorTest, DestructionWithoutShutdownNeverHangsWaiters) {
+  // Queue deep work behind a parked worker, then destroy: queued tasks
+  // are dropped and a concurrent-free Wait before destruction still
+  // sees a typed error, not a hang (contract: the destructor completes
+  // unconsumed tickets with kFailedPrecondition).
+  std::optional<TaskExecutor> executor;
+  executor.emplace(ExecutorOptions{1, 0});
+  Latch latch;
+  const auto blocker = executor->Submit<int>(
+      [&latch](WorkerContext&) -> Result<int> {
+        {
+          std::unique_lock<std::mutex> lock(latch.mutex);
+          latch.started = true;
+          latch.cv.notify_all();
+          latch.cv.wait(lock, [&latch] { return latch.release; });
+        }
+        return 1;
+      });
+  ASSERT_TRUE(blocker.ok());
+  latch.WaitStarted();
+  const auto queued = executor->Submit<int>(
+      [](WorkerContext&) -> Result<int> { return 2; });
+  ASSERT_TRUE(queued.ok());
+  latch.Release();
+  executor.reset();  // Joins the worker; drops whatever was still queued.
+  SUCCEED();
+}
+
+TEST(TaskExecutorTest, StatsTrackWorkersAndQueueHighWater) {
+  TaskExecutor executor(ExecutorOptions{2, 0});
+  std::vector<TaskExecutor::Task<int>> tasks;
+  for (int i = 0; i < 30; ++i) {
+    tasks.push_back([i](WorkerContext&) -> Result<int> { return i; });
+  }
+  ASSERT_TRUE(executor.RunAll(std::move(tasks)).ok());
+
+  const TaskExecutorStats stats = executor.StatsReport();
+  EXPECT_EQ(stats.submitted, 30);
+  EXPECT_EQ(stats.executed, 30);
+  EXPECT_EQ(stats.failed, 0);
+  ASSERT_EQ(stats.tasks_per_worker.size(), 2u);
+  // Every task is accounted to one of the two pool workers — work
+  // cannot land anywhere else.
+  EXPECT_EQ(std::accumulate(stats.tasks_per_worker.begin(),
+                            stats.tasks_per_worker.end(), int64_t{0}),
+            30);
+  EXPECT_GE(stats.queue_high_water, 1);
+  EXPECT_LE(stats.queue_high_water, 30);
+
+  executor.ResetStats();
+  const TaskExecutorStats reset = executor.StatsReport();
+  EXPECT_EQ(reset.submitted, 0);
+  EXPECT_EQ(reset.executed, 0);
+  EXPECT_EQ(reset.queue_high_water, 0);
+  ASSERT_EQ(reset.tasks_per_worker.size(), 2u);
+  EXPECT_EQ(reset.tasks_per_worker[0], 0);
+}
+
+}  // namespace
+}  // namespace streambid::cluster
