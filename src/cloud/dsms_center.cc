@@ -23,7 +23,8 @@ DsmsCenter::DsmsCenter(const DsmsCenterOptions& options,
   }
 }
 
-Status DsmsCenter::Submit(stream::QuerySubmission submission) {
+Status DsmsCenter::ValidateSubmission(
+    const stream::QuerySubmission& submission) const {
   if (submission.bid < 0.0) {
     return Status::InvalidArgument("negative bid");
   }
@@ -38,9 +39,54 @@ Status DsmsCenter::Submit(stream::QuerySubmission submission) {
   }
   // Validate the plan eagerly so users learn about malformed queries at
   // submission time, not at the auction boundary.
-  STREAMBID_RETURN_IF_ERROR(
-      engine_->DeriveOutputSchema(submission.plan).status());
+  return engine_->DeriveOutputSchema(submission.plan).status();
+}
+
+Status DsmsCenter::Submit(stream::QuerySubmission submission) {
+  STREAMBID_RETURN_IF_ERROR(ValidateSubmission(submission));
   pending_.push_back(std::move(submission));
+  return Status::Ok();
+}
+
+TenantState DsmsCenter::ExtractTenant(auction::UserId user) {
+  TenantState state;
+  state.user = user;
+  auto keep = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->user == user) {
+      state.pending.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  pending_.erase(keep, pending_.end());
+  state.charged = ledger_.Extract(user);
+  return state;
+}
+
+Status DsmsCenter::AdoptTenant(TenantState& state) {
+  // Validate everything before mutating anything (all-or-nothing):
+  // each submission passes the same checks Submit applies, plus a
+  // duplicate scan within the adopted batch itself.
+  for (size_t i = 0; i < state.pending.size(); ++i) {
+    const stream::QuerySubmission& sub = state.pending[i];
+    STREAMBID_RETURN_IF_ERROR(ValidateSubmission(sub));
+    for (size_t j = 0; j < i; ++j) {
+      if (state.pending[j].query_id == sub.query_id) {
+        return Status::AlreadyExists("query id already pending: " +
+                                     std::to_string(sub.query_id));
+      }
+    }
+  }
+  for (stream::QuerySubmission& sub : state.pending) {
+    pending_.push_back(std::move(sub));
+  }
+  state.pending.clear();
+  if (state.charged != 0.0) ledger_.Charge(state.user, state.charged);
+  // Fully consumed: a (buggy) second adoption of the same state must
+  // not double-credit the ledger.
+  state.charged = 0.0;
   return Status::Ok();
 }
 

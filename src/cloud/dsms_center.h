@@ -89,6 +89,17 @@ class BillingLedger {
     charges_[user] += amount;
     total_ += amount;
   }
+  /// Removes `user`'s cumulative charges and returns them, so a
+  /// migrating tenant's billing history can be carried to the adopting
+  /// center's ledger (Charge there restores the cluster-wide total).
+  double Extract(auction::UserId user) {
+    auto it = charges_.find(user);
+    if (it == charges_.end()) return 0.0;
+    const double amount = it->second;
+    charges_.erase(it);
+    total_ -= amount;
+    return amount;
+  }
   double TotalCharged(auction::UserId user) const {
     auto it = charges_.find(user);
     return it == charges_.end() ? 0.0 : it->second;
@@ -115,6 +126,20 @@ struct PreparedAuction {
   bool has_auction = false;
   std::unique_ptr<stream::AuctionBuild> build;
   service::AdmissionRequest request;
+};
+
+/// One tenant's center-resident state, as moved between centers by the
+/// cluster layer's inter-period rebalancer: the submissions still
+/// waiting for an auction plus the cumulative ledger charges. Active
+/// (installed) queries are never part of it — they expire at the next
+/// period boundary of the center that admitted them, so migration
+/// between periods never touches engine state.
+struct TenantState {
+  auction::UserId user = 0;
+  /// Pending (not yet auctioned) submissions, in submission order.
+  std::vector<stream::QuerySubmission> pending;
+  /// Cumulative charges carried to the adopting center's ledger.
+  double charged = 0.0;
 };
 
 /// The admission-controlled streaming service. Borrows an engine whose
@@ -167,6 +192,24 @@ class DsmsCenter {
   Result<PeriodReport> CompletePeriod(
       const service::AdmissionResponse* response);
 
+  /// Removes `user`'s center-resident state (see TenantState): the
+  /// user's pending submissions leave the next auction and the
+  /// cumulative ledger charges move out with them. Always succeeds; a
+  /// tenant this center never saw yields an empty state. Call between
+  /// periods (never while a prepared auction is outstanding — the
+  /// prepared instance indexes the pending vector positionally).
+  TenantState ExtractTenant(auction::UserId user);
+
+  /// Installs a tenant extracted from another center: validates every
+  /// pending submission exactly as Submit would, re-queues them for
+  /// the next auction, and credits the carried charges to this ledger.
+  /// All-or-nothing: any validation failure (kAlreadyExists on a
+  /// pending-id collision, kInvalidArgument/kNotFound on a plan this
+  /// engine rejects) leaves the center untouched — the caller still
+  /// owns the state. On success the state is fully consumed (pending
+  /// emptied, charged zeroed).
+  Status AdoptTenant(TenantState& state);
+
   /// Total revenue across periods.
   double total_revenue() const { return ledger_.total(); }
 
@@ -189,6 +232,10 @@ class DsmsCenter {
   }
 
  private:
+  /// The one submission gate Submit and AdoptTenant share: bid sign,
+  /// pending-id uniqueness, plan validation against the engine.
+  Status ValidateSubmission(const stream::QuerySubmission& submission) const;
+
   DsmsCenterOptions options_;
   stream::Engine* engine_;
   service::AdmissionService service_;

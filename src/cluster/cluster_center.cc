@@ -2,7 +2,10 @@
 
 #include "cluster/cluster_center.h"
 
+#include <algorithm>
 #include <limits>
+#include <map>
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -25,6 +28,7 @@ ClusterCenter::ClusterCenter(const ClusterOptions& options,
                              const EngineConfigurator& configure_engine)
     : options_(options),
       router_(options.routing, options.num_shards),
+      rebalancer_(options.rebalance, options.num_shards),
       executor_(MakeExecutorOptions(options)) {
   STREAMBID_CHECK_GE(options.num_shards, 1);
   STREAMBID_CHECK_GT(options.total_capacity, 0.0);
@@ -65,10 +69,13 @@ Result<int> ClusterCenter::Submit(stream::QuerySubmission submission) {
     return Status::FailedPrecondition(
         "a period is in flight: EndPeriod before Submit");
   }
-  const int s = router_.Route(submission, statuses_);
+  const auction::UserId user = submission.user;
+  const int s = router_.Route(submission, statuses_, &overrides_);
   Shard& shard = shards_[static_cast<size_t>(s)];
   // Estimate before the submission is moved into the shard: the router's
-  // least-loaded policy runs on these pending-load accumulations.
+  // least-loaded policy runs on these pending-load accumulations. Both
+  // steps happen before any state change, so a rejected submission
+  // leaves the router's view (and the tenant signals) untouched.
   STREAMBID_ASSIGN_OR_RETURN(
       const stream::PlanLoadEstimate estimate,
       stream::EstimatePlanLoad(*shard.engine, submission.plan,
@@ -77,6 +84,11 @@ Result<int> ClusterCenter::Submit(stream::QuerySubmission submission) {
   ShardStatus& status = statuses_[static_cast<size_t>(s)];
   status.pending_load += estimate.total_load;
   ++status.pending_count;
+  // The rebalancer's signal source: where this tenant lives and how
+  // much demand it generated this period.
+  TenantRecord& record = tenants_[user];
+  record.home = s;
+  record.period_load += estimate.total_load;
   return s;
 }
 
@@ -275,10 +287,16 @@ Result<ClusterPeriodReport> ClusterCenter::MergeCompleted(
   }
   if (!first_error.ok()) return first_error;
 
-  // --- Merge into the cluster view. ---
+  // --- Merge into the cluster view. Utilizations are weighted by each
+  // shard's provisioned capacity: once the autoscalers diverge, a
+  // plain mean would let a tiny busy shard read like half the cluster
+  // (the degenerate zero-total-capacity period falls back to the plain
+  // mean so the fields stay defined). ---
   ClusterPeriodReport report;
   report.period = static_cast<int>(history_.size());
   report.shard_reports.reserve(static_cast<size_t>(n));
+  double weighted_auction = 0.0;
+  double weighted_measured = 0.0;
   for (int s = 0; s < n; ++s) {
     Result<cloud::PeriodReport>& result =
         completed[static_cast<size_t>(s)];
@@ -287,6 +305,10 @@ Result<ClusterPeriodReport> ClusterCenter::MergeCompleted(
     report.admitted += shard_report.admitted;
     report.revenue += shard_report.revenue;
     report.total_payoff += shard_report.total_payoff;
+    weighted_auction +=
+        shard_report.auction_utilization * shard_report.provisioned_capacity;
+    weighted_measured +=
+        shard_report.measured_utilization * shard_report.provisioned_capacity;
     report.auction_utilization += shard_report.auction_utilization / n;
     report.measured_utilization +=
         shard_report.measured_utilization / n;
@@ -294,9 +316,165 @@ Result<ClusterPeriodReport> ClusterCenter::MergeCompleted(
     report.energy_cost += shard_report.energy_cost;
     report.shard_reports.push_back(std::move(result).value());
   }
+  if (report.provisioned_capacity > 0.0) {
+    report.auction_utilization =
+        weighted_auction / report.provisioned_capacity;
+    report.measured_utilization =
+        weighted_measured / report.provisioned_capacity;
+  }
   report.elapsed_ms = timer.ElapsedMillis();
   history_.push_back(report);
+
+  // --- Fold the period's tenant activity into the rebalancer signals
+  // (per-tenant state only: iteration order cannot matter), then run
+  // the rebalance stage against the refreshed router view. ---
+  for (auto& [user, record] : tenants_) {
+    if (record.period_load > 0.0) {
+      record.last_load = record.period_load;
+      record.last_active_period = report.period;
+      record.period_load = 0.0;
+    }
+  }
+  STREAMBID_RETURN_IF_ERROR(RebalanceAfterPeriod());
   return report;
+}
+
+Status ClusterCenter::RebalanceAfterPeriod() {
+  if (!options_.rebalance.enabled || num_shards() < 2) {
+    return Status::Ok();
+  }
+  std::vector<TenantSignal> signals;
+  signals.reserve(tenants_.size());
+  for (const auto& [user, record] : tenants_) {
+    TenantSignal signal;
+    signal.user = user;
+    signal.home = record.home;
+    signal.load = record.last_load;
+    signal.last_active_period = record.last_active_period;
+    signal.last_moved_period = record.last_moved_period;
+    signals.push_back(signal);
+  }
+  MigrationPlan plan = rebalancer_.Plan(
+      static_cast<int>(history_.size()), statuses_,
+      history_.back().shard_reports, std::move(signals));
+  if (plan.moves.empty()) return Status::Ok();
+
+  // Group the moves by shard so each phase touches a shard from at
+  // most one task — parallel tasks never share a center, and the
+  // ordered maps keep the fan-out (and thus the replay) deterministic.
+  std::map<int, std::vector<const TenantMove*>> by_source;
+  std::map<int, std::vector<const TenantMove*>> by_destination;
+  for (const TenantMove& move : plan.moves) {
+    by_source[move.from].push_back(&move);
+    by_destination[move.to].push_back(&move);
+  }
+
+  // What one extraction task hands to the adoption phase; the load and
+  // count keep the router's pending view consistent when tenants
+  // migrate with submissions still queued (between periods both are
+  // normally zero — the period just consumed the queue).
+  struct Extracted {
+    std::vector<cloud::TenantState> states;
+    double pending_load = 0.0;
+    int pending_count = 0;
+  };
+
+  // --- Phase 1: extraction, one task per source shard. ---
+  std::vector<int> sources;
+  std::vector<TaskExecutor::Task<Extracted>> extract_tasks;
+  for (const auto& [from, source_moves] : by_source) {
+    sources.push_back(from);
+    extract_tasks.push_back(
+        [this, from,
+         moves = source_moves](WorkerContext&) -> Result<Extracted> {
+          Shard& shard = shards_[static_cast<size_t>(from)];
+          Extracted extracted;
+          for (const TenantMove* move : moves) {
+            cloud::TenantState state =
+                shard.center->ExtractTenant(move->user);
+            for (const stream::QuerySubmission& sub : state.pending) {
+              STREAMBID_ASSIGN_OR_RETURN(
+                  const stream::PlanLoadEstimate estimate,
+                  stream::EstimatePlanLoad(*shard.engine, sub.plan,
+                                           options_.load_options));
+              extracted.pending_load += estimate.total_load;
+              ++extracted.pending_count;
+            }
+            extracted.states.push_back(std::move(state));
+          }
+          return extracted;
+        });
+  }
+  STREAMBID_ASSIGN_OR_RETURN(
+      std::vector<Extracted> extracted_per_source,
+      executor_.tasks().RunAll(std::move(extract_tasks)));
+
+  // Reassemble per destination on the caller's thread.
+  std::unordered_map<auction::UserId, cloud::TenantState> state_of;
+  for (size_t k = 0; k < sources.size(); ++k) {
+    Extracted& extracted = extracted_per_source[k];
+    ShardStatus& status = statuses_[static_cast<size_t>(sources[k])];
+    status.pending_load =
+        std::max(0.0, status.pending_load - extracted.pending_load);
+    status.pending_count =
+        std::max(0, status.pending_count - extracted.pending_count);
+    for (cloud::TenantState& state : extracted.states) {
+      state_of[state.user] = std::move(state);
+    }
+  }
+
+  // --- Phase 2: adoption, one task per destination shard. ---
+  struct Adopted {
+    double pending_load = 0.0;
+    int pending_count = 0;
+  };
+  std::vector<int> destinations;
+  std::vector<TaskExecutor::Task<Adopted>> adopt_tasks;
+  for (const auto& [to, moves] : by_destination) {
+    // Tasks are std::functions (copyable), so the batch travels behind
+    // a shared_ptr rather than by move-capture.
+    auto batch = std::make_shared<std::vector<cloud::TenantState>>();
+    for (const TenantMove* move : moves) {
+      batch->push_back(std::move(state_of[move->user]));
+    }
+    destinations.push_back(to);
+    adopt_tasks.push_back(
+        [this, to, batch](WorkerContext&) -> Result<Adopted> {
+          Shard& shard = shards_[static_cast<size_t>(to)];
+          Adopted adopted;
+          for (cloud::TenantState& state : *batch) {
+            for (const stream::QuerySubmission& sub : state.pending) {
+              STREAMBID_ASSIGN_OR_RETURN(
+                  const stream::PlanLoadEstimate estimate,
+                  stream::EstimatePlanLoad(*shard.engine, sub.plan,
+                                           options_.load_options));
+              adopted.pending_load += estimate.total_load;
+              ++adopted.pending_count;
+            }
+            STREAMBID_RETURN_IF_ERROR(shard.center->AdoptTenant(state));
+          }
+          return adopted;
+        });
+  }
+  STREAMBID_ASSIGN_OR_RETURN(
+      std::vector<Adopted> adopted_per_destination,
+      executor_.tasks().RunAll(std::move(adopt_tasks)));
+  for (size_t k = 0; k < destinations.size(); ++k) {
+    ShardStatus& status =
+        statuses_[static_cast<size_t>(destinations[k])];
+    status.pending_load += adopted_per_destination[k].pending_load;
+    status.pending_count += adopted_per_destination[k].pending_count;
+  }
+
+  // --- Commit the placement: pin the tenants to their new homes. ---
+  for (const TenantMove& move : plan.moves) {
+    overrides_[move.user] = move.to;
+    TenantRecord& record = tenants_[move.user];
+    record.home = move.to;
+    record.last_moved_period = plan.period;
+  }
+  migrations_.push_back(std::move(plan));
+  return Status::Ok();
 }
 
 double ClusterCenter::total_revenue() const {

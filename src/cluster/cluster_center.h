@@ -21,6 +21,15 @@
 // carry the auction RNG — so the pipelined report is byte-identical to
 // the barriered reference (RunPeriodBarriered) at every pool size.
 //
+// The period tail (shared by every variant) is itself staged: the
+// router's per-shard view refreshes, the shard reports merge, and —
+// when ClusterOptions::rebalance is enabled — a ShardRebalancer plans
+// inter-period tenant migrations from the refreshed signals and the
+// migrations fan out on the same pool (extraction tasks per source
+// shard, then adoption tasks per destination shard; each shard is
+// touched by at most one task per phase). The plan is a pure function
+// of (history, seed), so the replay contract survives rebalancing.
+//
 // Surfaces: RunPeriod() runs one pipelined period synchronously;
 // BeginPeriod()/EndPeriod() split it so a caller can overlap the
 // period's execution with its own work (but not with Submit — see
@@ -36,8 +45,13 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
 #include "cloud/dsms_center.h"
 #include "cluster/admission_executor.h"
+#include "cluster/shard_rebalancer.h"
 #include "cluster/shard_router.h"
 #include "common/status.h"
 #include "common/timer.h"
@@ -80,6 +94,21 @@ struct ClusterOptions {
   /// ClusterPeriodReport aggregates the shards' total provisioned
   /// capacity and energy cost.
   cloud::AutoscalerOptions autoscale;
+  /// Inter-period tenant migration (see ShardRebalancer). When enabled,
+  /// each period tail plans a bounded migration from the hottest shard
+  /// to the coldest one, moves the tenants' center-resident state on
+  /// the executor pool, and pins the moved tenants to their new home
+  /// via routing overrides. Plans are pure functions of (history,
+  /// rebalance.seed): replay is unchanged at every pool size.
+  ///
+  /// Meant for stable placements (kHashUser, or tenants already
+  /// pinned): the per-tenant demand signal attributes a tenant's whole
+  /// period load to the shard its LAST submission routed to, so under
+  /// kLeastLoaded/kPriceAware — where one tenant's submissions can
+  /// spread over several shards within a period — the pressure signal
+  /// is approximate until a migration pins the tenant (after which its
+  /// traffic, and therefore its signal, is exact again).
+  RebalancerOptions rebalance;
 };
 
 /// One cluster period: the merged view plus the per-shard breakdown.
@@ -89,9 +118,11 @@ struct ClusterPeriodReport {
   int admitted = 0;          ///< Sum over shards.
   double revenue = 0.0;      ///< Sum over shards.
   double total_payoff = 0.0;
-  /// Plain means over shards (shards start at equal capacity; once the
-  /// autoscalers diverge these remain unweighted means, the per-shard
-  /// truth is in shard_reports).
+  /// Means over shards weighted by each shard's provisioned_capacity,
+  /// so the cluster-level figure stays truthful after the autoscalers
+  /// diverge per-shard capacity (a tiny drained shard at 100% must not
+  /// read like half the cluster is busy). Falls back to the plain mean
+  /// only in the degenerate all-shards-at-zero-capacity period.
   double auction_utilization = 0.0;
   double measured_utilization = 0.0;
   /// Total capacity provisioned across shards this period (== the
@@ -185,6 +216,17 @@ class ClusterCenter {
   /// Aggregate revenue across shards and periods.
   double total_revenue() const;
 
+  /// Every migration plan that moved at least one tenant, in period
+  /// order (empty unless options().rebalance.enabled).
+  const std::vector<MigrationPlan>& migrations() const {
+    return migrations_;
+  }
+  /// Tenants the rebalancer pinned away from their policy placement.
+  const PlacementOverrides& placement_overrides() const {
+    return overrides_;
+  }
+  const ShardRebalancer& rebalancer() const { return rebalancer_; }
+
  private:
   struct Shard {
     std::unique_ptr<stream::Engine> engine;
@@ -199,16 +241,37 @@ class ClusterCenter {
                                              WorkerContext& context);
   /// The serial tail every period variant shares: refresh the router's
   /// per-shard view, surface the lowest-shard-index error, merge the
-  /// reports, and append to history. `completed` is indexed by shard.
+  /// reports, append to history, and run the rebalance stage.
+  /// `completed` is indexed by shard.
   Result<ClusterPeriodReport> MergeCompleted(
       std::vector<Result<cloud::PeriodReport>> completed,
       const Timer& timer);
+  /// The rebalance stage of the period tail: fold the period's tenant
+  /// activity into the signals, plan, and apply the migrations on the
+  /// executor pool (extract per source shard, adopt per destination
+  /// shard). No-op when rebalancing is disabled or the plan is empty.
+  /// A failed adoption surfaces here and — like a failed shard — leaves
+  /// the cluster unrecoverable mid-migration.
+  Status RebalanceAfterPeriod();
+
+  /// Submit-time view of one tenant, the rebalancer's signal source.
+  struct TenantRecord {
+    int home = 0;             ///< Shard the last submission routed to.
+    double period_load = 0.0; ///< Accumulating over the open period.
+    double last_load = 0.0;   ///< Folded at the period close.
+    int last_active_period = -1;
+    int last_moved_period = std::numeric_limits<int>::min();
+  };
 
   ClusterOptions options_;
   ShardRouter router_;
+  ShardRebalancer rebalancer_;
   std::vector<Shard> shards_;
   std::vector<ShardStatus> statuses_;
   std::vector<ClusterPeriodReport> history_;
+  std::unordered_map<auction::UserId, TenantRecord> tenants_;
+  PlacementOverrides overrides_;
+  std::vector<MigrationPlan> migrations_;
   bool period_in_flight_ = false;
   /// Bumped by every BeginPeriod; the live PendingPeriod carries the
   /// current value, so stale handle copies cannot end a later period.

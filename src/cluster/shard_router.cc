@@ -2,10 +2,31 @@
 
 #include "cluster/shard_router.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "common/rng.h"
 
 namespace streambid::cluster {
+
+namespace {
+
+/// Clearing prices are revenue / admitted: the same allocation computed
+/// on different platforms (or through a different summation order) can
+/// differ in the last bits, and an exact == tie-break would flip the
+/// routed shard on that noise.
+constexpr double kPriceRelativeTolerance = 1e-9;
+
+/// Pending load relative to the shard's next-period capacity. A shard
+/// whose owner tracks no provisioning compares at capacity 1 — with a
+/// provisioning-tracking owner (the ClusterCenter) every shard always
+/// carries a capacity, so the mixed case only arises in hand-built
+/// status vectors.
+double RelativeLoad(const ShardStatus& status) {
+  return status.pending_load / status.next_capacity.value_or(1.0);
+}
+
+}  // namespace
 
 const char* RoutingPolicyName(RoutingPolicy policy) {
   switch (policy) {
@@ -31,10 +52,16 @@ uint64_t ShardRouter::HashUser(auction::UserId user) {
                0x9E3779B97F4A7C15ull);
 }
 
-int ShardRouter::RouteHash(const stream::QuerySubmission& submission,
+bool ShardRouter::PricesTie(double a, double b) {
+  if (std::isinf(a) || std::isinf(b)) {
+    return std::isinf(a) && std::isinf(b);
+  }
+  return std::abs(a - b) <=
+         kPriceRelativeTolerance * std::max(std::abs(a), std::abs(b));
+}
+
+int ShardRouter::ProbeFrom(int home,
                            const std::vector<ShardStatus>& shards) const {
-  const int home = static_cast<int>(HashUser(submission.user) %
-                                    static_cast<uint64_t>(num_shards_));
   // Probe forward from the home shard past drained ones, so the
   // placement stays stable while a shard's provisioning is at zero and
   // snaps back the period it recovers.
@@ -45,9 +72,27 @@ int ShardRouter::RouteHash(const stream::QuerySubmission& submission,
   return home;  // Everything drained: deterministic degenerate choice.
 }
 
+int ShardRouter::RouteHash(const stream::QuerySubmission& submission,
+                           const std::vector<ShardStatus>& shards) const {
+  return ProbeFrom(static_cast<int>(HashUser(submission.user) %
+                                    static_cast<uint64_t>(num_shards_)),
+                   shards);
+}
+
 int ShardRouter::Route(const stream::QuerySubmission& submission,
-                       const std::vector<ShardStatus>& shards) const {
+                       const std::vector<ShardStatus>& shards,
+                       const PlacementOverrides* overrides) const {
   STREAMBID_CHECK_EQ(static_cast<int>(shards.size()), num_shards_);
+  // A pinned placement wins under every policy: the rebalancer moved
+  // this tenant's state, so routing anywhere else would re-split it.
+  if (overrides != nullptr) {
+    const auto it = overrides->find(submission.user);
+    if (it != overrides->end()) {
+      STREAMBID_CHECK_GE(it->second, 0);
+      STREAMBID_CHECK_LT(it->second, num_shards_);
+      return ProbeFrom(it->second, shards);
+    }
+  }
   switch (policy_) {
     case RoutingPolicy::kHashUser:
       return RouteHash(submission, shards);
@@ -56,9 +101,11 @@ int ShardRouter::Route(const stream::QuerySubmission& submission,
       int best = -1;
       for (int s = 0; s < num_shards_; ++s) {
         if (!Eligible(shards[static_cast<size_t>(s)])) continue;
+        // Load relative to next-period capacity: a half-drained shard
+        // with half the pending load is exactly as full, not roomier.
         // Strict <: ties stay on the lowest index (deterministic).
-        if (best < 0 || shards[static_cast<size_t>(s)].pending_load <
-                            shards[static_cast<size_t>(best)].pending_load) {
+        if (best < 0 || RelativeLoad(shards[static_cast<size_t>(s)]) <
+                            RelativeLoad(shards[static_cast<size_t>(best)])) {
           best = s;
         }
       }
@@ -95,9 +142,9 @@ int ShardRouter::Route(const stream::QuerySubmission& submission,
         }
         const ShardStatus& incumbent =
             shards[static_cast<size_t>(best)];
-        if (price(status) < price(incumbent) ||
-            (price(status) == price(incumbent) &&
-             rate(status) > rate(incumbent))) {
+        if (PricesTie(price(status), price(incumbent))
+                ? rate(status) > rate(incumbent)
+                : price(status) < price(incumbent)) {
           best = s;
         }
       }

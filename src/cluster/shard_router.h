@@ -7,13 +7,21 @@
 //
 //  - hash(user): stable user -> shard assignment, oblivious to load;
 //  - least-loaded: the shard with the lowest pending auction load
-//    (ties to the lowest index), balancing the next auction's demand;
+//    relative to its next-period capacity (ties to the lowest index),
+//    balancing the next auction's demand — a half-drained autoscaled
+//    shard must not look as roomy as a fully provisioned one;
 //  - price-aware: the shard whose last period cleared cheapest — the
 //    lowest mean winner payment, ties broken by higher admission rate —
-//    i.e. where a marginal bidder most likely wins. Shards without
-//    history are explored optimistically (price 0, rate 1) so unused
-//    capacity attracts traffic; until any shard has history at all,
-//    routing falls back to hash(user).
+//    i.e. where a marginal bidder most likely wins. Prices tie under a
+//    relative tolerance (clearing prices are revenue / admitted, and
+//    bit-level noise in that division must not flip routing across
+//    platforms). Shards without history are explored optimistically
+//    (price 0, rate 1) so unused capacity attracts traffic; until any
+//    shard has history at all, routing falls back to hash(user).
+//
+// All policies respect placement overrides first: the rebalancer pins a
+// migrated tenant to its new home, and routing must follow the current
+// placement, not the original hash.
 
 #ifndef STREAMBID_CLUSTER_SHARD_ROUTER_H_
 #define STREAMBID_CLUSTER_SHARD_ROUTER_H_
@@ -21,6 +29,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "auction/types.h"
@@ -59,6 +68,10 @@ struct ShardStatus {
   std::optional<double> next_capacity;
 };
 
+/// Current tenant placements pinned by the rebalancer: user -> shard.
+/// Users absent from the map place by policy.
+using PlacementOverrides = std::unordered_map<auction::UserId, int>;
+
 /// Stateless shard selector. Thread-compatible (const after
 /// construction).
 class ShardRouter {
@@ -66,13 +79,18 @@ class ShardRouter {
   /// Precondition (checked): num_shards >= 1.
   ShardRouter(RoutingPolicy policy, int num_shards);
 
-  /// Picks the shard for `submission` given the current shard statuses.
+  /// Picks the shard for `submission` given the current shard statuses
+  /// and (optionally) the rebalancer's placement overrides. An override
+  /// wins under every policy — a migrated tenant is pinned to its new
+  /// home; if that home is drained, routing probes forward from it
+  /// (like the hash policy) and snaps back the period it recovers.
   /// Drained shards (known next-period capacity of zero) are never
-  /// targeted unless every shard is drained (then the stable hash
-  /// placement applies — the period will reject, but deterministically).
+  /// targeted unless every shard is drained (then the stable placement
+  /// applies — the period will reject, but deterministically).
   /// Precondition (checked): shards.size() == num_shards().
   int Route(const stream::QuerySubmission& submission,
-            const std::vector<ShardStatus>& shards) const;
+            const std::vector<ShardStatus>& shards,
+            const PlacementOverrides* overrides = nullptr) const;
 
   /// True when `status` may receive traffic (no known zero next-period
   /// capacity).
@@ -87,10 +105,18 @@ class ShardRouter {
   /// exposed so tests and rebalancing tooling can predict placements.
   static uint64_t HashUser(auction::UserId user);
 
+  /// Relative tolerance under which two clearing prices tie (the
+  /// price-aware tie-break then falls to admission rate). Two infinite
+  /// prices (saturated shards) always tie; an infinite price never
+  /// ties a finite one.
+  static bool PricesTie(double a, double b);
+
  private:
   /// Stable hash placement probing past drained shards.
   int RouteHash(const stream::QuerySubmission& submission,
                 const std::vector<ShardStatus>& shards) const;
+  /// `home` placement probing forward past drained shards.
+  int ProbeFrom(int home, const std::vector<ShardStatus>& shards) const;
 
   RoutingPolicy policy_;
   int num_shards_;

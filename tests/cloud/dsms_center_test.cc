@@ -166,5 +166,128 @@ TEST_F(DsmsCenterTest, SharedSubmissionsAdmitMoreThanDisjoint) {
   EXPECT_EQ(report->admitted, 3);
 }
 
+// --- Tenant extract/adopt: the migration surface the cluster
+// rebalancer moves a subscription's state through. ---
+
+TEST_F(DsmsCenterTest, ExtractTenantMovesPendingAndCharges) {
+  DsmsCenterOptions options;
+  options.mechanism = "cat";
+  options.period_length = 5.0;
+  DsmsCenter center(options, &engine_);
+
+  // Bill user 7 in period 0 so there are charges to carry.
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 7, 50.0, 110.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(2, 7, 45.0, 115.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(3, 9, 40.0, 120.0)).ok());
+  ASSERT_TRUE(center.RunPeriod().ok());
+  const double charged = center.ledger().TotalCharged(7);
+  ASSERT_GT(charged, 0.0);
+  const double total_before = center.total_revenue();
+
+  // Queue the next period with a mix of tenants, then extract user 7.
+  ASSERT_TRUE(center.Submit(MakeSubmission(11, 7, 30.0, 110.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(12, 9, 25.0, 120.0)).ok());
+  ASSERT_TRUE(center.Submit(MakeSubmission(13, 7, 20.0, 125.0)).ok());
+  TenantState state = center.ExtractTenant(7);
+  EXPECT_EQ(state.user, 7);
+  ASSERT_EQ(state.pending.size(), 2u);
+  EXPECT_EQ(state.pending[0].query_id, 11);  // Submission order kept.
+  EXPECT_EQ(state.pending[1].query_id, 13);
+  EXPECT_DOUBLE_EQ(state.charged, charged);
+  // The source center no longer holds any of it.
+  EXPECT_EQ(center.pending_submissions(), 1);
+  EXPECT_DOUBLE_EQ(center.ledger().TotalCharged(7), 0.0);
+  EXPECT_DOUBLE_EQ(center.total_revenue(), total_before - charged);
+
+  // Unknown tenants extract as empty state, harmlessly.
+  const TenantState nobody = center.ExtractTenant(12345);
+  EXPECT_TRUE(nobody.pending.empty());
+  EXPECT_DOUBLE_EQ(nobody.charged, 0.0);
+}
+
+TEST_F(DsmsCenterTest, AdoptTenantQueuesAndCredits) {
+  DsmsCenterOptions options;
+  options.mechanism = "cat";
+  options.period_length = 5.0;
+  DsmsCenter source(options, &engine_);
+  stream::Engine other_engine(stream::EngineOptions{2.0, 1.0, 8});
+  ASSERT_TRUE(other_engine
+                  .RegisterSource(stream::MakeStockQuoteSource(
+                      "quotes", {"IBM", "AAPL", "MSFT"}, 100.0, 11))
+                  .ok());
+  DsmsCenter destination(options, &other_engine);
+
+  // Three ~1-unit queries on 2 units of capacity: user 7's bids win
+  // and the losing bid prices them, so the charge is positive.
+  ASSERT_TRUE(source.Submit(MakeSubmission(1, 7, 50.0, 110.0)).ok());
+  ASSERT_TRUE(source.Submit(MakeSubmission(3, 7, 45.0, 120.0)).ok());
+  ASSERT_TRUE(source.Submit(MakeSubmission(4, 9, 10.0, 130.0)).ok());
+  ASSERT_TRUE(source.RunPeriod().ok());
+  ASSERT_TRUE(source.Submit(MakeSubmission(2, 7, 45.0, 112.0)).ok());
+  const double charged = source.ledger().TotalCharged(7);
+  ASSERT_GT(charged, 0.0);
+
+  TenantState state = source.ExtractTenant(7);
+  ASSERT_TRUE(destination.AdoptTenant(state).ok());
+  EXPECT_TRUE(state.pending.empty());  // Consumed on success.
+  EXPECT_DOUBLE_EQ(state.charged, 0.0);
+  EXPECT_EQ(destination.pending_submissions(), 1);
+  EXPECT_DOUBLE_EQ(destination.ledger().TotalCharged(7), charged);
+
+  // The state is spent: adopting it again is a harmless no-op, never a
+  // double credit.
+  ASSERT_TRUE(destination.AdoptTenant(state).ok());
+  EXPECT_EQ(destination.pending_submissions(), 1);
+  EXPECT_DOUBLE_EQ(destination.ledger().TotalCharged(7), charged);
+
+  // The adopted submission competes in the destination's next auction.
+  const auto report = destination.RunPeriod();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->submissions, 1);
+  EXPECT_EQ(report->admitted, 1);
+}
+
+TEST_F(DsmsCenterTest, AdoptTenantIsAllOrNothing) {
+  DsmsCenterOptions options;
+  options.mechanism = "cat";
+  options.period_length = 5.0;
+  DsmsCenter center(options, &engine_);
+  ASSERT_TRUE(center.Submit(MakeSubmission(1, 9, 50.0, 110.0)).ok());
+
+  // Second pending submission collides with an id already queued here:
+  // nothing may be adopted, and the caller keeps the state.
+  TenantState state;
+  state.user = 7;
+  state.charged = 3.5;
+  state.pending.push_back(MakeSubmission(5, 7, 40.0, 112.0));
+  state.pending.push_back(MakeSubmission(1, 7, 30.0, 114.0));
+  EXPECT_EQ(center.AdoptTenant(state).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(state.pending.size(), 2u);
+  EXPECT_EQ(center.pending_submissions(), 1);
+  EXPECT_DOUBLE_EQ(center.ledger().TotalCharged(7), 0.0);
+
+  // A plan the destination engine rejects blocks adoption the same way.
+  QueryBuilder bad;
+  const int src = bad.Source("no_such_stream");
+  QuerySubmission unknown;
+  unknown.query_id = 6;
+  unknown.user = 7;
+  unknown.bid = 5.0;
+  unknown.plan = bad.Build(src);
+  state.pending[1] = std::move(unknown);
+  EXPECT_EQ(center.AdoptTenant(state).code(), StatusCode::kNotFound);
+  EXPECT_EQ(center.pending_submissions(), 1);
+
+  // Duplicate ids inside the adopted batch itself are also rejected.
+  TenantState twins;
+  twins.user = 8;
+  twins.pending.push_back(MakeSubmission(9, 8, 20.0, 111.0));
+  twins.pending.push_back(MakeSubmission(9, 8, 25.0, 113.0));
+  EXPECT_EQ(center.AdoptTenant(twins).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(center.pending_submissions(), 1);
+}
+
 }  // namespace
 }  // namespace streambid::cloud

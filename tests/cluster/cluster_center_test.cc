@@ -262,6 +262,115 @@ TEST(ClusterCenterTest, SubmitValidationPropagates) {
             StatusCode::kNotFound);
 }
 
+TEST(ClusterCenterTest, UtilizationWeightedByDivergedCapacities) {
+  // Autoscaling with all traffic hashed onto one shard: the idle shard
+  // shrinks toward its floor while the busy one holds, so per-shard
+  // capacities genuinely diverge — the regression regime for the
+  // cluster report's utilization fields.
+  ClusterOptions options = BaseOptions(2, RoutingPolicy::kHashUser);
+  options.autoscale.enabled = true;
+  options.autoscale.min_capacity_ratio = 0.25;
+  options.autoscale.min_dwell_periods = 1;
+  ClusterCenter cluster(options, RegisterQuotes);
+
+  const int busy_shard =
+      static_cast<int>(ShardRouter::HashUser(1) % 2ull);
+  std::vector<auction::UserId> users;
+  for (auction::UserId u = 1; users.size() < 3; ++u) {
+    if (static_cast<int>(ShardRouter::HashUser(u) % 2ull) == busy_shard) {
+      users.push_back(u);
+    }
+  }
+  ClusterPeriodReport last;
+  for (int period = 0; period < 4; ++period) {
+    for (size_t k = 0; k < users.size(); ++k) {
+      ASSERT_TRUE(cluster
+                      .Submit(MakeSubmission(
+                          static_cast<int>(k) + 1, users[k], 40.0,
+                          105.0 + 5.0 * static_cast<double>(k)))
+                      .ok());
+    }
+    const auto report = cluster.RunPeriod();
+    ASSERT_TRUE(report.ok());
+    last = *report;
+  }
+
+  // Capacities diverged; the reported utilizations must be the
+  // capacity-weighted means over the shard reports, not plain means.
+  const cloud::PeriodReport& a = last.shard_reports[0];
+  const cloud::PeriodReport& b = last.shard_reports[1];
+  ASSERT_NE(a.provisioned_capacity, b.provisioned_capacity);
+  const double total = a.provisioned_capacity + b.provisioned_capacity;
+  EXPECT_DOUBLE_EQ(last.auction_utilization,
+                   (a.auction_utilization * a.provisioned_capacity +
+                    b.auction_utilization * b.provisioned_capacity) /
+                       total);
+  EXPECT_DOUBLE_EQ(last.measured_utilization,
+                   (a.measured_utilization * a.provisioned_capacity +
+                    b.measured_utilization * b.provisioned_capacity) /
+                       total);
+  // The plain mean would over-credit the shrunken idle shard: make
+  // sure the weighted figure actually differs from it.
+  EXPECT_NE(last.measured_utilization,
+            (a.measured_utilization + b.measured_utilization) / 2.0);
+}
+
+// --- Error paths: a submission the shard rejects must not bias the
+// router's view, and a BeginPeriod that cannot reach the executor must
+// leave the surface usable. ---
+
+TEST(ClusterCenterTest, FailedSubmitLeavesStatusesUntouched) {
+  // Hash routing: user 1 deterministically re-routes to the same
+  // shard, so the duplicate below really reaches the pending check.
+  ClusterCenter cluster(BaseOptions(2, RoutingPolicy::kHashUser),
+                        RegisterQuotes);
+  ASSERT_TRUE(cluster.Submit(MakeSubmission(1, 1, 40.0, 105.0)).ok());
+  const std::vector<ShardStatus> before = cluster.shard_statuses();
+
+  // Load estimation fails after routing (unknown source)...
+  QueryBuilder bad;
+  const int src = bad.Source("no_such_stream");
+  QuerySubmission unknown;
+  unknown.query_id = 2;
+  unknown.user = 2;
+  unknown.bid = 5.0;
+  unknown.plan = bad.Build(src);
+  EXPECT_EQ(cluster.Submit(std::move(unknown)).status().code(),
+            StatusCode::kNotFound);
+  // ...and the shard's own Submit fails after estimation (duplicate
+  // pending id routed to the same least-loaded shard as a duplicate).
+  EXPECT_EQ(cluster.Submit(MakeSubmission(1, 1, 40.0, 105.0))
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+
+  const std::vector<ShardStatus>& after = cluster.shard_statuses();
+  for (size_t s = 0; s < before.size(); ++s) {
+    EXPECT_EQ(after[s].pending_count, before[s].pending_count) << s;
+    EXPECT_DOUBLE_EQ(after[s].pending_load, before[s].pending_load) << s;
+  }
+}
+
+TEST(ClusterCenterTest, BeginPeriodAfterShutdownRestoresSurface) {
+  ClusterCenter cluster(BaseOptions(2, RoutingPolicy::kHashUser),
+                        RegisterQuotes);
+  ASSERT_TRUE(cluster.Submit(MakeSubmission(1, 1, 40.0, 105.0)).ok());
+  ASSERT_TRUE(cluster.executor().tasks().Shutdown().ok());
+
+  // The chains cannot be submitted: the error surfaces...
+  const auto period = cluster.BeginPeriod();
+  ASSERT_FALSE(period.ok());
+  EXPECT_EQ(period.status().code(), StatusCode::kFailedPrecondition);
+
+  // ...and period_in_flight_ was restored, so the surface still
+  // accepts submissions and reports the executor error again (not a
+  // bogus "period already in flight").
+  EXPECT_TRUE(cluster.Submit(MakeSubmission(2, 2, 30.0, 110.0)).ok());
+  const auto again = cluster.BeginPeriod();
+  ASSERT_FALSE(again.ok());
+  EXPECT_NE(again.status().message(), "a period is already in flight");
+}
+
 TEST(ClusterCenterTest, SingleShardDegeneratesToOneCenter) {
   ClusterCenter cluster(BaseOptions(1, RoutingPolicy::kLeastLoaded),
                         RegisterQuotes);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <set>
 #include <vector>
@@ -159,10 +160,39 @@ TEST(ShardRouterTest, LeastLoadedSkipsDrainedShard) {
   shards[0].pending_load = 1.0;
   shards[0].next_capacity = 0.0;  // Emptiest but drained.
   shards[1].pending_load = 5.0;
-  shards[1].next_capacity = 2.0;
+  shards[1].next_capacity = 2.0;  // 2.5x oversubscribed.
   shards[2].pending_load = 3.0;
-  shards[2].next_capacity = 0.5;  // Shrunk, but alive.
-  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 2);
+  shards[2].next_capacity = 0.5;  // Shrunk AND 6x oversubscribed.
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+// --- Capacity-relative least-loaded: raw pending load must not make a
+// half-drained autoscaled shard look as roomy as a full one. ---
+
+TEST(ShardRouterTest, LeastLoadedComparesLoadRelativeToCapacity) {
+  ShardRouter router(RoutingPolicy::kLeastLoaded, 2);
+  std::vector<ShardStatus> shards(2);
+  // Shard 0 holds more absolute load but is provisioned 8x larger:
+  // relative 0.5 vs 1.0 — the big shard is the roomy one.
+  shards[0].pending_load = 4.0;
+  shards[0].next_capacity = 8.0;
+  shards[1].pending_load = 1.0;
+  shards[1].next_capacity = 1.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 0);
+  // Equal relative load (0.5 both): ties stay on the lowest index.
+  shards[1].pending_load = 0.5;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 0);
+}
+
+TEST(ShardRouterTest, LeastLoadedUnknownCapacityComparesAtUnit) {
+  ShardRouter router(RoutingPolicy::kLeastLoaded, 2);
+  std::vector<ShardStatus> shards(2);
+  // No owner-tracked provisioning anywhere: the comparison degrades to
+  // the raw pending loads (capacity 1 assumed), the pre-autoscaling
+  // behavior.
+  shards[0].pending_load = 5.0;
+  shards[1].pending_load = 1.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
 }
 
 TEST(ShardRouterTest, PriceAwareSkipsDrainedShard) {
@@ -244,6 +274,94 @@ TEST(ShardRouterTest, UnknownNextCapacityStaysEligible) {
   EXPECT_FALSE(ShardRouter::Eligible(status));
   status.next_capacity = 0.75;
   EXPECT_TRUE(ShardRouter::Eligible(status));
+}
+
+// --- Price ties under tolerance: clearing prices are revenue/admitted,
+// and bit-level noise in that division must not flip routing. ---
+
+TEST(ShardRouterTest, PriceTieToleratesBitLevelNoise) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 2);
+  std::vector<ShardStatus> shards(2);
+  for (ShardStatus& s : shards) s.has_history = true;
+  // One ulp apart — the kind of difference a different summation order
+  // produces. Exact == would route on the noise; the tolerant tie-break
+  // must fall through to the admission rate.
+  const double price = 3.0;
+  shards[0].last_clearing_price = price;
+  shards[1].last_clearing_price =
+      std::nextafter(price, std::numeric_limits<double>::infinity());
+  shards[0].last_admission_rate = 0.2;
+  shards[1].last_admission_rate = 0.9;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+  // A genuinely cheaper shard still wins regardless of rate.
+  shards[1].last_clearing_price = price * 0.9;
+  shards[1].last_admission_rate = 0.0;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+TEST(ShardRouterTest, PricesTieSemantics) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ShardRouter::PricesTie(3.0, 3.0));
+  EXPECT_TRUE(ShardRouter::PricesTie(0.0, 0.0));
+  EXPECT_TRUE(
+      ShardRouter::PricesTie(1e6, std::nextafter(1e6, 2e6)));
+  EXPECT_FALSE(ShardRouter::PricesTie(3.0, 3.1));
+  // Pinned infinity behavior: saturated shards tie each other and
+  // never tie a finite clearing.
+  EXPECT_TRUE(ShardRouter::PricesTie(inf, inf));
+  EXPECT_FALSE(ShardRouter::PricesTie(inf, 1e18));
+  EXPECT_FALSE(ShardRouter::PricesTie(0.0, inf));
+}
+
+TEST(ShardRouterTest, BothShardsSaturatedTieOnRateThenIndex) {
+  ShardRouter router(RoutingPolicy::kPriceAware, 2);
+  std::vector<ShardStatus> shards(2);
+  const double inf = std::numeric_limits<double>::infinity();
+  for (ShardStatus& s : shards) {
+    s.has_history = true;
+    s.last_clearing_price = inf;
+    s.last_admission_rate = 0.0;
+  }
+  // inf vs inf is a tie (never NaN arithmetic): equal rates keep the
+  // lowest index.
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 0);
+  shards[1].last_admission_rate = 0.1;
+  EXPECT_EQ(router.Route(SubmissionFor(1), shards), 1);
+}
+
+// --- Placement overrides: the rebalancer pins migrated tenants; every
+// policy must follow the current placement, not the original hash. ---
+
+TEST(ShardRouterTest, OverrideWinsUnderEveryPolicy) {
+  std::vector<ShardStatus> shards(4);
+  shards[2].pending_load = 1e9;             // Worst least-loaded choice.
+  for (ShardStatus& s : shards) s.has_history = true;
+  shards[2].last_clearing_price = 1e9;      // Worst price-aware choice.
+  PlacementOverrides overrides;
+  const auction::UserId user = 7;
+  overrides[user] = 2;
+  for (const RoutingPolicy policy :
+       {RoutingPolicy::kHashUser, RoutingPolicy::kLeastLoaded,
+        RoutingPolicy::kPriceAware}) {
+    ShardRouter router(policy, 4);
+    EXPECT_EQ(router.Route(SubmissionFor(user), shards, &overrides), 2)
+        << RoutingPolicyName(policy);
+    // Other users are unaffected.
+    EXPECT_EQ(router.Route(SubmissionFor(user + 1), shards, &overrides),
+              router.Route(SubmissionFor(user + 1), shards))
+        << RoutingPolicyName(policy);
+  }
+}
+
+TEST(ShardRouterTest, OverrideProbesPastDrainedHomeAndSnapsBack) {
+  ShardRouter router(RoutingPolicy::kHashUser, 4);
+  std::vector<ShardStatus> shards(4);
+  PlacementOverrides overrides;
+  overrides[7] = 2;
+  shards[2].next_capacity = 0.0;  // Pinned home drained.
+  EXPECT_EQ(router.Route(SubmissionFor(7), shards, &overrides), 3);
+  shards[2].next_capacity = 1.0;  // Recovered: placement snaps back.
+  EXPECT_EQ(router.Route(SubmissionFor(7), shards, &overrides), 2);
 }
 
 TEST(ShardRouterTest, PriceAwareAvoidsSaturatedShards) {
