@@ -92,6 +92,25 @@ Result<int> ClusterCenter::Submit(stream::QuerySubmission submission) {
   return s;
 }
 
+Result<BatchSubmitOutcome> ClusterCenter::SubmitBatch(
+    std::vector<stream::QuerySubmission> batch) {
+  if (period_in_flight_) {
+    return Status::FailedPrecondition(
+        "a period is in flight: EndPeriod before SubmitBatch");
+  }
+  BatchSubmitOutcome outcome;
+  for (stream::QuerySubmission& submission : batch) {
+    const Result<int> shard = Submit(std::move(submission));
+    if (shard.ok()) {
+      ++outcome.accepted;
+    } else {
+      ++outcome.rejected;
+      if (outcome.first_error.ok()) outcome.first_error = shard.status();
+    }
+  }
+  return outcome;
+}
+
 Result<cloud::PeriodReport> ClusterCenter::RunShardPeriod(
     int s, WorkerContext& context) {
   cloud::DsmsCenter& center = *shards_[static_cast<size_t>(s)].center;

@@ -137,6 +137,18 @@ struct ClusterPeriodReport {
   std::vector<cloud::PeriodReport> shard_reports;
 };
 
+/// What SubmitBatch did with a drained gate batch: how many submissions
+/// each shard queue accepted, how many the cluster refused, and the
+/// first refusal (in batch order) for diagnostics. Per-item refusals do
+/// not abort the batch — later items still submit, mirroring what a
+/// caller looping over Submit would get.
+struct BatchSubmitOutcome {
+  int accepted = 0;
+  int rejected = 0;
+  /// OK when rejected == 0; otherwise the first per-item error.
+  Status first_error = Status::Ok();
+};
+
 /// Handle for an in-flight pipelined period issued by BeginPeriod and
 /// consumed (exactly once) by EndPeriod. Identity-tagged: EndPeriod
 /// only accepts the handle of ITS cluster's CURRENT in-flight period —
@@ -176,6 +188,17 @@ class ClusterCenter {
   /// kFailedPrecondition while a period is in flight (shard state is on
   /// the workers' side of the fence until EndPeriod).
   Result<int> Submit(stream::QuerySubmission submission);
+
+  /// Moves a drained gate batch into the shard queues, in batch order —
+  /// the streaming ingress path. Equivalent to calling Submit on each
+  /// element (same routing, same tenant signals, so replay is identical
+  /// to the loop), but per-item errors are folded into the outcome
+  /// instead of aborting: the batch was already granted tickets, and a
+  /// routed-but-refused submission must be accounted, not lose its
+  /// successors. kFailedPrecondition (whole batch) while a period is in
+  /// flight.
+  Result<BatchSubmitOutcome> SubmitBatch(
+      std::vector<stream::QuerySubmission> batch);
 
   /// Runs one pipelined period (BeginPeriod + EndPeriod) and merges the
   /// shard reports.

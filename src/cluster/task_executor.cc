@@ -110,8 +110,12 @@ Status TaskExecutor::ReserveSlotLocked(std::unique_lock<std::mutex>& lock,
           "executor queue full (max_queue_depth " +
           std::to_string(max_queue_depth_) + ")");
     }
+    // Re-checks max_queue_depth_ inside the predicate: a concurrent
+    // SetMaxQueueDepth may have grown the bound or removed it entirely
+    // (0 = unbounded) while we slept.
     space_cv_.wait(lock, [this] {
-      return stopping_ || draining_ || queue_.size() < max_queue_depth_;
+      return stopping_ || draining_ || max_queue_depth_ == 0 ||
+             queue_.size() < max_queue_depth_;
     });
     if (stopping_ || draining_) {
       return Status::FailedPrecondition("executor shut down");
@@ -221,6 +225,25 @@ Result<std::vector<TaskExecutor::ErasedResult>> TaskExecutor::RunAllErased(
     results.push_back(std::move(*slot));
   }
   return results;
+}
+
+Status TaskExecutor::SetMaxQueueDepth(int depth) {
+  if (depth < 0) {
+    return Status::InvalidArgument("max queue depth must be >= 0");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_queue_depth_ = static_cast<size_t>(depth);
+  }
+  // Growing (or unbounding) may free blocked producers; waking on a
+  // shrink is harmless — the wait predicate re-checks the new bound.
+  space_cv_.notify_all();
+  return Status::Ok();
+}
+
+int TaskExecutor::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(max_queue_depth_);
 }
 
 Status TaskExecutor::Shutdown() {

@@ -205,6 +205,18 @@ class TaskExecutor {
     return out;
   }
 
+  /// Re-bounds the queue at runtime; the admission gate's throughput
+  /// probe calls this to keep executor backlog proportional to the
+  /// concurrency it has measured the system can absorb. `depth` 0 means
+  /// unbounded; negative is kInvalidArgument. Thread-safe: growing (or
+  /// unbounding) wakes producers blocked in Submit/RunAll; shrinking
+  /// below the current backlog never drops queued tasks — the queue
+  /// just refuses new pushes until workers drain it under the new cap.
+  Status SetMaxQueueDepth(int depth);
+
+  /// Current queue bound (0 = unbounded).
+  int max_queue_depth() const;
+
   /// Drains the queue (every already-submitted task runs to completion)
   /// and joins the workers. Unconsumed tickets stay pollable afterwards;
   /// new submissions fail with kFailedPrecondition. A second Shutdown is

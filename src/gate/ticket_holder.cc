@@ -1,0 +1,173 @@
+// Copyright 2026 The streambid Authors
+
+#include "gate/ticket_holder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace streambid::gate {
+
+void WaitHistogram::Record(double wait_micros) {
+  int bucket = 0;
+  if (wait_micros >= 1.0) {
+    bucket = 1 + static_cast<int>(std::log2(wait_micros));
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  ++buckets[static_cast<size_t>(bucket)];
+  ++total;
+}
+
+void WaitHistogram::Merge(const WaitHistogram& other) {
+  for (int k = 0; k < kBuckets; ++k) {
+    buckets[static_cast<size_t>(k)] += other.buckets[static_cast<size_t>(k)];
+  }
+  total += other.total;
+}
+
+double WaitHistogram::PercentileMillis(double p) const {
+  if (total == 0) return 0.0;
+  const double target = p * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (int k = 0; k < kBuckets; ++k) {
+    cumulative += buckets[static_cast<size_t>(k)];
+    if (static_cast<double>(cumulative) >= target) {
+      // Upper edge of bucket k: 2^k microseconds (bucket 0 = "<1us",
+      // reported as 0 — the fast path is free).
+      return k == 0 ? 0.0 : std::ldexp(1.0, k) / 1000.0;
+    }
+  }
+  return std::ldexp(1.0, kBuckets - 1) / 1000.0;
+}
+
+TicketHolder::TicketHolder(std::string name, int capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  STREAMBID_CHECK_GE(capacity, 1);
+}
+
+void TicketHolder::GrantLocked(double wait_micros, bool queued) {
+  ++used_;
+  used_high_water_ = std::max(used_high_water_, used_);
+  if (queued) {
+    ++granted_queued_;
+  } else {
+    ++granted_immediate_;
+  }
+  wait_.Record(wait_micros);
+}
+
+bool TicketHolder::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (waiters_.empty() && used_ < capacity_) {
+    GrantLocked(0.0, /*queued=*/false);
+    return true;
+  }
+  ++rejected_;
+  return false;
+}
+
+Status TicketHolder::Acquire(double timeout_ms) {
+  if (!(timeout_ms >= 0.0) || !std::isfinite(timeout_ms)) {
+    return Status::InvalidArgument("acquire timeout must be finite and >= 0");
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (waiters_.empty() && used_ < capacity_) {
+    GrantLocked(0.0, /*queued=*/false);
+    return Status::Ok();
+  }
+  if (timeout_ms == 0.0) {
+    ++rejected_;
+    return Status::ResourceExhausted("ticket pool " + name_ + " exhausted");
+  }
+
+  const uint64_t id = next_waiter_++;
+  waiters_.push_back(id);
+  queue_high_water_ =
+      std::max(queue_high_water_, static_cast<int>(waiters_.size()));
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(timeout_ms));
+  // FIFO: only the front waiter may take a freed ticket, so a release
+  // burst (or a Resize growth) wakes everyone and they grant in queue
+  // order — each new front re-checks and chains the next notify below.
+  const bool granted = cv_.wait_until(lock, deadline, [&] {
+    return !waiters_.empty() && waiters_.front() == id && used_ < capacity_;
+  });
+  const double waited_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  if (granted) {
+    waiters_.pop_front();
+    GrantLocked(waited_micros, /*queued=*/true);
+    if (used_ < capacity_ && !waiters_.empty()) cv_.notify_all();
+    return Status::Ok();
+  }
+  // Timed out: leave the queue from wherever we stand; if we were the
+  // front, our departure may unblock the waiter behind us.
+  waiters_.erase(std::find(waiters_.begin(), waiters_.end(), id));
+  ++timed_out_;
+  if (used_ < capacity_ && !waiters_.empty()) cv_.notify_all();
+  return Status::ResourceExhausted("ticket wait timed out in pool " + name_);
+}
+
+void TicketHolder::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  STREAMBID_CHECK_GT(used_, 0);
+  --used_;
+  if (used_ < capacity_ && !waiters_.empty()) cv_.notify_all();
+}
+
+Status TicketHolder::Resize(int capacity) {
+  if (capacity < 1) {
+    return Status::InvalidArgument("ticket pool capacity must be >= 1");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+int TicketHolder::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+int TicketHolder::used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+int TicketHolder::available() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::max(0, capacity_ - used_);
+}
+
+int TicketHolder::waiting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(waiters_.size());
+}
+
+TicketHolderStats TicketHolder::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TicketHolderStats stats;
+  stats.name = name_;
+  stats.capacity = capacity_;
+  stats.used = used_;
+  stats.waiting = static_cast<int>(waiters_.size());
+  stats.granted_immediate = granted_immediate_;
+  stats.granted_queued = granted_queued_;
+  stats.timed_out = timed_out_;
+  stats.rejected = rejected_;
+  stats.used_high_water = used_high_water_;
+  stats.queue_high_water = queue_high_water_;
+  stats.wait = wait_;
+  return stats;
+}
+
+}  // namespace streambid::gate

@@ -1,0 +1,138 @@
+// Copyright 2026 The streambid Authors
+// Bounded ticket pools, the concurrency primitive of the streaming
+// admission gate (MongoDB-execution-control style): a request must hold
+// a ticket before it may cost the system anything downstream, and the
+// pool size — not the arrival rate — bounds how much work can be in
+// flight. One pool per (mechanism, tenant class), so a hot tenant class
+// exhausts its own pool and sheds while the other classes keep flowing.
+//
+// Semantics:
+//  - TryAcquire: the immediate-grant fast path. Succeeds only when a
+//    ticket is free AND no waiter is queued — an opportunistic caller
+//    can never steal a release out from under the FIFO queue, which is
+//    what makes the no-starvation property below hold.
+//  - Acquire(timeout_ms): joins a FIFO waiter queue. Waiters are
+//    granted strictly in arrival order; a timeout leaves the queue and
+//    returns typed kResourceExhausted (the caller sheds). timeout 0
+//    degenerates to TryAcquire-with-a-Status.
+//  - Release: returns the ticket and hands the next FIFO waiter its
+//    turn. Tickets are not identity-tracked: the holder counts.
+//  - Resize: the throughput probe's hook. Growing wakes waiters;
+//    shrinking below the outstanding count never invalidates held
+//    tickets — the pool just refuses new grants until releases bring
+//    the count back under the new capacity.
+//
+// No-starvation: a queued waiter is granted after at most (position in
+// queue) releases, because grants are FIFO and TryAcquire cannot jump
+// the queue. tests/gate/gate_replay_test.cc asserts this under
+// concurrency.
+
+#ifndef STREAMBID_GATE_TICKET_HOLDER_H_
+#define STREAMBID_GATE_TICKET_HOLDER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace streambid::gate {
+
+/// Coarse log2-bucketed histogram of gate wait times, cheap enough to
+/// update under the pool lock on the slow (queued) path. Bucket 0 holds
+/// sub-microsecond grants (the fast path records 0); bucket k >= 1
+/// holds waits in [2^(k-1), 2^k) microseconds.
+struct WaitHistogram {
+  static constexpr int kBuckets = 24;  ///< Up to ~8.4 wall-clock seconds.
+  std::array<int64_t, kBuckets> buckets{};
+  int64_t total = 0;
+
+  void Record(double wait_micros);
+  void Merge(const WaitHistogram& other);
+  /// Upper bucket edge (in milliseconds) below which fraction `p` of
+  /// recorded waits fall; 0 when nothing was recorded. p in [0, 1].
+  double PercentileMillis(double p) const;
+};
+
+/// Snapshot of one pool's counters (see TicketHolder::Stats).
+struct TicketHolderStats {
+  std::string name;
+  int capacity = 0;
+  int used = 0;                  ///< Tickets outstanding right now.
+  int waiting = 0;               ///< Queued Acquire calls right now.
+  int64_t granted_immediate = 0; ///< Fast-path grants (no queueing).
+  int64_t granted_queued = 0;    ///< Grants after a FIFO wait.
+  int64_t timed_out = 0;         ///< Acquires that left the queue.
+  int64_t rejected = 0;          ///< TryAcquire / zero-timeout failures.
+  int used_high_water = 0;       ///< Max concurrent outstanding tickets.
+  int queue_high_water = 0;      ///< Max concurrent waiters.
+  WaitHistogram wait;            ///< Grant latency (immediate = 0).
+};
+
+/// One bounded ticket pool. Thread-safe: any thread may acquire,
+/// release, resize, and read stats concurrently.
+class TicketHolder {
+ public:
+  /// Precondition (checked): capacity >= 1.
+  TicketHolder(std::string name, int capacity);
+
+  TicketHolder(const TicketHolder&) = delete;
+  TicketHolder& operator=(const TicketHolder&) = delete;
+
+  /// Immediate-grant fast path: true iff a ticket was free and no
+  /// waiter was queued ahead. Never blocks, never queues.
+  bool TryAcquire();
+
+  /// Blocking acquire with a FIFO queue position. timeout_ms == 0 is
+  /// the non-queueing fast path with a typed error; timeout_ms > 0
+  /// waits at most that long, then returns kResourceExhausted and
+  /// counts into stats().timed_out. Negative/non-finite timeouts are
+  /// kInvalidArgument.
+  Status Acquire(double timeout_ms);
+
+  /// Returns one ticket. Precondition (checked): a ticket is
+  /// outstanding.
+  void Release();
+
+  /// Re-bounds the pool (>= 1, else kInvalidArgument); the throughput
+  /// probe's resize hook. Held tickets survive a shrink.
+  Status Resize(int capacity);
+
+  int capacity() const;
+  int used() const;
+  /// Free tickets (0 when shrunk below the outstanding count).
+  int available() const;
+  int waiting() const;
+  const std::string& name() const { return name_; }
+
+  TicketHolderStats Stats() const;
+
+ private:
+  /// Precondition: mutex_ held, used_ < capacity_. Takes one ticket and
+  /// maintains the grant counters.
+  void GrantLocked(double wait_micros, bool queued);
+
+  const std::string name_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int capacity_;
+  int used_ = 0;
+  /// FIFO queue of waiter ids; the front waiter owns the next grant.
+  std::deque<uint64_t> waiters_;
+  uint64_t next_waiter_ = 1;
+
+  int64_t granted_immediate_ = 0;
+  int64_t granted_queued_ = 0;
+  int64_t timed_out_ = 0;
+  int64_t rejected_ = 0;
+  int used_high_water_ = 0;
+  int queue_high_water_ = 0;
+  WaitHistogram wait_;
+};
+
+}  // namespace streambid::gate
+
+#endif  // STREAMBID_GATE_TICKET_HOLDER_H_

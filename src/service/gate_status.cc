@@ -1,0 +1,52 @@
+// Copyright 2026 The streambid Authors
+
+#include "service/gate_status.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace streambid::service {
+namespace {
+
+// Message layout: "admission gate shed: pool=<name> retry-after-periods=<x>".
+constexpr std::string_view kShedPrefix = "admission gate shed: pool=";
+constexpr std::string_view kRetryKey = " retry-after-periods=";
+
+}  // namespace
+
+Status ShedRejection(std::string_view pool, double retry_after_periods) {
+  double hint = retry_after_periods;
+  if (!std::isfinite(hint) || hint < 0.0) hint = 0.0;
+  char hint_buf[32];
+  std::snprintf(hint_buf, sizeof(hint_buf), "%.3f", hint);
+  std::string message(kShedPrefix);
+  message.append(pool);
+  message.append(kRetryKey);
+  message.append(hint_buf);
+  return Status::ResourceExhausted(std::move(message));
+}
+
+bool IsShed(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         status.message().compare(0, kShedPrefix.size(), kShedPrefix) == 0;
+}
+
+std::optional<double> RetryAfterPeriods(const Status& status) {
+  if (!IsShed(status)) return std::nullopt;
+  const std::string& m = status.message();
+  const size_t at = m.find(kRetryKey);
+  if (at == std::string::npos) return std::nullopt;
+  return std::strtod(m.c_str() + at + kRetryKey.size(), nullptr);
+}
+
+std::string ShedPool(const Status& status) {
+  if (!IsShed(status)) return "";
+  const std::string& m = status.message();
+  const size_t start = kShedPrefix.size();
+  const size_t end = m.find(kRetryKey, start);
+  if (end == std::string::npos) return m.substr(start);
+  return m.substr(start, end - start);
+}
+
+}  // namespace streambid::service

@@ -316,5 +316,125 @@ TEST(TaskExecutorTest, StatsTrackWorkersAndQueueHighWater) {
   EXPECT_EQ(reset.tasks_per_worker[0], 0);
 }
 
+TEST(TaskExecutorTest, SetMaxQueueDepthRejectsNegativeAndReads) {
+  TaskExecutor executor(ExecutorOptions{1, 3});
+  EXPECT_EQ(executor.max_queue_depth(), 3);
+  const Status bad = executor.SetMaxQueueDepth(-1);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(executor.max_queue_depth(), 3);
+  ASSERT_TRUE(executor.SetMaxQueueDepth(5).ok());
+  EXPECT_EQ(executor.max_queue_depth(), 5);
+}
+
+TEST(TaskExecutorTest, GrowingQueueDepthUnblocksParkedSubmit) {
+  TaskExecutor executor(ExecutorOptions{1, 1});
+  Latch latch;
+  const auto blocker = executor.Submit<int>(
+      [&latch](WorkerContext&) -> Result<int> {
+        {
+          std::unique_lock<std::mutex> lock(latch.mutex);
+          latch.started = true;
+          latch.cv.notify_all();
+          latch.cv.wait(lock, [&latch] { return latch.release; });
+        }
+        return 1;
+      });
+  ASSERT_TRUE(blocker.ok());
+  latch.WaitStarted();
+  const auto queued = executor.TrySubmit<int>(
+      [](WorkerContext&) -> Result<int> { return 2; });
+  ASSERT_TRUE(queued.ok());  // Depth-1 queue now full.
+
+  // This Submit parks on the full queue; the resize — not a worker
+  // drain — is what must free it (the worker stays latched throughout).
+  Result<Ticket<int>> late(Status::Internal("not submitted"));
+  std::thread submitter([&executor, &late] {
+    late = executor.Submit<int>(
+        [](WorkerContext&) -> Result<int> { return 3; });
+  });
+  ASSERT_TRUE(executor.SetMaxQueueDepth(2).ok());
+  submitter.join();  // Worker still parked: only the resize unblocked it.
+  ASSERT_TRUE(late.ok());
+
+  latch.Release();
+  EXPECT_EQ(*executor.Wait(*blocker), 1);
+  EXPECT_EQ(*executor.Wait(*queued), 2);
+  EXPECT_EQ(*executor.Wait(*late), 3);
+}
+
+TEST(TaskExecutorTest, ResizeToUnboundedUnblocksParkedSubmit) {
+  // Regression: the space wait must re-check for depth 0 (unbounded) —
+  // "queue_.size() < 0" would otherwise park the producer forever.
+  TaskExecutor executor(ExecutorOptions{1, 1});
+  Latch latch;
+  const auto blocker = executor.Submit<int>(
+      [&latch](WorkerContext&) -> Result<int> {
+        {
+          std::unique_lock<std::mutex> lock(latch.mutex);
+          latch.started = true;
+          latch.cv.notify_all();
+          latch.cv.wait(lock, [&latch] { return latch.release; });
+        }
+        return 1;
+      });
+  ASSERT_TRUE(blocker.ok());
+  latch.WaitStarted();
+  const auto queued = executor.TrySubmit<int>(
+      [](WorkerContext&) -> Result<int> { return 2; });
+  ASSERT_TRUE(queued.ok());
+
+  Result<Ticket<int>> late(Status::Internal("not submitted"));
+  std::thread submitter([&executor, &late] {
+    late = executor.Submit<int>(
+        [](WorkerContext&) -> Result<int> { return 3; });
+  });
+  ASSERT_TRUE(executor.SetMaxQueueDepth(0).ok());
+  submitter.join();
+  ASSERT_TRUE(late.ok());
+
+  latch.Release();
+  EXPECT_EQ(*executor.Wait(*blocker), 1);
+  EXPECT_EQ(*executor.Wait(*queued), 2);
+  EXPECT_EQ(*executor.Wait(*late), 3);
+}
+
+TEST(TaskExecutorTest, ShrinkingQueueDepthRejectsNewTrySubmits) {
+  TaskExecutor executor(ExecutorOptions{1, 4});
+  Latch latch;
+  const auto blocker = executor.Submit<int>(
+      [&latch](WorkerContext&) -> Result<int> {
+        {
+          std::unique_lock<std::mutex> lock(latch.mutex);
+          latch.started = true;
+          latch.cv.notify_all();
+          latch.cv.wait(lock, [&latch] { return latch.release; });
+        }
+        return 1;
+      });
+  ASSERT_TRUE(blocker.ok());
+  latch.WaitStarted();
+  std::vector<Ticket<int>> queued;
+  for (int i = 0; i < 2; ++i) {
+    const auto ticket = executor.TrySubmit<int>(
+        [i](WorkerContext&) -> Result<int> { return i; });
+    ASSERT_TRUE(ticket.ok());
+    queued.push_back(*ticket);
+  }
+  // Two queued; shrinking under the backlog drops nothing but refuses
+  // new pushes until the workers drain below the new bound.
+  ASSERT_TRUE(executor.SetMaxQueueDepth(1).ok());
+  const auto refused = executor.TrySubmit<int>(
+      [](WorkerContext&) -> Result<int> { return 9; });
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+
+  latch.Release();
+  EXPECT_EQ(*executor.Wait(*blocker), 1);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(*executor.Wait(queued[static_cast<size_t>(i)]), i);
+  }
+  EXPECT_EQ(executor.pending_tasks(), 0);
+}
+
 }  // namespace
 }  // namespace streambid::cluster
