@@ -22,8 +22,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "cloud/dsms_center.h"
 #include "cluster/cluster_center.h"
 #include "common/check.h"
@@ -213,6 +215,8 @@ void RunClusterExperiment(int periods) {
 
   TextTable table({"provisioning", "gross", "energy", "net",
                    "mean_total_cap", "min_total_cap"});
+  double net_fixed = 0.0;
+  double net_autoscaled = 0.0;
   for (const bool autoscaled : {false, true}) {
     cluster::ClusterOptions options;
     options.num_shards = 4;
@@ -243,6 +247,7 @@ void RunClusterExperiment(int periods) {
       min_capacity = std::min(min_capacity,
                               report->provisioned_capacity);
     }
+    (autoscaled ? net_autoscaled : net_fixed) = gross - energy;
     table.AddRow({autoscaled ? "autoscaled" : "fixed",
                   FormatDouble(gross, 2), FormatDouble(energy, 2),
                   FormatDouble(gross - energy, 2),
@@ -252,6 +257,11 @@ void RunClusterExperiment(int periods) {
   std::fputs(table.ToAligned().c_str(), stdout);
   std::printf("# the merged ClusterPeriodReport tracks the shards' "
               "total provisioned capacity and energy cost\n");
+  bench::WriteBenchJson(
+      "autoscaling",
+      {{"cluster_net_fixed", net_fixed},
+       {"cluster_net_autoscaled", net_autoscaled},
+       {"cluster_net_gain", net_autoscaled - net_fixed}});
 }
 
 }  // namespace

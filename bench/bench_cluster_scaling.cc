@@ -346,6 +346,12 @@ void RunPipelineExperiment(const bench::BenchConfig& config) {
                 FormatDouble(barriered.wall_ms / pipelined.wall_ms, 2),
                 identical ? "yes" : "NO"});
   std::fputs(table.ToAligned().c_str(), stdout);
+  bench::WriteBenchJson(
+      "cluster_scaling",
+      {{"barriered_wall_ms", barriered.wall_ms},
+       {"pipelined_wall_ms", pipelined.wall_ms},
+       {"pipeline_speedup", barriered.wall_ms / pipelined.wall_ms},
+       {"reports_identical", identical ? 1.0 : 0.0}});
   std::printf("# pipelined periods run each shard's prepare/admit/"
               "complete as one chain on the persistent pool:\n"
               "# shard k's engine execution overlaps shard k+1's "

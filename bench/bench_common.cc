@@ -161,4 +161,19 @@ void PrintBanner(const std::string& title, const BenchConfig& config) {
       config.sets, config.queries, config.step);
 }
 
+void WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  STREAMBID_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  for (const auto& [key, value] : metrics) {
+    std::fprintf(f, ",\n  \"%s\": %.6g", key.c_str(), value);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("# wrote %s\n", path.c_str());
+}
+
 }  // namespace streambid::bench

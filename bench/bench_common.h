@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "service/admission_service.h"
@@ -83,6 +84,15 @@ std::string CrossoverDegree(const BenchConfig& config,
 
 /// Prints the standard bench banner (config echo).
 void PrintBanner(const std::string& title, const BenchConfig& config);
+
+/// Writes the bench's headline metrics to BENCH_<name>.json in the
+/// working directory — the uniform perf artifact every bench emits and
+/// CI uploads per PR ({"bench": "<name>", "<key>": <value>, ...}).
+/// Metrics keep the caller's order. CHECK-fails if the file cannot be
+/// written (an artifact silently missing defeats the trajectory).
+void WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics);
 
 }  // namespace streambid::bench
 

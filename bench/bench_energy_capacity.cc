@@ -33,6 +33,7 @@ int main() {
 
   cloud::EnergyModel energy;
   service::AdmissionService service;
+  std::vector<std::pair<std::string, double>> artifact;
   for (const char* name : {"cat", "caf", "two-price"}) {
     auto properties = service.Properties(name);
     STREAMBID_CHECK(properties.ok());
@@ -60,6 +61,11 @@ int main() {
                 "(%.0f%% of demand), net %.1f\n",
                 name, best->capacity, 100.0 * best->capacity / demand,
                 best->net_profit);
+    artifact.emplace_back(std::string("best_capacity_frac_") + name,
+                          best->capacity / demand);
+    artifact.emplace_back(std::string("best_net_profit_") + name,
+                          best->net_profit);
   }
+  WriteBenchJson("energy_capacity", artifact);
   return 0;
 }

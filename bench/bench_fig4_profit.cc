@@ -52,5 +52,14 @@ int main() {
                                                              : "NO",
               series.at("cat+")[last] < series.at("cat+")[0] ? "yes"
                                                              : "NO");
+  WriteBenchJson(
+      "fig4_profit",
+      {{"profit_caf_cap15000_last", series.at("caf")[last]},
+       {"profit_cat_cap15000_last", series.at("cat")[last]},
+       {"profit_two_price_cap15000_last", series.at("two-price")[last]},
+       {"caf_plus_declines",
+        series.at("caf+")[last] < series.at("caf+")[0] ? 1.0 : 0.0},
+       {"cat_plus_declines",
+        series.at("cat+")[last] < series.at("cat+")[0] ? 1.0 : 0.0}});
   return 0;
 }

@@ -44,5 +44,12 @@ int main() {
   std::printf("# shape: two-price admits least everywhere: %s "
               "(min gap %.3f)\n",
               min_gap >= -0.02 ? "yes" : "NO", min_gap);
+  WriteBenchJson("fig4a_admission",
+                 {{"admission_caf_first", series.at("caf")[0]},
+                  {"admission_caf_last", series.at("caf")[last]},
+                  {"admission_cat_last", series.at("cat")[last]},
+                  {"admission_two_price_last",
+                   series.at("two-price")[last]},
+                  {"min_gap_density_vs_two_price", min_gap}});
   return 0;
 }

@@ -41,5 +41,10 @@ int main() {
               "sharing increases)\n",
               CrossoverDegree(config, result, capacity, "caf", "cat+")
                   .c_str());
+  WriteBenchJson("fig4b_payoff",
+                 {{"payoff_caf_plus_last", series.at("caf+")[last]},
+                  {"payoff_caf_last", series.at("caf")[last]},
+                  {"payoff_two_price_last", series.at("two-price")[last]},
+                  {"caf_plus_tops_everywhere", caf_plus_tops ? 1.0 : 0.0}});
   return 0;
 }

@@ -112,6 +112,16 @@ void RunAtCapacity(const BenchConfig& config, double capacity) {
                       mean("car-ml") >= mean("car-al") * 0.999
                   ? "yes"
                   : "NO");
+  if (capacity == 5000.0) {
+    // The constrained regime is where the lying model actually fires —
+    // that's the series worth tracking across PRs.
+    WriteBenchJson("fig5_lying",
+                   {{"mean_profit_car", mean("car")},
+                    {"mean_profit_car_ml", mean("car-ml")},
+                    {"mean_profit_car_al", mean("car-al")},
+                    {"mean_profit_caf", mean("caf")},
+                    {"mean_profit_cat", mean("cat")}});
+  }
 }
 
 }  // namespace

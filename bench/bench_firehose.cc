@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -356,28 +357,17 @@ void RunReplayExperiment(int periods) {
 void WriteJsonArtifact(const FirehoseResult& r) {
   const double shed_fraction =
       r.offered > 0 ? static_cast<double>(r.shed) / r.offered : 0.0;
-  std::FILE* f = std::fopen("BENCH_firehose.json", "w");
-  STREAMBID_CHECK(f != nullptr);
-  std::fprintf(
-      f,
-      "{\n"
-      "  \"bench\": \"firehose\",\n"
-      "  \"sustained_submissions_per_sec\": %.1f,\n"
-      "  \"shed_fraction\": %.4f,\n"
-      "  \"p99_gate_wait_ms\": %.3f,\n"
-      "  \"offered\": %lld,\n"
-      "  \"admitted\": %lld,\n"
-      "  \"shed\": %lld,\n"
-      "  \"periods\": %d,\n"
-      "  \"buffered_high_water\": %d,\n"
-      "  \"elapsed_seconds\": %.3f\n"
-      "}\n",
-      r.offered / r.elapsed_seconds, shed_fraction, r.p99_wait_ms,
-      static_cast<long long>(r.offered),
-      static_cast<long long>(r.admitted), static_cast<long long>(r.shed),
-      r.periods, r.buffered_high_water, r.elapsed_seconds);
-  std::fclose(f);
-  std::printf("\n# wrote BENCH_firehose.json\n");
+  bench::WriteBenchJson(
+      "firehose",
+      {{"sustained_submissions_per_sec", r.offered / r.elapsed_seconds},
+       {"shed_fraction", shed_fraction},
+       {"p99_gate_wait_ms", r.p99_wait_ms},
+       {"offered", static_cast<double>(r.offered)},
+       {"admitted", static_cast<double>(r.admitted)},
+       {"shed", static_cast<double>(r.shed)},
+       {"periods", static_cast<double>(r.periods)},
+       {"buffered_high_water", static_cast<double>(r.buffered_high_water)},
+       {"elapsed_seconds", r.elapsed_seconds}});
 }
 
 }  // namespace

@@ -19,8 +19,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "cluster/cluster_center.h"
 #include "common/check.h"
 #include "common/rng.h"
@@ -175,6 +177,7 @@ void RunRevenueExperiment(int periods) {
 
   TextTable table({"mechanism", "placement", "revenue", "admitted",
                    "admit_rate", "moves", "recovered"});
+  std::vector<std::pair<std::string, double>> artifact;
   for (const std::string& mechanism :
        {std::string("cat"), std::string("car")}) {
     const RunResult fixed =
@@ -204,8 +207,13 @@ void RunRevenueExperiment(int periods) {
     // and must actually migrate to do it.
     STREAMBID_CHECK_GE(rebalanced.revenue, fixed.revenue);
     STREAMBID_CHECK_GT(rebalanced.migrations, 0);
+    artifact.emplace_back("revenue_recovered_" + mechanism,
+                          rebalanced.revenue - fixed.revenue);
+    artifact.emplace_back("migrations_" + mechanism,
+                          static_cast<double>(rebalanced.migrations));
   }
   std::fputs(table.ToAligned().c_str(), stdout);
+  bench::WriteBenchJson("rebalancing", artifact);
 }
 
 void CheckRunsIdentical(const RunResult& a, const RunResult& b) {

@@ -68,6 +68,11 @@ int main() {
   const std::vector<QuerySubmission> subs = Tenants();
   TextTable table({"strategy", "tenants_served", "output_tuples",
                    "shed_fraction", "utilization", "revenue"});
+  int ac_served = 0;
+  int64_t ac_outputs = 0;
+  double ac_profit = 0.0;
+  int64_t shed_outputs = 0;
+  double shed_fraction = 0.0;
 
   // --- Strategy 1: auction admission (CAT), no shedding needed. -------
   {
@@ -98,6 +103,9 @@ int main() {
       outputs += engine.sink(qid)->tuples;
     }
     const auto& metrics = response->metrics;
+    ac_served = served;
+    ac_outputs = outputs;
+    ac_profit = metrics.profit;
     table.AddRow({"admission-control (cat)", FormatInt(served),
                   FormatInt(outputs),
                   FormatPercent(engine.LastRunShedFraction(), 1),
@@ -117,6 +125,8 @@ int main() {
     for (int qid : engine.InstalledQueries()) {
       outputs += engine.sink(qid)->tuples;
     }
+    shed_outputs = outputs;
+    shed_fraction = engine.LastRunShedFraction();
     table.AddRow({"admit-all + tuple shedding", FormatInt(kTenants),
                   FormatInt(outputs),
                   FormatPercent(engine.LastRunShedFraction(), 1),
@@ -128,5 +138,12 @@ int main() {
   std::printf("# admission control serves fewer tenants at full fidelity "
               "within capacity AND earns strategyproof revenue; shedding "
               "degrades every tenant's result stream silently.\n");
+  bench::WriteBenchJson(
+      "shedding_ablation",
+      {{"admission_tenants_served", static_cast<double>(ac_served)},
+       {"admission_output_tuples", static_cast<double>(ac_outputs)},
+       {"admission_revenue", ac_profit},
+       {"shed_output_tuples", static_cast<double>(shed_outputs)},
+       {"shed_fraction", shed_fraction}});
   return 0;
 }

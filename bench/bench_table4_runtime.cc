@@ -77,6 +77,29 @@ BENCHMARK(BM_CATPlus)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CAR)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OptC)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also captures each benchmark's adjusted real
+/// time (in its display unit — ms here) so main can drop the uniform
+/// BENCH_table4_runtime.json artifact after the run.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      rows.emplace_back(run.benchmark_name() + "_ms",
+                        run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+  std::vector<std::pair<std::string, double>> rows;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  streambid::bench::WriteBenchJson("table4_runtime", reporter.rows);
+  benchmark::Shutdown();
+  return 0;
+}

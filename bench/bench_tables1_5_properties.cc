@@ -161,12 +161,16 @@ int main() {
                                           "two-price"};
   streambid::TextTable matrix(
       {"mechanism", "strategyproof", "sybil_immune", "profit_guarantee"});
+  std::vector<std::pair<std::string, double>> artifact;
   for (const std::string& name : names) {
     const bool sp = Strategyproof(service, name);
     const bool si = SybilImmune(service, name);
     const bool pg = ProfitGuarantee(service, name);
     matrix.AddRow({name, sp ? "X" : "x", si ? "X" : "x",
                    pg ? "X" : "x"});
+    artifact.emplace_back("strategyproof_" + name, sp ? 1.0 : 0.0);
+    artifact.emplace_back("sybil_immune_" + name, si ? 1.0 : 0.0);
+    artifact.emplace_back("profit_guarantee_" + name, pg ? 1.0 : 0.0);
   }
   // CAR: the paper's strawman (not in Table I; shown for contrast).
   matrix.AddRow({"car", Strategyproof(service, "car") ? "X" : "x", "-",
@@ -209,5 +213,9 @@ int main() {
               "Low=two-price; payoff High=caf+/cat+ Med=caf/cat "
               "Low=two-price; profit High=caf/cat Med=two-price "
               "Low=caf+/cat+\n");
+  for (const std::string& m : mechanisms) {
+    artifact.emplace_back("mean_profit_" + m, mean(profit, m));
+  }
+  WriteBenchJson("tables1_5_properties", artifact);
   return 0;
 }

@@ -27,6 +27,7 @@ int main() {
       RunSweep(service, config, mechanisms, capacities, UtilizationMetric());
 
   const std::vector<int> degrees = config.Degrees();
+  std::vector<std::pair<std::string, double>> artifact;
   for (double capacity : capacities) {
     std::printf("## capacity %.0f\n", capacity);
     PrintSeries(config, result, capacity, mechanisms);
@@ -47,9 +48,15 @@ int main() {
       std::printf("#   %-10s %s\n", m.c_str(),
                   n > 0 ? streambid::FormatPercent(acc / n, 2).c_str()
                         : "(never constrained at this scale)");
+      // Capacity 5000 stays constrained deepest into the sweep under
+      // our calibration — that's the regime the paper's claim covers.
+      if (capacity == 5000.0 && n > 0) {
+        artifact.emplace_back("mean_util_cap5000_" + m, acc / n);
+      }
     }
   }
   std::printf("# paper: density mechanisms > 98%%, two-price 96-98%% "
               "(constrained regime)\n");
+  WriteBenchJson("utilization", artifact);
   return 0;
 }

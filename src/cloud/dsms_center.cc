@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace streambid::cloud {
 
@@ -20,6 +22,21 @@ DsmsCenter::DsmsCenter(const DsmsCenterOptions& options,
     // The controller may clamp the baseline into its bounds; the engine
     // must start the first period at the controller's capacity.
     engine_->SetCapacity(autoscaler_->capacity());
+  }
+  if (options_.metrics != nullptr) {
+    telemetry::MetricsRegistry& metrics = *options_.metrics;
+    const std::string label =
+        "{shard=\"" + std::to_string(options_.shard_index) + "\"}";
+    periods_metric_ = metrics.GetCounter("center_periods" + label);
+    submissions_metric_ = metrics.GetCounter("center_submissions" + label);
+    admitted_metric_ = metrics.GetCounter("center_admitted" + label);
+    revenue_metric_ = metrics.GetGauge("center_revenue" + label);
+    energy_cost_metric_ = metrics.GetGauge("center_energy_cost" + label);
+    shed_fraction_metric_ = metrics.GetGauge("center_shed_fraction" + label);
+    capacity_metric_ =
+        metrics.GetGauge("center_provisioned_capacity" + label);
+    autoscale_decisions_metric_ =
+        metrics.GetCounter("center_autoscale_decisions" + label);
   }
 }
 
@@ -108,6 +125,10 @@ Result<PreparedAuction> DsmsCenter::PrepareAuction() {
   // service (the cluster layer prepares shards serially), so the
   // decision replays byte-identically at any executor pool size.
   if (autoscaler_) {
+    telemetry::ScopedSpan span(options_.tracer,
+                               telemetry::Phase::kAutoscale,
+                               static_cast<int>(history_.size()),
+                               options_.shard_index, trace_epoch_);
     STREAMBID_ASSIGN_OR_RETURN(
         AutoscaleDecision decision,
         autoscaler_->Propose(
@@ -116,6 +137,9 @@ Result<PreparedAuction> DsmsCenter::PrepareAuction() {
             options_.seed));
     engine_->SetCapacity(decision.capacity);
     pending_decision_ = std::move(decision);
+    if (autoscale_decisions_metric_ != nullptr) {
+      autoscale_decisions_metric_->Increment();
+    }
   }
   if (!prepared.has_auction) return prepared;
 
@@ -202,6 +226,19 @@ Result<PeriodReport> DsmsCenter::CompletePeriod(
     observation.submissions = report.submissions;
     observation.admitted = report.admitted;
     autoscaler_->Observe(observation);
+  }
+
+  // Publish the period's business series. Write-only: nothing below
+  // reads these back, so the report (and every future decision) is
+  // identical with telemetry on or off.
+  if (periods_metric_ != nullptr) {
+    periods_metric_->Increment();
+    submissions_metric_->Increment(report.submissions);
+    admitted_metric_->Increment(report.admitted);
+    revenue_metric_->Add(report.revenue);
+    energy_cost_metric_->Add(report.energy_cost);
+    shed_fraction_metric_->Set(report.shed_fraction);
+    capacity_metric_->Set(report.provisioned_capacity);
   }
 
   history_.push_back(report);

@@ -22,6 +22,13 @@
 #include "stream/engine.h"
 #include "stream/load_estimator.h"
 
+namespace streambid::telemetry {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class PeriodTracer;
+}  // namespace streambid::telemetry
+
 namespace streambid::cloud {
 
 /// Center configuration.
@@ -41,6 +48,20 @@ struct DsmsCenterOptions {
   /// The energy model inside prices PeriodReport::energy_cost whether
   /// or not autoscaling is on.
   AutoscalerOptions autoscale;
+  /// Optional telemetry sink. When set, every period publishes the
+  /// center's business series — revenue, energy cost, shed fraction,
+  /// provisioned capacity, admitted/submitted counts, and the
+  /// autoscaler's capacity decisions — labeled {shard="<shard_index>"}.
+  /// Null disables publication entirely. Must outlive the center.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// The label value for this center's metric series (the cluster layer
+  /// passes the shard index; standalone centers default to 0).
+  int shard_index = 0;
+  /// Optional period tracer: when set and autoscaling is enabled,
+  /// PrepareAuction records one kAutoscale span per period (shard =
+  /// shard_index, epoch = set_trace_epoch's value). Null disables.
+  /// Must outlive the center.
+  telemetry::PeriodTracer* tracer = nullptr;
 };
 
 /// Outcome of one subscription period.
@@ -183,6 +204,12 @@ class DsmsCenter {
   /// changes a report.
   Result<PreparedAuction> PrepareAuction();
 
+  /// Sets the logical epoch stamped onto this center's trace spans (the
+  /// cluster layer forwards its period epoch before each PrepareAuction;
+  /// standalone centers can leave the default 0). Same serialization
+  /// contract as PrepareAuction.
+  void set_trace_epoch(uint64_t epoch) { trace_epoch_ = epoch; }
+
   /// Applies an admission outcome and finishes the period: transition,
   /// execution, billing, history. `response` must be the result of
   /// admitting the PreparedAuction request (null iff there was no
@@ -248,6 +275,19 @@ class DsmsCenter {
   /// Decision taken at PrepareAuction, recorded into the report by
   /// CompletePeriod.
   std::optional<AutoscaleDecision> pending_decision_;
+
+  /// Telemetry instruments, resolved once at construction; all null
+  /// when options.metrics is.
+  telemetry::Counter* periods_metric_ = nullptr;
+  telemetry::Counter* submissions_metric_ = nullptr;
+  telemetry::Counter* admitted_metric_ = nullptr;
+  telemetry::Counter* autoscale_decisions_metric_ = nullptr;
+  telemetry::Gauge* revenue_metric_ = nullptr;
+  telemetry::Gauge* energy_cost_metric_ = nullptr;
+  telemetry::Gauge* shed_fraction_metric_ = nullptr;
+  telemetry::Gauge* capacity_metric_ = nullptr;
+  /// Epoch stamped onto kAutoscale spans (see set_trace_epoch).
+  uint64_t trace_epoch_ = 0;
 };
 
 }  // namespace streambid::cloud

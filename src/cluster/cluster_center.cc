@@ -10,6 +10,8 @@
 
 #include "common/check.h"
 #include "stream/load_estimator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace streambid::cluster {
 
@@ -19,6 +21,7 @@ ExecutorOptions MakeExecutorOptions(const ClusterOptions& options) {
   ExecutorOptions executor_options;
   executor_options.num_threads = options.executor_threads;
   executor_options.max_queue_depth = options.executor_queue_depth;
+  executor_options.metrics = options.metrics;
   return executor_options;
 }
 
@@ -54,6 +57,9 @@ ClusterCenter::ClusterCenter(const ClusterOptions& options,
     // period) no matter what the other shards do.
     center_options.seed = options.seed + static_cast<uint64_t>(s);
     center_options.autoscale = options.autoscale;
+    center_options.metrics = options.metrics;
+    center_options.shard_index = s;
+    center_options.tracer = options.tracer;
     shard.center = std::make_unique<cloud::DsmsCenter>(center_options,
                                                        shard.engine.get());
     // The router sees each shard's provisioning from the start (the
@@ -61,6 +67,11 @@ ClusterCenter::ClusterCenter(const ClusterOptions& options,
     statuses_[static_cast<size_t>(s)].next_capacity =
         shard.engine->options().capacity;
     shards_.push_back(std::move(shard));
+  }
+  if (options_.metrics != nullptr) {
+    periods_metric_ = options_.metrics->GetCounter("cluster_periods");
+    migrated_tenants_metric_ =
+        options_.metrics->GetCounter("cluster_migrated_tenants");
   }
 }
 
@@ -112,23 +123,36 @@ Result<BatchSubmitOutcome> ClusterCenter::SubmitBatch(
 }
 
 Result<cloud::PeriodReport> ClusterCenter::RunShardPeriod(
-    int s, WorkerContext& context) {
+    int s, uint64_t epoch, WorkerContext& context) {
   cloud::DsmsCenter& center = *shards_[static_cast<size_t>(s)].center;
+  // Logical span key: the shard's own period number, fixed before any
+  // stage mutates center state.
+  const int period = static_cast<int>(center.history().size());
+  telemetry::PeriodTracer* tracer = options_.tracer;
+  center.set_trace_epoch(epoch);
   // Stage 1: the autoscaled prepare (candidate grid + instance build)
   // — shard-local, so fanning it onto the pool changes no outcome.
-  STREAMBID_ASSIGN_OR_RETURN(const cloud::PreparedAuction prepared,
-                             center.PrepareAuction());
+  cloud::PreparedAuction prepared;
+  {
+    telemetry::ScopedSpan span(tracer, telemetry::Phase::kPrepare, period,
+                               s, epoch);
+    STREAMBID_ASSIGN_OR_RETURN(prepared, center.PrepareAuction());
+  }
   // Stage 2: the auction, on this worker's own service. The
   // (seed + shard, period) request stream makes the response identical
   // to any other service running it.
   const service::AdmissionResponse* response = nullptr;
   service::AdmissionResponse admitted;
   if (prepared.has_auction) {
+    telemetry::ScopedSpan span(tracer, telemetry::Phase::kAdmit, period, s,
+                               epoch);
     STREAMBID_ASSIGN_OR_RETURN(
         admitted, executor_.AdmitOn(context, prepared.request));
     response = &admitted;
   }
   // Stage 3: transition + engine execution + billing.
+  telemetry::ScopedSpan span(tracer, telemetry::Phase::kComplete, period, s,
+                             epoch);
   return center.CompletePeriod(response);
 }
 
@@ -145,8 +169,8 @@ Result<PendingPeriod> ClusterCenter::BeginPeriod() {
   for (int s = 0; s < num_shards(); ++s) {
     const Result<Ticket<cloud::PeriodReport>> ticket =
         executor_.tasks().Submit<cloud::PeriodReport>(
-            [this, s](WorkerContext& context) {
-              return RunShardPeriod(s, context);
+            [this, s, epoch = period.epoch](WorkerContext& context) {
+              return RunShardPeriod(s, epoch, context);
             });
     if (!ticket.ok()) {
       // Submission can only fail on a shut-down executor; wait out the
@@ -343,6 +367,7 @@ Result<ClusterPeriodReport> ClusterCenter::MergeCompleted(
   }
   report.elapsed_ms = timer.ElapsedMillis();
   history_.push_back(report);
+  if (periods_metric_ != nullptr) periods_metric_->Increment();
 
   // --- Fold the period's tenant activity into the rebalancer signals
   // (per-tenant state only: iteration order cannot matter), then run
@@ -354,7 +379,12 @@ Result<ClusterPeriodReport> ClusterCenter::MergeCompleted(
       record.period_load = 0.0;
     }
   }
-  STREAMBID_RETURN_IF_ERROR(RebalanceAfterPeriod());
+  {
+    telemetry::ScopedSpan span(options_.tracer,
+                               telemetry::Phase::kRebalance, report.period,
+                               /*shard=*/-1, period_epoch_);
+    STREAMBID_RETURN_IF_ERROR(RebalanceAfterPeriod());
+  }
   return report;
 }
 
@@ -491,6 +521,10 @@ Status ClusterCenter::RebalanceAfterPeriod() {
     TenantRecord& record = tenants_[move.user];
     record.home = move.to;
     record.last_moved_period = plan.period;
+  }
+  if (migrated_tenants_metric_ != nullptr) {
+    migrated_tenants_metric_->Increment(
+        static_cast<int64_t>(plan.moves.size()));
   }
   migrations_.push_back(std::move(plan));
   return Status::Ok();

@@ -57,6 +57,12 @@
 #include "common/timer.h"
 #include "stream/engine.h"
 
+namespace streambid::telemetry {
+class Counter;
+class MetricsRegistry;
+class PeriodTracer;
+}  // namespace streambid::telemetry
+
 namespace streambid::cluster {
 
 /// Cluster configuration.
@@ -109,6 +115,19 @@ struct ClusterOptions {
   /// is approximate until a migration pins the tenant (after which its
   /// traffic, and therefore its signal, is exact again).
   RebalancerOptions rebalance;
+  /// Optional telemetry sink, fanned through every layer the cluster
+  /// owns: the executor (queue depth, task latency), each worker's
+  /// admission service, and each shard's DsmsCenter (per-shard labeled
+  /// business series), plus the cluster's own period/migration
+  /// counters. Null (the default) disables all of it. Must outlive the
+  /// cluster.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Optional period tracer. When set, the pipelined period path
+  /// records one span per (period, shard, phase): prepare, admit,
+  /// complete on the workers, plus the cluster-level rebalance stage
+  /// (shard -1). Spans are write-only annotations — replay identity is
+  /// unchanged with tracing on or off. Must outlive the cluster.
+  telemetry::PeriodTracer* tracer = nullptr;
 };
 
 /// One cluster period: the merged view plus the per-shard breakdown.
@@ -249,6 +268,9 @@ class ClusterCenter {
     return overrides_;
   }
   const ShardRebalancer& rebalancer() const { return rebalancer_; }
+  /// Epoch of the most recently begun period (0 before the first).
+  /// The gate layer stamps its drain spans with this after RunPeriod.
+  uint64_t period_epoch() const { return period_epoch_; }
 
  private:
   struct Shard {
@@ -259,8 +281,10 @@ class ClusterCenter {
   /// Shard s's whole period, run as one task on a pool worker: the
   /// autoscaled prepare, the auction on the worker's own service (via
   /// AdmitOn, so it lands in the rolling stats), and the completion.
-  /// Touches only shard-local state plus the worker context.
-  Result<cloud::PeriodReport> RunShardPeriod(int s,
+  /// Touches only shard-local state plus the worker context. `epoch` is
+  /// the issuing BeginPeriod's epoch, captured into the task so trace
+  /// spans carry the logical key without reading mutable cluster state.
+  Result<cloud::PeriodReport> RunShardPeriod(int s, uint64_t epoch,
                                              WorkerContext& context);
   /// The serial tail every period variant shares: refresh the router's
   /// per-shard view, surface the lowest-shard-index error, merge the
@@ -299,6 +323,9 @@ class ClusterCenter {
   /// Bumped by every BeginPeriod; the live PendingPeriod carries the
   /// current value, so stale handle copies cannot end a later period.
   uint64_t period_epoch_ = 0;
+  /// Cluster-level telemetry instruments; null without options.metrics.
+  telemetry::Counter* periods_metric_ = nullptr;
+  telemetry::Counter* migrated_tenants_metric_ = nullptr;
   /// Declared last on purpose: members destroy in reverse declaration
   /// order, and ~TaskExecutor (inside the facade) joins workers that
   /// may still be running a shard's period chain — the pool must die

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
+#include "telemetry/metrics.h"
+
 namespace streambid::cluster {
 
 TaskExecutor::TaskExecutor(const ExecutorOptions& options) {
@@ -15,11 +18,19 @@ TaskExecutor::TaskExecutor(const ExecutorOptions& options) {
   max_queue_depth_ = options.max_queue_depth > 0
                          ? static_cast<size_t>(options.max_queue_depth)
                          : 0;
+  if (options.metrics != nullptr) {
+    tasks_executed_metric_ =
+        options.metrics->GetCounter("executor_tasks_executed");
+    queue_depth_metric_ = options.metrics->GetGauge("executor_queue_depth");
+    task_latency_metric_ =
+        options.metrics->GetHistogram("executor_task_latency");
+  }
   services_.reserve(static_cast<size_t>(n));
   counters_.reserve(static_cast<size_t>(n));
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     services_.push_back(std::make_unique<service::AdmissionService>());
+    services_.back()->set_metrics(options.metrics);
     counters_.push_back(std::make_unique<WorkerCounters>());
   }
   for (int i = 0; i < n; ++i) {
@@ -70,13 +81,24 @@ void TaskExecutor::WorkerLoop(int worker_id) {
       if (queue_.empty()) return;  // draining_ and nothing left.
       item = std::move(queue_.front());
       queue_.pop_front();
+      if (queue_depth_metric_ != nullptr) {
+        queue_depth_metric_->Set(static_cast<double>(queue_.size()));
+      }
     }
     space_cv_.notify_one();
 
     // Execute outside the lock: the closure is the expensive part, and
     // the executor adds no state of its own to the result — placement
-    // cannot change what a deterministic task computes.
+    // cannot change what a deterministic task computes. The latency
+    // clock reads happen only when telemetry is wired.
+    const bool timed = task_latency_metric_ != nullptr;
+    Timer task_timer;
+    if (timed) task_timer.Start();
     ErasedResult result = item.task(context);
+    if (timed) {
+      task_latency_metric_->Record(task_timer.ElapsedMillis() * 1000.0);
+    }
+    if (tasks_executed_metric_ != nullptr) tasks_executed_metric_->Increment();
     WorkerCounters& counters = *counters_[static_cast<size_t>(worker_id)];
     counters.executed.fetch_add(1, std::memory_order_relaxed);
     if (!result.ok()) {
@@ -129,6 +151,9 @@ void TaskExecutor::PushLocked(WorkItem item) {
   queue_high_water_ = std::max(queue_high_water_,
                                static_cast<int64_t>(queue_.size()));
   ++submitted_;
+  if (queue_depth_metric_ != nullptr) {
+    queue_depth_metric_->Set(static_cast<double>(queue_.size()));
+  }
 }
 
 Result<uint64_t> TaskExecutor::SubmitErased(ErasedTask task, bool blocking) {

@@ -51,6 +51,13 @@
 #include "common/status.h"
 #include "service/admission_service.h"
 
+namespace streambid::telemetry {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+}  // namespace streambid::telemetry
+
 namespace streambid::cluster {
 
 /// Executor configuration.
@@ -63,6 +70,12 @@ struct ExecutorOptions {
   /// returns kResourceExhausted — the backpressure contract for async
   /// producers.
   int max_queue_depth = 0;
+  /// Optional telemetry sink. When set, the executor publishes
+  /// executor_tasks_executed / executor_queue_depth /
+  /// executor_task_latency, and each worker's AdmissionService records
+  /// its per-admission series into the same registry. Null disables all
+  /// of it at zero hot-path cost. Must outlive the executor.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Typed completion handle. Tickets are issued once and consumed once:
@@ -311,6 +324,10 @@ class TaskExecutor {
 
   int64_t submitted_ = 0;          ///< Guarded by mutex_.
   int64_t queue_high_water_ = 0;   ///< Guarded by mutex_.
+  /// Telemetry instruments; all null when ExecutorOptions::metrics is.
+  telemetry::Counter* tasks_executed_metric_ = nullptr;
+  telemetry::Gauge* queue_depth_metric_ = nullptr;
+  telemetry::Histogram* task_latency_metric_ = nullptr;
   /// Execution counters are per worker and atomic so the hot path never
   /// takes the queue lock to account a finished task.
   struct WorkerCounters {

@@ -1,5 +1,7 @@
 // Copyright 2026 The streambid Authors
-// Wall-clock timing for the Table IV runtime experiment.
+// Monotonic wall-clock stopwatch, shared by the bench harness, the
+// admission service's response timing, and the telemetry layer's span
+// and latency instrumentation (steady_clock: never jumps backwards).
 
 #ifndef STREAMBID_COMMON_TIMER_H_
 #define STREAMBID_COMMON_TIMER_H_

@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "service/gate_status.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace streambid::gate {
 
@@ -24,6 +26,16 @@ StreamIngress::StreamIngress(cluster::ClusterCenter* center,
     pools_.push_back(std::make_unique<TicketHolder>(
         center->options().mechanism + "/class" + std::to_string(k),
         options.tickets_per_class));
+  }
+  if (options_.metrics != nullptr) {
+    telemetry::MetricsRegistry& metrics = *options_.metrics;
+    offered_metric_ = metrics.GetCounter("gate_offered");
+    admitted_metric_ = metrics.GetCounter("gate_admitted");
+    shed_metric_ = metrics.GetCounter("gate_shed");
+    dropped_metric_ = metrics.GetCounter("gate_dropped");
+    buffered_metric_ = metrics.GetGauge("gate_buffered");
+    wait_p99_metric_ = metrics.GetGauge("gate_wait_p99_ms");
+    probe_concurrency_metric_ = metrics.GetGauge("gate_probe_concurrency");
   }
 }
 
@@ -45,7 +57,9 @@ Status StreamIngress::Offer(stream::QuerySubmission submission) {
   const int k = Classify(submission);
   TicketHolder& pool = *pools_[static_cast<size_t>(k)];
   const Status ticket = pool.Acquire(options_.acquire_timeout_ms);
+  if (offered_metric_ != nullptr) offered_metric_->Increment();
   if (!ticket.ok()) {
+    if (shed_metric_ != nullptr) shed_metric_->Increment();
     std::lock_guard<std::mutex> lock(mutex_);
     ++period_offered_;
     ++period_shed_;
@@ -57,10 +71,22 @@ Status StreamIngress::Offer(stream::QuerySubmission submission) {
   buffer_.push_back(Buffered{std::move(submission), k});
   buffered_high_water_ =
       std::max(buffered_high_water_, static_cast<int>(buffer_.size()));
+  if (buffered_metric_ != nullptr) {
+    buffered_metric_->Set(static_cast<double>(buffer_.size()));
+  }
   return Status::Ok();
 }
 
 Result<GatedPeriodReport> StreamIngress::ClosePeriod() {
+  // The drain span is recorded manually (not via ScopedSpan) because
+  // its logical key — the cluster period number and epoch — is only
+  // known after RunPeriod returns.
+  telemetry::PeriodTracer* tracer =
+      options_.tracer != nullptr && options_.tracer->enabled()
+          ? options_.tracer
+          : nullptr;
+  const double drain_start_ms = tracer != nullptr ? tracer->NowMs() : 0.0;
+
   // Atomically steal the open period's batch and counters; Offers that
   // land after the swap ride the next period.
   std::vector<Buffered> batch;
@@ -89,9 +115,15 @@ Result<GatedPeriodReport> StreamIngress::ClosePeriod() {
     pools_[static_cast<size_t>(item.tenant_class)]->Release();
   }
   STREAMBID_RETURN_IF_ERROR(outcome.status());
+  const double drain_end_ms = tracer != nullptr ? tracer->NowMs() : 0.0;
 
   GatedPeriodReport gated;
   STREAMBID_ASSIGN_OR_RETURN(gated.report, center_->RunPeriod());
+  if (tracer != nullptr) {
+    tracer->Record(telemetry::Phase::kGateDrain, gated.report.period,
+                   /*shard=*/-1, center_->period_epoch(), drain_start_ms,
+                   drain_end_ms - drain_start_ms);
+  }
 
   gated.gate.offered = offered;
   gated.gate.shed = shed;
@@ -110,6 +142,12 @@ Result<GatedPeriodReport> StreamIngress::ClosePeriod() {
   total_shed_ += shed;
   total_admitted_ += outcome->accepted;
 
+  if (admitted_metric_ != nullptr) {
+    admitted_metric_->Increment(outcome->accepted);
+    dropped_metric_->Increment(outcome->rejected);
+    wait_p99_metric_->Set(gated.gate.wait_p99_ms);
+  }
+
   if (options_.probe.enabled) {
     // One probe epoch per period, judged on what the gate actually
     // admitted; the decision replays from (admit history, seed).
@@ -125,6 +163,10 @@ Result<GatedPeriodReport> StreamIngress::ClosePeriod() {
     // ClusterOptions::executor_queue_depth).
     STREAMBID_RETURN_IF_ERROR(center_->executor().tasks().SetMaxQueueDepth(
         std::max(decision.concurrency, center_->num_shards())));
+    if (probe_concurrency_metric_ != nullptr) {
+      probe_concurrency_metric_->Set(
+          static_cast<double>(decision.concurrency));
+    }
     gated.probe = decision;
   }
   return gated;

@@ -49,6 +49,13 @@
 #include "gate/ticket_holder.h"
 #include "stream/load_estimator.h"
 
+namespace streambid::telemetry {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class PeriodTracer;
+}  // namespace streambid::telemetry
+
 namespace streambid::gate {
 
 /// Gate configuration.
@@ -74,6 +81,17 @@ struct IngressOptions {
   /// Default: user id modulo tenant_classes. Must be thread-safe and
   /// deterministic.
   std::function<int(const stream::QuerySubmission&)> classifier;
+  /// Optional telemetry sink: Offer publishes gate_offered/gate_shed
+  /// counters and the gate_buffered gauge; ClosePeriod publishes
+  /// gate_admitted/gate_dropped, the merged pool-wait p99, and the
+  /// probe's concurrency. Usually the same registry as
+  /// ClusterOptions::metrics so one snapshot covers the whole stack.
+  /// Null disables. Must outlive the gate.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Optional period tracer: each ClosePeriod records one gate_drain
+  /// span (shard -1) covering the buffer swap, the SubmitBatch drain,
+  /// and the ticket recycle. Null disables. Must outlive the gate.
+  telemetry::PeriodTracer* tracer = nullptr;
 };
 
 /// The gate's own per-period accounting, kept OUTSIDE ClusterPeriodReport
@@ -177,6 +195,15 @@ class StreamIngress {
   int64_t total_offered_ = 0;
   int64_t total_admitted_ = 0;
   int64_t total_shed_ = 0;
+
+  /// Telemetry instruments; all null when options.metrics is.
+  telemetry::Counter* offered_metric_ = nullptr;
+  telemetry::Counter* admitted_metric_ = nullptr;
+  telemetry::Counter* shed_metric_ = nullptr;
+  telemetry::Counter* dropped_metric_ = nullptr;
+  telemetry::Gauge* buffered_metric_ = nullptr;
+  telemetry::Gauge* wait_p99_metric_ = nullptr;
+  telemetry::Gauge* probe_concurrency_metric_ = nullptr;
 };
 
 }  // namespace streambid::gate

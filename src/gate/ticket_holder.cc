@@ -10,38 +10,6 @@
 
 namespace streambid::gate {
 
-void WaitHistogram::Record(double wait_micros) {
-  int bucket = 0;
-  if (wait_micros >= 1.0) {
-    bucket = 1 + static_cast<int>(std::log2(wait_micros));
-    bucket = std::min(bucket, kBuckets - 1);
-  }
-  ++buckets[static_cast<size_t>(bucket)];
-  ++total;
-}
-
-void WaitHistogram::Merge(const WaitHistogram& other) {
-  for (int k = 0; k < kBuckets; ++k) {
-    buckets[static_cast<size_t>(k)] += other.buckets[static_cast<size_t>(k)];
-  }
-  total += other.total;
-}
-
-double WaitHistogram::PercentileMillis(double p) const {
-  if (total == 0) return 0.0;
-  const double target = p * static_cast<double>(total);
-  int64_t cumulative = 0;
-  for (int k = 0; k < kBuckets; ++k) {
-    cumulative += buckets[static_cast<size_t>(k)];
-    if (static_cast<double>(cumulative) >= target) {
-      // Upper edge of bucket k: 2^k microseconds (bucket 0 = "<1us",
-      // reported as 0 — the fast path is free).
-      return k == 0 ? 0.0 : std::ldexp(1.0, k) / 1000.0;
-    }
-  }
-  return std::ldexp(1.0, kBuckets - 1) / 1000.0;
-}
-
 TicketHolder::TicketHolder(std::string name, int capacity)
     : name_(std::move(name)), capacity_(capacity) {
   STREAMBID_CHECK_GE(capacity, 1);

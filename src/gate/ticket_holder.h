@@ -30,32 +30,22 @@
 #ifndef STREAMBID_GATE_TICKET_HOLDER_H_
 #define STREAMBID_GATE_TICKET_HOLDER_H_
 
-#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <string>
 
+#include "common/histogram.h"
 #include "common/status.h"
 
 namespace streambid::gate {
 
-/// Coarse log2-bucketed histogram of gate wait times, cheap enough to
-/// update under the pool lock on the slow (queued) path. Bucket 0 holds
-/// sub-microsecond grants (the fast path records 0); bucket k >= 1
-/// holds waits in [2^(k-1), 2^k) microseconds.
-struct WaitHistogram {
-  static constexpr int kBuckets = 24;  ///< Up to ~8.4 wall-clock seconds.
-  std::array<int64_t, kBuckets> buckets{};
-  int64_t total = 0;
-
-  void Record(double wait_micros);
-  void Merge(const WaitHistogram& other);
-  /// Upper bucket edge (in milliseconds) below which fraction `p` of
-  /// recorded waits fall; 0 when nothing was recorded. p in [0, 1].
-  double PercentileMillis(double p) const;
-};
+/// Gate wait times are recorded into the common log2-bucketed latency
+/// histogram (lifted to common/histogram.h so the telemetry registry
+/// and the ticket pools share one type); the alias keeps the gate's
+/// historical name for its wait-tracking role.
+using WaitHistogram = LatencyHistogram;
 
 /// Snapshot of one pool's counters (see TicketHolder::Stats).
 struct TicketHolderStats {

@@ -7,6 +7,7 @@
 #include "auction/registry.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "telemetry/metrics.h"
 
 namespace streambid::service {
 
@@ -17,6 +18,16 @@ AdmissionService::AdmissionService()
     names_.push_back(m->name());
     index_.emplace(m->name(), m.get());
   }
+}
+
+void AdmissionService::set_metrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    admissions_metric_ = nullptr;
+    admit_latency_metric_ = nullptr;
+    return;
+  }
+  admissions_metric_ = metrics->GetCounter("service_admissions");
+  admit_latency_metric_ = metrics->GetHistogram("service_admit_latency");
 }
 
 uint64_t AdmissionService::DeriveStreamSeed(uint64_t seed,
@@ -68,6 +79,10 @@ Result<AdmissionResponse> AdmissionService::Execute(
   response.allocation =
       mechanism.Run(*request.instance, request.capacity, context_);
   response.elapsed_ms = timer.ElapsedMillis();
+  if (admissions_metric_ != nullptr) admissions_metric_->Increment();
+  if (admit_latency_metric_ != nullptr) {
+    admit_latency_metric_->Record(response.elapsed_ms * 1000.0);
+  }
 
   const auction::AuctionInstance& instance = *request.instance;
   AdmissionDiagnostics& diag = response.diagnostics;

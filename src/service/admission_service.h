@@ -25,6 +25,12 @@
 #include "auction/metrics.h"
 #include "common/status.h"
 
+namespace streambid::telemetry {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace streambid::telemetry
+
 namespace streambid::service {
 
 /// Per-request knobs.
@@ -139,6 +145,13 @@ class AdmissionService {
   /// stream without a service instance.
   static uint64_t DeriveStreamSeed(uint64_t seed, uint32_t request_index);
 
+  /// Wires the service to a telemetry registry: every executed request
+  /// increments service_admissions and records its mechanism wall clock
+  /// into service_admit_latency. Null (the default) disables both at
+  /// zero cost. Many services may share one registry — the instruments
+  /// are sharded internally. The registry must outlive the service.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   /// Transparent hashing so name lookups take string_view without a
   /// temporary std::string — Admit sits on harness hot paths.
@@ -161,6 +174,9 @@ class AdmissionService {
                      std::equal_to<>>
       index_;
   auction::AuctionContext context_;  ///< Reseeded per request.
+  /// Telemetry instruments; null unless set_metrics wired a registry.
+  telemetry::Counter* admissions_metric_ = nullptr;
+  telemetry::Histogram* admit_latency_metric_ = nullptr;
 };
 
 }  // namespace streambid::service

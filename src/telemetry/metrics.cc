@@ -1,0 +1,176 @@
+// Copyright 2026 The streambid Authors
+
+#include "telemetry/metrics.h"
+
+#include <cstdio>
+
+namespace streambid::telemetry {
+
+namespace {
+
+std::atomic<uint32_t> next_thread_index{0};
+
+/// Formats a double the way Prometheus expects: plain decimal with
+/// enough precision, no trailing-zero noise.
+std::string FormatValue(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+int ThreadSlot() {
+  thread_local const uint32_t index =
+      next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(index % kMetricSlots);
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Slot& slot : slots_) {
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(double micros) {
+  Slot& slot = slots_[static_cast<size_t>(ThreadSlot())];
+  std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.histogram.Record(micros);
+}
+
+LatencyHistogram Histogram::Snapshot() const {
+  LatencyHistogram merged;
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    merged.Merge(slot.histogram);
+  }
+  return merged;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+namespace {
+
+/// Splits "name{label="v"}" into the base name and the label block, so
+/// histogram suffixes (_bucket/_sum/_count) attach to the base name and
+/// the le label merges into an existing label set.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // Keep the inner "k="v"" text without the braces.
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::TextExposition() const {
+  const MetricsSnapshot snapshot = Snapshot();
+  std::string out;
+  // Labelled series of one family are adjacent in the ordered maps, so
+  // tracking the last base name is enough to emit each TYPE line once.
+  std::string last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (base != last_base) out += "# TYPE " + base + " counter\n";
+    last_base = base;
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (base != last_base) out += "# TYPE " + base + " gauge\n";
+    last_base = base;
+    out += name + " " + FormatValue(value) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    if (base != last_base) out += "# TYPE " + base + " histogram\n";
+    last_base = base;
+    int64_t cumulative = 0;
+    for (int k = 0; k < LatencyHistogram::kBuckets; ++k) {
+      cumulative += histogram.buckets[static_cast<size_t>(k)];
+      std::string le =
+          FormatValue(LatencyHistogram::BucketUpperMicros(k));
+      std::string labelled = labels.empty()
+                                 ? "{le=\"" + le + "\"}"
+                                 : "{" + labels + ",le=\"" + le + "\"}";
+      out += base + "_bucket" + labelled + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    std::string inf_labelled = labels.empty()
+                                   ? "{le=\"+Inf\"}"
+                                   : "{" + labels + ",le=\"+Inf\"}";
+    out += base + "_bucket" + inf_labelled + " " +
+           std::to_string(histogram.total) + "\n";
+    std::string suffix_labels = labels.empty() ? "" : "{" + labels + "}";
+    out += base + "_sum" + suffix_labels + " " +
+           FormatValue(histogram.sum) + "\n";
+    out += base + "_count" + suffix_labels + " " +
+           std::to_string(histogram.total) + "\n";
+  }
+  return out;
+}
+
+}  // namespace streambid::telemetry

@@ -1,0 +1,81 @@
+// Copyright 2026 The streambid Authors
+
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.total, 0);
+  EXPECT_DOUBLE_EQ(h.sum, 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketPlacement) {
+  LatencyHistogram h;
+  h.Record(0.5);   // Sub-microsecond -> bucket 0.
+  h.Record(1.0);   // [1, 2) -> bucket 1.
+  h.Record(3.0);   // [2, 4) -> bucket 2.
+  h.Record(100.0);
+  EXPECT_EQ(h.total, 4);
+  EXPECT_EQ(h.buckets[0], 1);
+  EXPECT_EQ(h.buckets[1], 1);
+  EXPECT_EQ(h.buckets[2], 1);
+  EXPECT_DOUBLE_EQ(h.sum, 104.5);
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 104.5 / 4.0);
+}
+
+TEST(LatencyHistogramTest, PercentileIsBucketUpperEdge) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10.0);   // Bucket 4: [8, 16).
+  h.Record(5000.0);                               // Bucket 13.
+  // p50 falls in the dense bucket; its upper edge is 16 us = 0.016 ms.
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(0.5), 0.016);
+  // p100 must cover the outlier: 5000 us lands in bucket 13, whose
+  // upper edge is 8192 us = 8.192 ms.
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(1.0), 8.192);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSequential) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram sequential;
+  for (double v : {1.0, 7.0, 90.0, 1500.0}) {
+    a.Record(v);
+    sequential.Record(v);
+  }
+  for (double v : {0.2, 33.0, 250000.0}) {
+    b.Record(v);
+    sequential.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.total, sequential.total);
+  EXPECT_DOUBLE_EQ(a.sum, sequential.sum);
+  EXPECT_EQ(a.buckets, sequential.buckets);
+  EXPECT_DOUBLE_EQ(a.PercentileMillis(0.99),
+                   sequential.PercentileMillis(0.99));
+}
+
+TEST(LatencyHistogramTest, MergeWithEmpty) {
+  LatencyHistogram a;
+  a.Record(42.0);
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.total, 1);
+  empty.Merge(a);
+  EXPECT_EQ(empty.total, 1);
+  EXPECT_DOUBLE_EQ(empty.sum, 42.0);
+}
+
+TEST(LatencyHistogramTest, BucketUpperMicros) {
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperMicros(0), 1.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperMicros(1), 2.0);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperMicros(10), 1024.0);
+}
+
+}  // namespace
+}  // namespace streambid

@@ -1,0 +1,54 @@
+// Copyright 2026 The streambid Authors
+
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace streambid {
+namespace {
+
+TEST(TimerTest, StartsAtZero) {
+  Timer timer;
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedNanos(), 0);
+}
+
+TEST(TimerTest, Monotonic) {
+  // steady_clock never jumps backwards: successive reads of one timer
+  // are non-decreasing, in every unit.
+  Timer timer;
+  int64_t last_nanos = timer.ElapsedNanos();
+  double last_seconds = timer.ElapsedSeconds();
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t nanos = timer.ElapsedNanos();
+    const double seconds = timer.ElapsedSeconds();
+    EXPECT_GE(nanos, last_nanos);
+    EXPECT_GE(seconds, last_seconds);
+    last_nanos = nanos;
+    last_seconds = seconds;
+  }
+}
+
+TEST(TimerTest, StartResets) {
+  Timer timer;
+  // Burn a little time so the reset is observable.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const int64_t before = timer.ElapsedNanos();
+  timer.Start();
+  EXPECT_LT(timer.ElapsedNanos(), before);
+}
+
+TEST(TimerTest, UnitsAgree) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double seconds = timer.ElapsedSeconds();
+  const double millis = timer.ElapsedMillis();
+  // Millis read after seconds, so it covers at least as much time.
+  EXPECT_GE(millis, seconds * 1e3);
+  EXPECT_LT(millis, seconds * 1e3 + 1e3);  // Within a second of it.
+}
+
+}  // namespace
+}  // namespace streambid

@@ -1,0 +1,164 @@
+// Copyright 2026 The streambid Authors
+// The zero-perturbation contract, end to end: a gated 4-shard cluster
+// run must produce byte-identical ClusterPeriodReports with telemetry
+// fully wired vs the no-op sink, at every executor pool size — and the
+// tracer's identity sequence must itself be byte-identical across pool
+// sizes (span identity is logical time, not scheduling).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gate/stream_ingress.h"
+#include "stream/query_builder.h"
+#include "stream/stream_source.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace streambid {
+namespace {
+
+Status RegisterQuotes(stream::Engine& engine) {
+  return engine.RegisterSource(stream::MakeStockQuoteSource(
+      "quotes", {"IBM", "AAPL"}, /*rate=*/100.0, 5));
+}
+
+stream::QuerySubmission MakeSubmission(int period, int tenant) {
+  stream::QueryBuilder b;
+  const int src = b.Source("quotes");
+  const int sel = b.Select(src, "price", stream::CompareOp::kGt,
+                           stream::Value(50.0 + tenant));
+  stream::QuerySubmission sub;
+  sub.query_id = period * 100 + tenant;
+  sub.user = static_cast<auction::UserId>(tenant);
+  sub.bid = 4.0 + (tenant * 5 + period) % 7;
+  sub.plan = b.Build(sel);
+  return sub;
+}
+
+constexpr int kPeriods = 6;
+
+std::vector<cluster::ClusterPeriodReport> RunGated(
+    int executor_threads, telemetry::MetricsRegistry* registry,
+    telemetry::PeriodTracer* tracer) {
+  cluster::ClusterOptions options;
+  options.num_shards = 4;
+  options.total_capacity = 8.0;
+  options.routing = cluster::RoutingPolicy::kHashUser;
+  options.mechanism = "cat";
+  options.period_length = 10.0;
+  options.seed = 17;
+  options.engine_options.tick = 1.0;
+  options.engine_options.sink_history = 2;
+  options.executor_threads = executor_threads;
+  options.metrics = registry;
+  options.tracer = tracer;
+  cluster::ClusterCenter center(options, RegisterQuotes);
+
+  gate::IngressOptions ingress_options;
+  ingress_options.tenant_classes = 2;
+  ingress_options.tickets_per_class = 16;  // Never exhausted here.
+  ingress_options.metrics = registry;
+  ingress_options.tracer = tracer;
+  gate::StreamIngress ingress(&center, ingress_options);
+
+  std::vector<cluster::ClusterPeriodReport> reports;
+  for (int period = 0; period < kPeriods; ++period) {
+    for (int t = 1; t <= 5 + period % 3; ++t) {
+      EXPECT_TRUE(ingress.Offer(MakeSubmission(period, t)).ok());
+    }
+    const Result<gate::GatedPeriodReport> report = ingress.ClosePeriod();
+    EXPECT_TRUE(report.ok());
+    reports.push_back(report->report);
+  }
+  return reports;
+}
+
+void ExpectReportsIdentical(
+    const std::vector<cluster::ClusterPeriodReport>& a,
+    const std::vector<cluster::ClusterPeriodReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p) {
+    EXPECT_EQ(a[p].period, b[p].period);
+    EXPECT_EQ(a[p].submissions, b[p].submissions);
+    EXPECT_EQ(a[p].admitted, b[p].admitted);
+    EXPECT_EQ(a[p].revenue, b[p].revenue);
+    EXPECT_EQ(a[p].total_payoff, b[p].total_payoff);
+    EXPECT_EQ(a[p].auction_utilization, b[p].auction_utilization);
+    EXPECT_EQ(a[p].measured_utilization, b[p].measured_utilization);
+    EXPECT_EQ(a[p].provisioned_capacity, b[p].provisioned_capacity);
+    EXPECT_EQ(a[p].energy_cost, b[p].energy_cost);
+    ASSERT_EQ(a[p].shard_reports.size(), b[p].shard_reports.size());
+    for (size_t s = 0; s < a[p].shard_reports.size(); ++s) {
+      EXPECT_EQ(a[p].shard_reports[s].revenue,
+                b[p].shard_reports[s].revenue);
+      EXPECT_EQ(a[p].shard_reports[s].admitted,
+                b[p].shard_reports[s].admitted);
+      EXPECT_EQ(a[p].shard_reports[s].submissions,
+                b[p].shard_reports[s].submissions);
+    }
+  }
+}
+
+TEST(TelemetryReplayTest, ReportsIdenticalOnVsOff) {
+  const std::vector<cluster::ClusterPeriodReport> off =
+      RunGated(4, nullptr, nullptr);
+  telemetry::MetricsRegistry registry;
+  telemetry::PeriodTracer tracer;
+  const std::vector<cluster::ClusterPeriodReport> on =
+      RunGated(4, &registry, &tracer);
+  ExpectReportsIdentical(off, on);
+  // And telemetry actually observed the run.
+  EXPECT_GT(tracer.span_count(), 0);
+  EXPECT_GT(registry.Snapshot().counters.at("gate_offered"), 0);
+}
+
+TEST(TelemetryReplayTest, ReportsIdenticalAcrossPoolSizes) {
+  const std::vector<cluster::ClusterPeriodReport> reference =
+      RunGated(1, nullptr, nullptr);
+  for (const int threads : {2, 8}) {
+    telemetry::MetricsRegistry registry;
+    telemetry::PeriodTracer tracer;
+    ExpectReportsIdentical(reference,
+                           RunGated(threads, &registry, &tracer));
+  }
+}
+
+TEST(TelemetryReplayTest, TraceIdentityIdenticalAcrossPoolSizes) {
+  std::string identity;
+  for (const int threads : {1, 2, 8}) {
+    telemetry::PeriodTracer tracer;
+    RunGated(threads, nullptr, &tracer);
+    const std::string sequence = tracer.IdentitySequence();
+    EXPECT_FALSE(sequence.empty());
+    if (identity.empty()) {
+      identity = sequence;
+    } else {
+      // Byte-identical: logical span keys replay; only the wall-clock
+      // annotations (excluded here) differ between pool sizes.
+      EXPECT_EQ(identity, sequence);
+    }
+  }
+}
+
+TEST(TelemetryReplayTest, MetricsIdenticalAcrossPoolSizes) {
+  // Counter totals are as deterministic as the reports: same offered /
+  // admitted / period counts at every pool size.
+  std::vector<int64_t> offered, admitted, periods;
+  for (const int threads : {1, 4}) {
+    telemetry::MetricsRegistry registry;
+    RunGated(threads, &registry, nullptr);
+    const telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+    offered.push_back(snapshot.counters.at("gate_offered"));
+    admitted.push_back(snapshot.counters.at("gate_admitted"));
+    periods.push_back(snapshot.counters.at("cluster_periods"));
+  }
+  EXPECT_EQ(offered[0], offered[1]);
+  EXPECT_EQ(admitted[0], admitted[1]);
+  EXPECT_EQ(periods[0], periods[1]);
+  EXPECT_EQ(periods[0], static_cast<int64_t>(kPeriods));
+}
+
+}  // namespace
+}  // namespace streambid
