@@ -19,10 +19,19 @@
 //     plus decision replay across a re-run.
 //  3. Replay identity: for a closed-loop workload that never exhausts
 //     tickets, gated per-period cluster reports are byte-identical to
-//     direct ClusterCenter::Submit at executor pool sizes 1/2/8.
+//     direct ClusterCenter::Submit at executor pool sizes 1/2/8, with
+//     executor work stealing on AND off (the single-queue-equivalent
+//     reference mode) — stealing moves where tasks run, never results.
+//  4. Executor allocation audit: a warmed 8-worker pool runs thousands
+//     of Submit→execute→Wait cycles under the counting operator new
+//     (alloc_probe.cc); CHECKs zero steady-state heap allocations on
+//     the executor hot path. The firehose run additionally reports its
+//     whole-stack allocations per offer (submission construction and
+//     per-period report assembly included) as a trajectory metric.
 //
 // Emits BENCH_firehose.json (sustained submissions/sec, shed fraction,
-// p99 gate wait) — the perf-trajectory artifact CI uploads per PR.
+// p99 gate wait, executor-audit numbers) — the perf-trajectory
+// artifact CI uploads per PR.
 //
 // Usage: bench_firehose [--smoke]   (--smoke shrinks the workload for
 // the ctest smoke target).
@@ -34,8 +43,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench/alloc_probe.h"
 #include "bench/bench_common.h"
+#include "cluster/task_executor.h"
 #include "common/check.h"
+#include "common/inline_function.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -93,11 +105,15 @@ struct FirehoseResult {
   double elapsed_seconds = 0.0;
   double p99_wait_ms = 0.0;
   int buffered_high_water = 0;
+  int64_t heap_allocs = 0;  ///< Whole-stack, whole-run (probe).
 };
 
 FirehoseResult RunFirehose(int producers, int offers_per_producer,
                            int tickets_per_class, int tenant_classes) {
-  cluster::ClusterCenter center(BaseClusterOptions(4), RegisterQuotes);
+  // Pool size 8: the work-stealing executor's headline configuration —
+  // the perf-trajectory number tracks the admission path at the core
+  // count the stealing deques are built for.
+  cluster::ClusterCenter center(BaseClusterOptions(8), RegisterQuotes);
   gate::IngressOptions options;
   options.tenant_classes = tenant_classes;
   options.tickets_per_class = tickets_per_class;
@@ -107,6 +123,7 @@ FirehoseResult RunFirehose(int producers, int offers_per_producer,
   gate::StreamIngress gate(&center, options);
 
   std::atomic<int> live{producers};
+  const int64_t allocs_before = bench::AllocCount();
   Timer timer;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(producers));
@@ -151,6 +168,7 @@ FirehoseResult RunFirehose(int producers, int offers_per_producer,
   }
   for (std::thread& t : threads) t.join();
   result.elapsed_seconds = timer.ElapsedSeconds();
+  result.heap_allocs = bench::AllocCount() - allocs_before;
 
   result.offered = gate.total_offered();
   result.admitted = gate.total_admitted();
@@ -280,9 +298,11 @@ stream::QuerySubmission ClosedLoopSubmission(int period, int t) {
 }
 
 std::vector<cluster::ClusterPeriodReport> RunClosedLoop(
-    int executor_threads, bool gated, int periods) {
-  cluster::ClusterCenter center(BaseClusterOptions(executor_threads),
-                                RegisterQuotes);
+    int executor_threads, bool gated, int periods, bool stealing = true) {
+  cluster::ClusterOptions cluster_options =
+      BaseClusterOptions(executor_threads);
+  cluster_options.executor_stealing = stealing;
+  cluster::ClusterCenter center(cluster_options, RegisterQuotes);
   gate::IngressOptions options;
   options.tenant_classes = 2;
   options.tickets_per_class = 32;  // Never exhausted by this workload.
@@ -341,22 +361,87 @@ void CheckReportsIdentical(
 
 void RunReplayExperiment(int periods) {
   std::printf("\n== gate replay identity vs direct Submit, executor "
-              "pools 1/2/8 (%d periods) ==\n",
+              "pools 1/2/8, stealing on/off (%d periods) ==\n",
               periods);
   const std::vector<cluster::ClusterPeriodReport> reference =
       RunClosedLoop(1, /*gated=*/false, periods);
   for (const int threads : {1, 2, 8}) {
-    CheckReportsIdentical(RunClosedLoop(threads, /*gated=*/true, periods),
-                          reference);
+    for (const bool stealing : {true, false}) {
+      CheckReportsIdentical(
+          RunClosedLoop(threads, /*gated=*/true, periods, stealing),
+          reference);
+    }
   }
-  std::printf("# gated == direct, byte-identical at every pool size\n");
+  std::printf("# gated == direct, byte-identical at every pool size, "
+              "stealing on or off\n");
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 4: the executor allocation audit.
+
+struct ExecutorAuditResult {
+  double tasks_per_sec = 0.0;
+  int64_t heap_allocs = 0;
+};
+
+ExecutorAuditResult RunExecutorAuditExperiment(bool smoke) {
+  std::printf("\n== executor allocation audit (8 workers, counting "
+              "operator new) ==\n");
+  cluster::ExecutorOptions exec_options;
+  exec_options.num_threads = 8;
+  cluster::TaskExecutor executor(exec_options);
+  auto run_cycles = [&executor](int cycles) {
+    int64_t acc = 0;
+    for (int i = 0; i < cycles; ++i) {
+      const auto ticket = executor.Submit<int>(
+          [i](cluster::WorkerContext&) -> Result<int> { return i; });
+      STREAMBID_CHECK(ticket.ok());
+      const Result<int> result = executor.Wait(ticket.value());
+      STREAMBID_CHECK(result.ok());
+      acc += result.value();
+    }
+    return acc;
+  };
+  // Warm the per-worker rings, the ticket table, and the free lists;
+  // the audited window must hit only recycled storage.
+  run_cycles(512);
+  ExecutorAuditResult r;
+  const int audited = smoke ? 2000 : 20000;
+  const int64_t heap_before = bench::AllocCount();
+  const int64_t spills_before = InlineFunctionHeapFallbacks();
+  Timer audit_timer;
+  const int64_t acc = run_cycles(audited);
+  const double audit_seconds = audit_timer.ElapsedSeconds();
+  STREAMBID_CHECK_EQ(acc,
+                     static_cast<int64_t>(audited) * (audited - 1) / 2);
+  r.heap_allocs = bench::AllocCount() - heap_before;
+  r.tasks_per_sec = audited / audit_seconds;
+  const cluster::TaskExecutorStats pool = executor.StatsReport();
+  STREAMBID_CHECK_EQ(pool.local_hits + pool.stolen, pool.executed);
+  std::printf("# %d submit→wait cycles, %.0f tasks/s, %lld heap "
+              "allocations, %lld inline-slot spills\n",
+              audited, r.tasks_per_sec,
+              static_cast<long long>(r.heap_allocs),
+              static_cast<long long>(InlineFunctionHeapFallbacks() -
+                                     spills_before));
+  // The headline CHECK: zero steady-state allocations on the
+  // Submit→execute→Wait path (skipped only where a sanitizer owns the
+  // allocator and the probe cannot hook it).
+  if (bench::AllocProbeAvailable()) {
+    STREAMBID_CHECK_EQ(r.heap_allocs, 0);
+  }
+  STREAMBID_CHECK_EQ(InlineFunctionHeapFallbacks() - spills_before, 0);
+  return r;
 }
 
 // ---------------------------------------------------------------------------
 
-void WriteJsonArtifact(const FirehoseResult& r) {
+void WriteJsonArtifact(const FirehoseResult& r,
+                       const ExecutorAuditResult& audit) {
   const double shed_fraction =
       r.offered > 0 ? static_cast<double>(r.shed) / r.offered : 0.0;
+  const double allocs_per_offer =
+      r.offered > 0 ? static_cast<double>(r.heap_allocs) / r.offered : 0.0;
   bench::WriteBenchJson(
       "firehose",
       {{"sustained_submissions_per_sec", r.offered / r.elapsed_seconds},
@@ -367,7 +452,11 @@ void WriteJsonArtifact(const FirehoseResult& r) {
        {"shed", static_cast<double>(r.shed)},
        {"periods", static_cast<double>(r.periods)},
        {"buffered_high_water", static_cast<double>(r.buffered_high_water)},
-       {"elapsed_seconds", r.elapsed_seconds}});
+       {"elapsed_seconds", r.elapsed_seconds},
+       {"firehose_heap_allocs_per_offer", allocs_per_offer},
+       {"executor_audit_tasks_per_sec", audit.tasks_per_sec},
+       {"executor_audit_heap_allocs",
+        static_cast<double>(audit.heap_allocs)}});
 }
 
 }  // namespace
@@ -383,6 +472,7 @@ int main(int argc, char** argv) {
   const FirehoseResult firehose = RunFirehoseExperiment(smoke);
   RunProbeExperiment(smoke ? 12 : 30);
   RunReplayExperiment(smoke ? 10 : 20);
-  WriteJsonArtifact(firehose);
+  const ExecutorAuditResult audit = RunExecutorAuditExperiment(smoke);
+  WriteJsonArtifact(firehose, audit);
   return 0;
 }

@@ -108,6 +108,9 @@ ExecutorStats AdmissionExecutor::StatsReport() const {
   }
   const TaskExecutorStats pool = tasks_.StatsReport();
   merged.tasks_per_worker = pool.tasks_per_worker;
+  merged.steals_per_worker = pool.steals_per_worker;
+  merged.tasks_local = pool.local_hits;
+  merged.tasks_stolen = pool.stolen;
   merged.queue_high_water = pool.queue_high_water;
   return merged;
 }

@@ -67,7 +67,15 @@ struct ExecutorStats {
   /// tasks (e.g. the ClusterCenter's period chains); its length equals
   /// num_threads() — the pool is the only place work can run.
   std::vector<int64_t> tasks_per_worker;
-  /// Highest queued-task depth observed at submission time.
+  /// Pool tasks an idle worker stole from another worker's deque,
+  /// indexed by the thief's worker id (see TaskExecutorStats).
+  std::vector<int64_t> steals_per_worker;
+  /// Pool tasks executed from the owner's own deque (local hits).
+  int64_t tasks_local = 0;
+  /// Pool tasks executed via steal (tasks_local + tasks_stolen equals
+  /// the pool-wide executed count).
+  int64_t tasks_stolen = 0;
+  /// Highest pool-wide queued-task depth observed.
   int64_t queue_high_water = 0;
 };
 

@@ -92,6 +92,13 @@ struct ClusterOptions {
   /// unbounded. A bound must admit at least the period fan-out (one
   /// chain per shard) or BeginPeriod will block on its own backlog.
   int executor_queue_depth = 0;
+  /// Executor work stealing (ExecutorOptions::steal). Off is the
+  /// single-queue-equivalent reference mode; results are identical
+  /// either way — the replay tests assert exactly that.
+  bool executor_stealing = true;
+  /// Seed for the executor's deterministic steal-victim scan order
+  /// (ExecutorOptions::steal_seed).
+  uint64_t executor_steal_seed = 0x51EA15EEDULL;
   /// Per-shard closed-loop capacity autoscaling. Each shard runs its
   /// own CapacityAutoscaler against its share of total_capacity (the
   /// ratio bounds apply to the per-shard baseline); decisions are made

@@ -1,0 +1,84 @@
+// Copyright 2026 The streambid Authors
+
+#include "common/cpu.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace streambid {
+namespace {
+
+/// Reads a small text file fully; empty string on any failure.
+std::string ReadSmallFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// CPUs permitted by the scheduling affinity mask; 0 if unknown.
+int AffinityCpuCount() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    return CPU_COUNT(&set);
+  }
+#endif
+  return 0;
+}
+
+/// CPUs permitted by the cgroup CPU quota (v2 then v1); 0 if unlimited
+/// or unreadable.
+int CgroupCpuCount() {
+  const int v2 = ParseCgroupCpuMax(
+      ReadSmallFile("/sys/fs/cgroup/cpu.max"));
+  if (v2 > 0) return v2;
+  const std::string quota =
+      ReadSmallFile("/sys/fs/cgroup/cpu/cpu.cfs_quota_us");
+  const std::string period =
+      ReadSmallFile("/sys/fs/cgroup/cpu/cpu.cfs_period_us");
+  if (quota.empty() || period.empty()) return 0;
+  return CpusFromQuota(std::atoll(quota.c_str()),
+                       std::atoll(period.c_str()));
+}
+
+}  // namespace
+
+int ParseCgroupCpuMax(const std::string& content) {
+  std::istringstream in(content);
+  std::string quota;
+  long long period = 0;
+  if (!(in >> quota >> period)) return 0;
+  if (quota == "max") return 0;
+  char* end = nullptr;
+  const long long quota_us = std::strtoll(quota.c_str(), &end, 10);
+  if (end == quota.c_str() || *end != '\0') return 0;
+  return CpusFromQuota(quota_us, period);
+}
+
+int CpusFromQuota(long long quota_us, long long period_us) {
+  if (quota_us <= 0 || period_us <= 0) return 0;
+  const long long cpus = (quota_us + period_us - 1) / period_us;
+  return static_cast<int>(std::max(1LL, cpus));
+}
+
+int AvailableCpuCount() {
+  int n = static_cast<int>(std::thread::hardware_concurrency());
+  if (n <= 0) n = 1;
+  const int affinity = AffinityCpuCount();
+  if (affinity > 0) n = std::min(n, affinity);
+  const int cgroup = CgroupCpuCount();
+  if (cgroup > 0) n = std::min(n, cgroup);
+  return std::max(1, n);
+}
+
+}  // namespace streambid

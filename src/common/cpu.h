@@ -1,0 +1,36 @@
+// Copyright 2026 The streambid Authors
+
+#ifndef STREAMBID_COMMON_CPU_H_
+#define STREAMBID_COMMON_CPU_H_
+
+/// CPU-count detection that respects container limits.
+///
+/// `std::thread::hardware_concurrency()` reports the machine's core
+/// count even inside a cgroup-limited container, so a pool sized from
+/// it oversubscribes CI runners (e.g. 64 threads fighting over a
+/// 2-CPU quota). `AvailableCpuCount()` clamps to what the process can
+/// actually use: the scheduling affinity mask and the cgroup CPU quota
+/// (v2 `cpu.max`, v1 `cpu.cfs_quota_us`/`cpu.cfs_period_us`),
+/// whichever is smaller, falling back to `hardware_concurrency()` when
+/// neither is readable. Always returns at least 1.
+
+#include <string>
+
+namespace streambid {
+
+/// CPUs usable by this process (affinity ∧ cgroup quota), >= 1.
+int AvailableCpuCount();
+
+/// Parses a cgroup-v2 `cpu.max` file ("<quota_us> <period_us>" or
+/// "max <period_us>"). Returns the quota ceiling in whole CPUs
+/// (rounded up), or 0 when unlimited / unparseable.
+int ParseCgroupCpuMax(const std::string& content);
+
+/// Converts a cgroup-v1 quota/period pair to a CPU ceiling (rounded
+/// up). Returns 0 when the quota is unlimited (<= 0) or the period is
+/// invalid.
+int CpusFromQuota(long long quota_us, long long period_us);
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_CPU_H_

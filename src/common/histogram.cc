@@ -19,6 +19,7 @@ void LatencyHistogram::Record(double micros) {
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.total == 0) return;  // Merging an empty histogram is a no-op.
   for (int k = 0; k < kBuckets; ++k) {
     buckets[static_cast<size_t>(k)] += other.buckets[static_cast<size_t>(k)];
   }
@@ -28,11 +29,17 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 
 double LatencyHistogram::PercentileMillis(double p) const {
   if (total == 0) return 0.0;
+  // Clamp the fraction: negative and NaN ask for the minimum, anything
+  // past 1 asks for the maximum recorded bucket.
+  if (!(p > 0.0)) p = 0.0;
+  if (p > 1.0) p = 1.0;
   const double target = p * static_cast<double>(total);
   int64_t cumulative = 0;
   for (int k = 0; k < kBuckets; ++k) {
     cumulative += buckets[static_cast<size_t>(k)];
-    if (static_cast<double>(cumulative) >= target) {
+    // `cumulative > 0` keeps p == 0 anchored at the first *non-empty*
+    // bucket instead of an always-true comparison against bucket 0.
+    if (cumulative > 0 && static_cast<double>(cumulative) >= target) {
       // Upper edge of bucket k: 2^k microseconds (bucket 0 = "<1us",
       // reported as 0 — the fast path is free).
       return k == 0 ? 0.0 : std::ldexp(1.0, k) / 1000.0;

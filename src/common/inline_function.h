@@ -1,0 +1,155 @@
+// Copyright 2026 The streambid Authors
+
+#ifndef STREAMBID_COMMON_INLINE_FUNCTION_H_
+#define STREAMBID_COMMON_INLINE_FUNCTION_H_
+
+/// Small-buffer-optimized move-only callable.
+///
+/// `InlineFunction<R(Args...), kCapacity>` is the executor's task slot:
+/// any callable whose decayed type fits in `kCapacity` bytes (and is
+/// nothrow-move-constructible) is stored inline in the object itself —
+/// constructing, moving, and destroying it never touches the heap.
+/// Larger callables fall back to a single heap allocation; every such
+/// fallback is counted in a process-wide atomic so benches can CHECK
+/// that the steady-state hot path stayed inline (see
+/// `InlineFunctionHeapFallbacks()`).
+///
+/// Differences from `std::function`:
+///   - move-only (never copies the target, so move-only captures work),
+///   - guaranteed inline storage up to `kCapacity` bytes instead of an
+///     implementation-defined SBO threshold,
+///   - no allocator, no `target()`, no empty-call exception — invoking
+///     an empty InlineFunction is undefined (callers check `operator
+///     bool` first).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace streambid {
+
+namespace internal {
+inline std::atomic<int64_t> inline_function_heap_fallbacks{0};
+}  // namespace internal
+
+/// Process-wide count of InlineFunction constructions that exceeded the
+/// inline capacity and heap-allocated. Monotonic; benches snapshot it
+/// around a hot loop and CHECK the delta is zero.
+inline int64_t InlineFunctionHeapFallbacks() {
+  return internal::inline_function_heap_fallbacks.load(
+      std::memory_order_relaxed);
+}
+
+template <typename Signature, size_t kCapacity = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t kCapacity>
+class InlineFunction<R(Args...), kCapacity> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    constexpr bool kFitsInline =
+        sizeof(D) <= kCapacity && alignof(D) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kFitsInline) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+    } else {
+      *reinterpret_cast<D**>(static_cast<void*>(storage_)) =
+          new D(std::forward<F>(f));
+      internal::inline_function_heap_fallbacks.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    ops_ = &OpsFor<D, kFitsInline>::kOps;
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-construct the target into `to` and destroy it in `from`.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void*);
+  };
+
+  template <typename D, bool kFitsInline>
+  struct OpsFor {
+    static D* Get(void* p) {
+      if constexpr (kFitsInline) {
+        return std::launder(reinterpret_cast<D*>(p));
+      } else {
+        return *reinterpret_cast<D**>(p);
+      }
+    }
+    static R Invoke(void* p, Args&&... args) {
+      return (*Get(p))(std::forward<Args>(args)...);
+    }
+    static void Relocate(void* from, void* to) {
+      if constexpr (kFitsInline) {
+        D* src = Get(from);
+        ::new (to) D(std::move(*src));
+        src->~D();
+      } else {
+        // Pointer-sized handoff: the heap target itself never moves.
+        *reinterpret_cast<D**>(to) = *reinterpret_cast<D**>(from);
+      }
+    }
+    static void Destroy(void* p) {
+      if constexpr (kFitsInline) {
+        Get(p)->~D();
+      } else {
+        delete Get(p);
+      }
+    }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace streambid
+
+#endif  // STREAMBID_COMMON_INLINE_FUNCTION_H_

@@ -88,8 +88,12 @@ Result<GatedPeriodReport> StreamIngress::ClosePeriod() {
   const double drain_start_ms = tracer != nullptr ? tracer->NowMs() : 0.0;
 
   // Atomically steal the open period's batch and counters; Offers that
-  // land after the swap ride the next period.
-  std::vector<Buffered> batch;
+  // land after the swap ride the next period. The drain buffer
+  // ping-pongs with buffer_ (both retain their high-water capacity
+  // across periods), so a steady-state drain re-allocates neither side
+  // — the per-submission gate path stays allocation-free.
+  std::vector<Buffered>& batch = drain_scratch_;
+  batch.clear();
   int64_t offered = 0;
   int64_t shed = 0;
   {

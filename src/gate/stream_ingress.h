@@ -185,6 +185,10 @@ class StreamIngress {
     int tenant_class = 0;
   };
   std::vector<Buffered> buffer_;
+  /// Driver-only drain scratch: ClosePeriod swaps it with buffer_ so
+  /// both keep their high-water capacity instead of reallocating every
+  /// period (the ping-pong half of the allocation-free drain).
+  std::vector<Buffered> drain_scratch_;
   int buffered_high_water_ = 0;
   /// Offer counters for the open period. shed_ is written by producer
   /// threads (under mutex_); the drain folds them into the report.

@@ -436,5 +436,221 @@ TEST(TaskExecutorTest, ShrinkingQueueDepthRejectsNewTrySubmits) {
   EXPECT_EQ(executor.pending_tasks(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Work-stealing and stats-coherence regressions.
+
+TEST(TaskExecutorTest, StealingStressEightWorkersRacingSubmitters) {
+  ExecutorOptions options;
+  options.num_threads = 8;
+  TaskExecutor executor(options);
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 200;
+  std::atomic<int64_t> sum{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&executor, &sum, s] {
+      std::vector<Ticket<int>> tickets;
+      tickets.reserve(kPerSubmitter);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const int value = s * kPerSubmitter + i;
+        const auto ticket = executor.Submit<int>(
+            [value](WorkerContext&) -> Result<int> { return value; });
+        ASSERT_TRUE(ticket.ok());
+        tickets.push_back(*ticket);
+      }
+      for (const Ticket<int>& ticket : tickets) {
+        const Result<int> r = executor.Wait(ticket);
+        ASSERT_TRUE(r.ok());
+        sum.fetch_add(*r);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  constexpr int64_t kTotal = kSubmitters * kPerSubmitter;
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
+  const TaskExecutorStats stats = executor.StatsReport();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.executed, kTotal);
+  EXPECT_EQ(stats.local_hits + stats.stolen, stats.executed);
+  ASSERT_EQ(stats.tasks_per_worker.size(), 8u);
+  ASSERT_EQ(stats.steals_per_worker.size(), 8u);
+  EXPECT_EQ(std::accumulate(stats.tasks_per_worker.begin(),
+                            stats.tasks_per_worker.end(), int64_t{0}),
+            stats.executed);
+  EXPECT_EQ(std::accumulate(stats.steals_per_worker.begin(),
+                            stats.steals_per_worker.end(), int64_t{0}),
+            stats.stolen);
+  EXPECT_EQ(executor.pending_tasks(), 0);
+}
+
+TEST(TaskExecutorTest, IdleWorkersStealHotOwnersBacklog) {
+  ExecutorOptions options;
+  options.num_threads = 4;
+  TaskExecutor executor(options);
+  Latch latch;
+  constexpr int kChildren = 16;
+  std::atomic<int> done{0};
+  std::vector<Ticket<int>> children;
+  // The producer submits its children from inside a task, so they land
+  // on its own worker's deque, then parks that worker on the latch.
+  // Until it releases, only stealing can run the children.
+  const auto producer = executor.Submit<int>(
+      [&executor, &latch, &done, &children](WorkerContext&) -> Result<int> {
+        for (int i = 0; i < kChildren; ++i) {
+          const auto child = executor.TrySubmit<int>(
+              [&done, i](WorkerContext&) -> Result<int> {
+                done.fetch_add(1);
+                return i;
+              });
+          if (!child.ok()) return child.status();
+          children.push_back(*child);
+        }
+        std::unique_lock<std::mutex> lock(latch.mutex);
+        latch.started = true;
+        latch.cv.notify_all();
+        latch.cv.wait(lock, [&latch] { return latch.release; });
+        return -1;
+      });
+  ASSERT_TRUE(producer.ok());
+  latch.WaitStarted();
+  // Starvation regression: the hot owner never yields, yet the backlog
+  // drains. If stealing broke, this loop would hang the test.
+  while (done.load() < kChildren) std::this_thread::yield();
+  const TaskExecutorStats mid = executor.StatsReport();
+  EXPECT_GE(mid.stolen, kChildren);
+
+  latch.Release();
+  EXPECT_EQ(*executor.Wait(*producer), -1);
+  for (const Ticket<int>& child : children) {
+    EXPECT_TRUE(executor.Wait(child).ok());
+  }
+  EXPECT_EQ(executor.pending_tasks(), 0);
+}
+
+TEST(TaskExecutorTest, StealingDisabledStillDrainsEveryDeque) {
+  ExecutorOptions options;
+  options.num_threads = 4;
+  options.steal = false;
+  TaskExecutor executor(options);
+  std::vector<Ticket<int>> tickets;
+  for (int i = 0; i < 64; ++i) {
+    const auto ticket = executor.Submit<int>(
+        [i](WorkerContext&) -> Result<int> { return i; });
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(*ticket);
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(*executor.Wait(tickets[static_cast<size_t>(i)]), i);
+  }
+  const TaskExecutorStats stats = executor.StatsReport();
+  EXPECT_EQ(stats.executed, 64);
+  EXPECT_EQ(stats.stolen, 0);
+  EXPECT_EQ(stats.local_hits, 64);
+}
+
+TEST(TaskExecutorTest, ResetStatsOpensCoherentWindow) {
+  TaskExecutor executor(ExecutorOptions{2, 0});
+  for (int i = 0; i < 8; ++i) {
+    const auto ticket = executor.Submit<int>(
+        [](WorkerContext&) -> Result<int> { return 1; });
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_TRUE(executor.Wait(*ticket).ok());
+  }
+  executor.ResetStats();
+  const TaskExecutorStats zero = executor.StatsReport();
+  EXPECT_EQ(zero.submitted, 0);
+  EXPECT_EQ(zero.executed, 0);
+  EXPECT_EQ(zero.stolen, 0);
+  EXPECT_EQ(zero.local_hits, 0);
+  EXPECT_EQ(std::accumulate(zero.tasks_per_worker.begin(),
+                            zero.tasks_per_worker.end(), int64_t{0}),
+            0);
+
+  for (int i = 0; i < 5; ++i) {
+    const auto ticket = executor.Submit<int>(
+        [](WorkerContext&) -> Result<int> { return 1; });
+    ASSERT_TRUE(ticket.ok());
+    ASSERT_TRUE(executor.Wait(*ticket).ok());
+  }
+  const TaskExecutorStats window = executor.StatsReport();
+  EXPECT_EQ(window.submitted, 5);
+  EXPECT_EQ(window.executed, 5);
+  EXPECT_EQ(window.local_hits + window.stolen, window.executed);
+}
+
+TEST(TaskExecutorTest, ResetStatsRacingCompletionsStaysCoherent) {
+  TaskExecutor executor(ExecutorOptions{2, 0});
+  std::atomic<bool> stop{false};
+  std::thread pump([&executor, &stop] {
+    while (!stop.load()) {
+      const auto ticket = executor.Submit<int>(
+          [](WorkerContext&) -> Result<int> { return 1; });
+      ASSERT_TRUE(ticket.ok());
+      ASSERT_TRUE(executor.Wait(*ticket).ok());
+    }
+  });
+  // The old executor zeroed counters non-atomically against racing
+  // workers; the baseline scheme must never report torn or negative
+  // windows, no matter when the reset lands.
+  for (int i = 0; i < 50; ++i) {
+    executor.ResetStats();
+    const TaskExecutorStats stats = executor.StatsReport();
+    EXPECT_GE(stats.submitted, 0);
+    EXPECT_GE(stats.executed, 0);
+    EXPECT_GE(stats.stolen, 0);
+    EXPECT_GE(stats.local_hits, 0);
+    EXPECT_EQ(stats.local_hits + stats.stolen, stats.executed);
+    EXPECT_EQ(std::accumulate(stats.tasks_per_worker.begin(),
+                              stats.tasks_per_worker.end(), int64_t{0}),
+              stats.executed);
+  }
+  stop.store(true);
+  pump.join();
+}
+
+TEST(TaskExecutorTest, QueueHighWaterTracksSharedDepthCounter) {
+  TaskExecutor executor(ExecutorOptions{1, 8});
+  Latch latch;
+  const auto blocker = executor.Submit<int>(
+      [&latch](WorkerContext&) -> Result<int> {
+        {
+          std::unique_lock<std::mutex> lock(latch.mutex);
+          latch.started = true;
+          latch.cv.notify_all();
+          latch.cv.wait(lock, [&latch] { return latch.release; });
+        }
+        return -1;
+      });
+  ASSERT_TRUE(blocker.ok());
+  latch.WaitStarted();
+  // Eight racing submitters against a depth-8 bound and a parked
+  // worker: nothing drains, so the shared depth counter must peak at
+  // exactly 8 — and the high-water mark is maintained by CAS-max on
+  // that counter, so the race cannot record a stale lower value.
+  std::vector<std::thread> submitters;
+  std::mutex tickets_mutex;
+  std::vector<Ticket<int>> tickets;
+  for (int s = 0; s < 8; ++s) {
+    submitters.emplace_back([&executor, &tickets_mutex, &tickets, s] {
+      const auto ticket = executor.TrySubmit<int>(
+          [s](WorkerContext&) -> Result<int> { return s; });
+      ASSERT_TRUE(ticket.ok());
+      std::lock_guard<std::mutex> lock(tickets_mutex);
+      tickets.push_back(*ticket);
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(executor.StatsReport().queue_high_water, 8);
+
+  latch.Release();
+  EXPECT_EQ(*executor.Wait(*blocker), -1);
+  for (const Ticket<int>& ticket : tickets) {
+    EXPECT_TRUE(executor.Wait(ticket).ok());
+  }
+  EXPECT_EQ(executor.pending_tasks(), 0);
+}
+
 }  // namespace
 }  // namespace streambid::cluster

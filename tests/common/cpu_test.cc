@@ -1,0 +1,63 @@
+// Copyright 2026 The streambid Authors
+// Container-aware CPU counting: the pure cgroup parsers are checked
+// against the formats the kernel actually writes, and the composed
+// AvailableCpuCount() is pinned to its floor-of-1 / never-oversubscribe
+// contract (the exact value depends on where the test runs).
+
+#include "common/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace streambid {
+namespace {
+
+TEST(CpuTest, ParseCgroupCpuMaxQuotaRoundsUp) {
+  // 1.5 CPUs of quota must provision 2 workers, not 1: rounding down
+  // would leave granted quota unused.
+  EXPECT_EQ(ParseCgroupCpuMax("150000 100000"), 2);
+  EXPECT_EQ(ParseCgroupCpuMax("100000 100000"), 1);
+  EXPECT_EQ(ParseCgroupCpuMax("400000 100000"), 4);
+  EXPECT_EQ(ParseCgroupCpuMax("50000 100000"), 1);
+  // The kernel writes a trailing newline.
+  EXPECT_EQ(ParseCgroupCpuMax("200000 100000\n"), 2);
+}
+
+TEST(CpuTest, ParseCgroupCpuMaxUnlimitedIsZero) {
+  EXPECT_EQ(ParseCgroupCpuMax("max 100000"), 0);
+  EXPECT_EQ(ParseCgroupCpuMax("max 100000\n"), 0);
+}
+
+TEST(CpuTest, ParseCgroupCpuMaxGarbageIsZero) {
+  EXPECT_EQ(ParseCgroupCpuMax(""), 0);
+  EXPECT_EQ(ParseCgroupCpuMax("banana"), 0);
+  EXPECT_EQ(ParseCgroupCpuMax("100000"), 0);
+  EXPECT_EQ(ParseCgroupCpuMax("100000 0"), 0);
+  EXPECT_EQ(ParseCgroupCpuMax("-100000 100000"), 0);
+}
+
+TEST(CpuTest, CpusFromQuotaRoundsUpAndIgnoresUnlimited) {
+  EXPECT_EQ(CpusFromQuota(150000, 100000), 2);
+  EXPECT_EQ(CpusFromQuota(100000, 100000), 1);
+  EXPECT_EQ(CpusFromQuota(1, 100000), 1);
+  // cgroup v1 writes -1 for "no quota".
+  EXPECT_EQ(CpusFromQuota(-1, 100000), 0);
+  EXPECT_EQ(CpusFromQuota(0, 100000), 0);
+  EXPECT_EQ(CpusFromQuota(100000, 0), 0);
+  EXPECT_EQ(CpusFromQuota(100000, -5), 0);
+}
+
+TEST(CpuTest, AvailableCpuCountIsAtLeastOneAndNeverOversubscribes) {
+  const int available = AvailableCpuCount();
+  EXPECT_GE(available, 1);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware > 0) {
+    EXPECT_LE(available, static_cast<int>(hardware));
+  }
+  // Deterministic per environment: two reads agree.
+  EXPECT_EQ(available, AvailableCpuCount());
+}
+
+}  // namespace
+}  // namespace streambid

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace streambid {
 namespace {
 
@@ -69,6 +71,55 @@ TEST(LatencyHistogramTest, MergeWithEmpty) {
   empty.Merge(a);
   EXPECT_EQ(empty.total, 1);
   EXPECT_DOUBLE_EQ(empty.sum, 42.0);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsOutOfRangeFractions) {
+  // Regression: p <= 0, p > 1, and NaN used to walk the bucket scan
+  // with a nonsense threshold; now they clamp to the min / max
+  // recorded bucket.
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(10.0);  // Bucket 4: edge 0.016ms.
+  h.Record(5000.0);                             // Bucket 13: edge 8.192ms.
+  const double quiet_nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(-0.5), 0.016);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(0.0), 0.016);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(quiet_nan), 0.016);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(1.5), 8.192);
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(
+                       std::numeric_limits<double>::infinity()),
+                   8.192);
+}
+
+TEST(LatencyHistogramTest, PercentileOnEmptyIsZeroForAnyFraction) {
+  const LatencyHistogram h;
+  for (const double p : {-1.0, 0.0, 0.5, 1.0, 2.0,
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_DOUBLE_EQ(h.PercentileMillis(p), 0.0) << p;
+  }
+}
+
+TEST(LatencyHistogramTest, ZeroFractionAnchorsAtFirstNonEmptyBucket) {
+  // p == 0 must report the smallest *recorded* latency's bucket, not
+  // trivially match empty bucket 0.
+  LatencyHistogram h;
+  h.Record(5000.0);  // Only bucket 13 is populated.
+  EXPECT_DOUBLE_EQ(h.PercentileMillis(0.0), 8.192);
+}
+
+TEST(LatencyHistogramTest, MergeOfEmptyIsNoOp) {
+  LatencyHistogram a;
+  a.Record(42.0);
+  const LatencyHistogram snapshot = a;
+  LatencyHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.total, snapshot.total);
+  EXPECT_DOUBLE_EQ(a.sum, snapshot.sum);
+  EXPECT_EQ(a.buckets, snapshot.buckets);
+  // Empty into empty stays exactly empty.
+  LatencyHistogram e2;
+  empty.Merge(e2);
+  EXPECT_EQ(empty.total, 0);
+  EXPECT_DOUBLE_EQ(empty.sum, 0.0);
 }
 
 TEST(LatencyHistogramTest, BucketUpperMicros) {

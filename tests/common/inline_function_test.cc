@@ -1,0 +1,111 @@
+// Copyright 2026 The streambid Authors
+// InlineFunction contract: small callables live inline (no heap), big
+// ones fall back to a counted heap allocation, moves transfer the
+// target exactly once, move-only captures work, and destruction runs
+// the capture's destructor exactly once.
+
+#include "common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace streambid {
+namespace {
+
+TEST(InlineFunctionTest, SmallCallableStaysInline) {
+  const int64_t fallbacks_before = InlineFunctionHeapFallbacks();
+  int x = 41;
+  InlineFunction<int(int)> f([x](int add) { return x + add; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(1), 42);
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), fallbacks_before);
+}
+
+TEST(InlineFunctionTest, OversizedCallableCountsHeapFallback) {
+  const int64_t fallbacks_before = InlineFunctionHeapFallbacks();
+  std::array<char, 256> big{};
+  big[0] = 'y';
+  // 256 bytes of capture cannot fit the default 64-byte slot.
+  InlineFunction<char()> f([big]() { return big[0]; });
+  EXPECT_EQ(f(), 'y');
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), fallbacks_before + 1);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureRoundTrips) {
+  auto owned = std::make_unique<std::string>("moved");
+  // std::function would reject this move-only capture outright.
+  InlineFunction<std::string()> f(
+      [owned = std::move(owned)]() { return *owned; });
+  EXPECT_EQ(f(), "moved");
+}
+
+TEST(InlineFunctionTest, MoveTransfersTargetAndEmptiesSource) {
+  InlineFunction<int()> f([] { return 7; });
+  InlineFunction<int()> g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 7);
+
+  InlineFunction<int()> h;
+  EXPECT_FALSE(static_cast<bool>(h));
+  h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(h(), 7);
+}
+
+TEST(InlineFunctionTest, DestructionRunsCaptureDestructorExactlyOnce) {
+  struct Tracker {
+    int* destroyed;
+    explicit Tracker(int* d) : destroyed(d) {}
+    Tracker(Tracker&& other) noexcept : destroyed(other.destroyed) {
+      other.destroyed = nullptr;
+    }
+    Tracker(const Tracker&) = delete;
+    ~Tracker() {
+      if (destroyed != nullptr) ++*destroyed;
+    }
+    int operator()() const { return 1; }
+  };
+  int destroyed = 0;
+  {
+    InlineFunction<int()> f{Tracker(&destroyed)};
+    EXPECT_EQ(f(), 1);
+    // The moved-from temporaries don't count; the live target dies
+    // exactly once, at scope exit.
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+
+  // Move-assignment over a live target destroys the old target.
+  destroyed = 0;
+  int other_destroyed = 0;
+  {
+    InlineFunction<int()> f{Tracker(&destroyed)};
+    InlineFunction<int()> g{Tracker(&other_destroyed)};
+    f = std::move(g);
+    EXPECT_EQ(destroyed, 1);
+    EXPECT_EQ(other_destroyed, 0);
+  }
+  EXPECT_EQ(other_destroyed, 1);
+}
+
+TEST(InlineFunctionTest, HeapFallbackTargetSurvivesMoves) {
+  const int64_t fallbacks_before = InlineFunctionHeapFallbacks();
+  std::array<char, 256> big{};
+  big[5] = 'z';
+  InlineFunction<char()> f([big]() { return big[5]; });
+  // Moving a heap-backed function hands off the pointer — no second
+  // allocation, no copy of the target.
+  InlineFunction<char()> g(std::move(f));
+  InlineFunction<char()> h;
+  h = std::move(g);
+  EXPECT_EQ(h(), 'z');
+  EXPECT_EQ(InlineFunctionHeapFallbacks(), fallbacks_before + 1);
+}
+
+}  // namespace
+}  // namespace streambid
