@@ -29,7 +29,7 @@ Result<service::AdmissionResponse> AdmissionExecutor::AdmitOn(
 void AdmissionExecutor::RecordStats(
     int worker_id, const Result<service::AdmissionResponse>& result) {
   WorkerStats& shard = *worker_stats_[static_cast<size_t>(worker_id)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   if (!result.ok()) {
     ++shard.failed_requests;
     return;
@@ -94,7 +94,7 @@ Result<AdmissionTicket> AdmissionExecutor::TryEnqueue(
 ExecutorStats AdmissionExecutor::StatsReport() const {
   ExecutorStats merged;
   for (const std::unique_ptr<WorkerStats>& shard : worker_stats_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     merged.total_requests += shard->total_requests;
     merged.failed_requests += shard->failed_requests;
     for (const auto& [name, m] : shard->per_mechanism) {
@@ -117,7 +117,7 @@ ExecutorStats AdmissionExecutor::StatsReport() const {
 
 void AdmissionExecutor::ResetStats() {
   for (const std::unique_ptr<WorkerStats>& shard : worker_stats_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     shard->total_requests = 0;
     shard->failed_requests = 0;
     shard->per_mechanism.clear();

@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "cluster/task_executor.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "service/admission_service.h"
 
 namespace streambid::cluster {
@@ -165,10 +165,11 @@ class AdmissionExecutor {
   /// per-shard mutex only synchronizes against StatsReport/ResetStats
   /// readers). StatsReport merges via RunningStats::Merge.
   struct WorkerStats {
-    mutable std::mutex mutex;
-    int64_t total_requests = 0;
-    int64_t failed_requests = 0;
-    std::map<std::string, MechanismRollingStats> per_mechanism;
+    mutable Mutex mutex;
+    int64_t total_requests GUARDED_BY(mutex) = 0;
+    int64_t failed_requests GUARDED_BY(mutex) = 0;
+    std::map<std::string, MechanismRollingStats> per_mechanism
+        GUARDED_BY(mutex);
   };
   /// Declared before tasks_ on purpose: members destroy in reverse
   /// declaration order, and ~TaskExecutor joins the workers — which may

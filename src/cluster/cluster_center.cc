@@ -374,7 +374,7 @@ Result<ClusterPeriodReport> ClusterCenter::MergeCompleted(
   // --- Fold the period's tenant activity into the rebalancer signals
   // (per-tenant state only: iteration order cannot matter), then run
   // the rebalance stage against the refreshed router view. ---
-  for (auto& [user, record] : tenants_) {
+  for (auto& [user, record] : tenants_) {  // NOLINT(determinism): order-independent fold -- each tenant's record is updated from its own fields only, no cross-tenant state
     if (record.period_load > 0.0) {
       record.last_load = record.period_load;
       record.last_active_period = report.period;
@@ -396,7 +396,7 @@ Status ClusterCenter::RebalanceAfterPeriod() {
   }
   std::vector<TenantSignal> signals;
   signals.reserve(tenants_.size());
-  for (const auto& [user, record] : tenants_) {
+  for (const auto& [user, record] : tenants_) {  // NOLINT(determinism): collection order is irrelevant -- ShardRebalancer::Plan sorts the signals by user id before any decision
     TenantSignal signal;
     signal.user = user;
     signal.home = record.home;

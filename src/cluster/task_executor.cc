@@ -69,14 +69,14 @@ TaskExecutor::TaskExecutor(const ExecutorOptions& options) {
 TaskExecutor::~TaskExecutor() {
   stopping_.store(true);
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     ++work_epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   {
-    std::lock_guard<std::mutex> lock(space_mutex_);
+    MutexLock lock(space_mutex_);
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -92,7 +92,7 @@ void TaskExecutor::FailPendingWork() {
   // arrive.
   for (std::unique_ptr<WorkerDeque>& deque : deques_) {
     WorkerDeque& d = *deque;
-    std::lock_guard<std::mutex> lock(d.mutex);
+    MutexLock lock(d.mutex);
     while (d.count > 0) {
       WorkItem item = std::move(d.ring[d.top]);
       d.top = (d.top + 1) % d.ring.size();
@@ -122,9 +122,9 @@ void TaskExecutor::FailPendingWork() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(done_mutex_);
+    MutexLock lock(done_mutex_);
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 // -- Deques ---------------------------------------------------------
@@ -132,7 +132,7 @@ void TaskExecutor::FailPendingWork() {
 void TaskExecutor::PushToDeque(int worker_id, WorkItem item) {
   WorkerDeque& d = *deques_[static_cast<size_t>(worker_id)];
   {
-    std::lock_guard<std::mutex> lock(d.mutex);
+    MutexLock lock(d.mutex);
     if (d.count == d.ring.size()) {
       // Grow in place (amortized; steady state never hits this): move
       // the live window to the front of a doubled ring.
@@ -164,7 +164,7 @@ int TaskExecutor::PickSubmitTarget() {
 
 bool TaskExecutor::PopOwn(int worker_id, WorkItem* item) {
   WorkerDeque& d = *deques_[static_cast<size_t>(worker_id)];
-  std::lock_guard<std::mutex> lock(d.mutex);
+  MutexLock lock(d.mutex);
   if (d.count == 0) return false;
   --d.count;
   *item = std::move(d.ring[(d.top + d.count) % d.ring.size()]);
@@ -173,7 +173,7 @@ bool TaskExecutor::PopOwn(int worker_id, WorkItem* item) {
 
 bool TaskExecutor::StealFrom(int victim, WorkItem* item) {
   WorkerDeque& d = *deques_[static_cast<size_t>(victim)];
-  std::lock_guard<std::mutex> lock(d.mutex);
+  MutexLock lock(d.mutex);
   if (d.count == 0) return false;
   *item = std::move(d.ring[d.top]);
   d.top = (d.top + 1) % d.ring.size();
@@ -236,10 +236,12 @@ Status TaskExecutor::ReserveQueueSlot(bool blocking) {
     // Park until a worker frees space. The predicate re-reads
     // max_queue_depth_: a concurrent SetMaxQueueDepth may have grown
     // the bound or removed it entirely (0 = unbounded) while we slept.
+    // (The predicate touches only atomics, so it may stay a lambda —
+    // guarded members in a wait predicate would need a manual loop.)
     {
-      std::unique_lock<std::mutex> lock(space_mutex_);
+      MutexLock lock(space_mutex_);
       space_waiters_.fetch_add(1);
-      space_cv_.wait(lock, [this] {
+      space_cv_.Wait(space_mutex_, [this] {
         if (stopping_.load() || draining_.load()) return true;
         const size_t bound = max_queue_depth_.load();
         return bound == 0 || total_queued_.load() < bound;
@@ -254,8 +256,8 @@ void TaskExecutor::ReleaseQueueSlot() {
   if (space_waiters_.load() > 0) {
     // Empty critical section: the notify may not land between a
     // waiter's predicate check and its sleep.
-    { std::lock_guard<std::mutex> lock(space_mutex_); }
-    space_cv_.notify_all();
+    { MutexLock lock(space_mutex_); }
+    space_cv_.NotifyAll();
   }
   if (queue_depth_metric_ != nullptr) {
     queue_depth_metric_->Set(static_cast<double>(total_queued_.load()));
@@ -272,17 +274,17 @@ void TaskExecutor::NotifyWorkers() {
   // final re-scan (both sides are seq_cst).
   if (idle_workers_.load() == 0) return;
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     ++work_epoch_;
   }
   if (steal_enabled_ && deques_.size() > 1) {
     // Any single worker can run any item (it will steal it), so waking
     // one is enough per pushed item.
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   } else {
     // Without stealing only the owner can run the item; wake everyone
     // so the owner is among them.
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 }
 
@@ -316,7 +318,7 @@ void TaskExecutor::WorkerLoop(int worker_id) {
     idle_workers_.fetch_add(1);
     uint64_t epoch = 0;
     {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
+      MutexLock lock(wake_mutex_);
       epoch = work_epoch_;
     }
     if (FindWork(worker_id, &item, &stolen)) {
@@ -325,10 +327,15 @@ void TaskExecutor::WorkerLoop(int worker_id) {
       continue;
     }
     if (!stopping_.load() && !draining_.load()) {
-      std::unique_lock<std::mutex> lock(wake_mutex_);
-      work_cv_.wait(lock, [&] {
-        return work_epoch_ != epoch || stopping_.load() || draining_.load();
-      });
+      // Manual wait loop (not a predicate lambda): work_epoch_ is
+      // GUARDED_BY(wake_mutex_), and the capability analysis can only
+      // see the lock is held when the read sits in this annotated
+      // scope rather than inside a closure.
+      MutexLock lock(wake_mutex_);
+      while (work_epoch_ == epoch && !stopping_.load() &&
+             !draining_.load()) {
+        work_cv_.Wait(wake_mutex_);
+      }
     }
     idle_workers_.fetch_sub(1);
   }
@@ -368,8 +375,8 @@ void TaskExecutor::Execute(WorkItem& item, WorkerContext& context,
       // Last item of the batch: wake the RunAll caller. Empty critical
       // section so the notify cannot land inside its check-then-sleep
       // window.
-      { std::lock_guard<std::mutex> lock(done_mutex_); }
-      done_cv_.notify_all();
+      { MutexLock lock(done_mutex_); }
+      done_cv_.NotifyAll();
     }
   } else {
     CompleteTicket(item.ticket, std::move(result));
@@ -415,7 +422,7 @@ void TaskExecutor::PushFreeSlot(uint32_t index) {
 Result<uint64_t> TaskExecutor::AcquireTicketSlot() {
   std::optional<uint32_t> index = PopFreeSlot();
   if (!index.has_value()) {
-    std::lock_guard<std::mutex> lock(grow_mutex_);
+    MutexLock lock(grow_mutex_);
     index = PopFreeSlot();  // Another thread may have grown or freed.
     if (!index.has_value()) {
       if (slot_chunks_.size() >= kMaxSlotChunks) {
@@ -451,8 +458,8 @@ void TaskExecutor::CompleteTicket(uint64_t ticket, ErasedResult result) {
   // sees the result emplaced above.
   slot.control.store(MakeControl(generation, TicketSlot::kReady));
   if (done_waiters_.load() > 0) {
-    { std::lock_guard<std::mutex> lock(done_mutex_); }
-    done_cv_.notify_all();
+    { MutexLock lock(done_mutex_); }
+    done_cv_.NotifyAll();
   }
 }
 
@@ -537,9 +544,9 @@ TaskExecutor::ErasedResult TaskExecutor::WaitErased(uint64_t ticket) {
         }
         continue;
       case TicketSlot::kPending: {
-        std::unique_lock<std::mutex> lock(done_mutex_);
+        MutexLock lock(done_mutex_);
         done_waiters_.fetch_add(1);
-        done_cv_.wait(lock, [&] {
+        done_cv_.Wait(done_mutex_, [&] {
           const uint64_t now = slot.control.load();
           return GenOf(now) != generation ||
                  StateOf(now) != TicketSlot::kPending;
@@ -583,8 +590,8 @@ Result<std::vector<TaskExecutor::ErasedResult>> TaskExecutor::RunAllErased(
     PushToDeque(PickSubmitTarget(), std::move(item));
   }
   {
-    std::unique_lock<std::mutex> lock(done_mutex_);
-    done_cv_.wait(lock, [&job] { return job.remaining.load() == 0; });
+    MutexLock lock(done_mutex_);
+    done_cv_.Wait(done_mutex_, [&job] { return job.remaining.load() == 0; });
   }
   STREAMBID_RETURN_IF_ERROR(failure);
   std::vector<ErasedResult> results;
@@ -603,9 +610,9 @@ Status TaskExecutor::SetMaxQueueDepth(int depth) {
   // Growing (or unbounding) may free blocked producers; waking on a
   // shrink is harmless — the wait predicate re-checks the new bound.
   {
-    std::lock_guard<std::mutex> lock(space_mutex_);
+    MutexLock lock(space_mutex_);
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
   return Status::Ok();
 }
 
@@ -619,14 +626,14 @@ Status TaskExecutor::Shutdown() {
   }
   draining_.store(true);
   {
-    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MutexLock lock(wake_mutex_);
     ++work_epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   {
-    std::lock_guard<std::mutex> lock(space_mutex_);
+    MutexLock lock(space_mutex_);
   }
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }

@@ -56,11 +56,9 @@
 
 #include <any>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -68,6 +66,7 @@
 
 #include "common/inline_function.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "service/admission_service.h"
 
 namespace streambid::telemetry {
@@ -321,10 +320,13 @@ class TaskExecutor {
   /// worker rather than pooled; cache-line alignment keeps neighboring
   /// deques from false-sharing.
   struct alignas(64) WorkerDeque {
-    std::mutex mutex;
-    std::vector<WorkItem> ring;  ///< Circular storage; size() == capacity.
-    size_t top = 0;              ///< Index of the oldest item (steal end).
-    size_t count = 0;            ///< Items currently queued.
+    Mutex mutex;
+    /// Circular storage; size() == capacity.
+    std::vector<WorkItem> ring GUARDED_BY(mutex);
+    /// Index of the oldest item (steal end).
+    size_t top GUARDED_BY(mutex) = 0;
+    /// Items currently queued.
+    size_t count GUARDED_BY(mutex) = 0;
   };
 
   /// One ticket's completion slot, recycled through a lock-free free
@@ -456,14 +458,17 @@ class TaskExecutor {
   std::atomic<size_t> max_queue_depth_{0};  ///< 0 = unbounded.
   std::atomic<size_t> total_queued_{0};     ///< Sum of all deque depths.
   std::atomic<uint64_t> submit_cursor_{0};  ///< Round-robin placement.
-  std::mutex space_mutex_;
-  std::condition_variable space_cv_;  ///< Signals queue space freed.
+  /// Pure condvar pairing mutex: the space-waiter protocol's state
+  /// (max_queue_depth_, total_queued_) is atomic; the lock only closes
+  /// the check-then-sleep window.
+  Mutex space_mutex_;
+  CondVar space_cv_;  ///< Signals queue space freed.
   std::atomic<int> space_waiters_{0};
 
   // -- Worker parking (eventcount) ----------------------------------
-  std::mutex wake_mutex_;
-  std::condition_variable work_cv_;  ///< Signals queued work / teardown.
-  uint64_t work_epoch_ = 0;          ///< Guarded by wake_mutex_.
+  Mutex wake_mutex_;
+  CondVar work_cv_;  ///< Signals queued work / teardown.
+  uint64_t work_epoch_ GUARDED_BY(wake_mutex_) = 0;
   std::atomic<int> idle_workers_{0};
 
   // -- Ticket table -------------------------------------------------
@@ -472,15 +477,22 @@ class TaskExecutor {
   /// Chunked so grown slots never move (lock-free readers hold raw
   /// references across the growth); the outer vector's capacity is
   /// reserved up front so push_back never reallocates either.
+  /// NOT GUARDED_BY(grow_mutex_) although growth holds it: readers
+  /// index the vector lock-free by design, ordered by the num_slots_
+  /// publication protocol (chunk pointer stored before the bound) plus
+  /// the up-front capacity reservation — a protocol the capability
+  /// analysis cannot express, so the invariant stays prose here.
   std::vector<std::unique_ptr<TicketSlot[]>> slot_chunks_;
   std::atomic<uint32_t> num_slots_{0};
-  std::mutex grow_mutex_;  ///< Serializes table growth only.
+  Mutex grow_mutex_;  ///< Serializes table growth only.
   /// Treiber free stack: low 32 bits encode (index + 1) of the head (0
   /// = empty), high 32 bits are a pop tag against ABA.
   std::atomic<uint64_t> free_head_{0};
   std::atomic<int> pending_tickets_{0};
-  std::mutex done_mutex_;
-  std::condition_variable done_cv_;  ///< Signals completions.
+  /// Pure condvar pairing mutex (completion state is the atomic slot
+  /// control words); closes the Wait/RunAll check-then-sleep window.
+  Mutex done_mutex_;
+  CondVar done_cv_;  ///< Signals completions.
   std::atomic<int> done_waiters_{0};
 
   // -- Stats --------------------------------------------------------

@@ -60,13 +60,13 @@ Status StreamIngress::Offer(stream::QuerySubmission submission) {
   if (offered_metric_ != nullptr) offered_metric_->Increment();
   if (!ticket.ok()) {
     if (shed_metric_ != nullptr) shed_metric_->Increment();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++period_offered_;
     ++period_shed_;
     return service::ShedRejection(pool.name(),
                                   options_.retry_after_periods);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++period_offered_;
   buffer_.push_back(Buffered{std::move(submission), k});
   buffered_high_water_ =
@@ -97,7 +97,7 @@ Result<GatedPeriodReport> StreamIngress::ClosePeriod() {
   int64_t offered = 0;
   int64_t shed = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     batch.swap(buffer_);
     offered = period_offered_;
     shed = period_shed_;
@@ -177,12 +177,12 @@ Result<GatedPeriodReport> StreamIngress::ClosePeriod() {
 }
 
 int StreamIngress::buffered() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int>(buffer_.size());
 }
 
 int StreamIngress::buffered_high_water() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return buffered_high_water_;
 }
 

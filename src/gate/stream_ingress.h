@@ -38,13 +38,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster_center.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "gate/throughput_probe.h"
 #include "gate/ticket_holder.h"
 #include "stream/load_estimator.h"
@@ -177,23 +177,25 @@ class StreamIngress {
   std::vector<std::unique_ptr<TicketHolder>> pools_;
   ThroughputProbe probe_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Ticket-holding submissions awaiting the next drain, with the class
-  /// whose pool each ticket came from. Guarded by mutex_.
+  /// whose pool each ticket came from.
   struct Buffered {
     stream::QuerySubmission submission;
     int tenant_class = 0;
   };
-  std::vector<Buffered> buffer_;
+  std::vector<Buffered> buffer_ GUARDED_BY(mutex_);
   /// Driver-only drain scratch: ClosePeriod swaps it with buffer_ so
   /// both keep their high-water capacity instead of reallocating every
-  /// period (the ping-pong half of the allocation-free drain).
+  /// period (the ping-pong half of the allocation-free drain). Not
+  /// guarded: only the single driver thread touches it, outside the
+  /// swap's critical section.
   std::vector<Buffered> drain_scratch_;
-  int buffered_high_water_ = 0;
-  /// Offer counters for the open period. shed_ is written by producer
-  /// threads (under mutex_); the drain folds them into the report.
-  int64_t period_offered_ = 0;
-  int64_t period_shed_ = 0;
+  int buffered_high_water_ GUARDED_BY(mutex_) = 0;
+  /// Offer counters for the open period, written by producer threads;
+  /// the drain folds them into the report.
+  int64_t period_offered_ GUARDED_BY(mutex_) = 0;
+  int64_t period_shed_ GUARDED_BY(mutex_) = 0;
 
   /// Driver-thread lifetime totals.
   int64_t total_offered_ = 0;

@@ -27,7 +27,7 @@ void TicketHolder::GrantLocked(double wait_micros, bool queued) {
 }
 
 bool TicketHolder::TryAcquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (waiters_.empty() && used_ < capacity_) {
     GrantLocked(0.0, /*queued=*/false);
     return true;
@@ -40,7 +40,7 @@ Status TicketHolder::Acquire(double timeout_ms) {
   if (!(timeout_ms >= 0.0) || !std::isfinite(timeout_ms)) {
     return Status::InvalidArgument("acquire timeout must be finite and >= 0");
   }
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (waiters_.empty() && used_ < capacity_) {
     GrantLocked(0.0, /*queued=*/false);
     return Status::Ok();
@@ -54,39 +54,51 @@ Status TicketHolder::Acquire(double timeout_ms) {
   waiters_.push_back(id);
   queue_high_water_ =
       std::max(queue_high_water_, static_cast<int>(waiters_.size()));
-  const auto start = std::chrono::steady_clock::now();
+  // Wall-clock only bounds how long the producer is willing to stall;
+  // it decides shed-vs-wait, never which result an admitted submission
+  // gets, so replay identity is untouched.
+  const auto start = std::chrono::steady_clock::now();  // NOLINT(determinism): timeout deadline for the producer stall bound; never feeds an admission result
   const auto deadline =
       start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                   std::chrono::duration<double, std::milli>(timeout_ms));
   // FIFO: only the front waiter may take a freed ticket, so a release
   // burst (or a Resize growth) wakes everyone and they grant in queue
   // order — each new front re-checks and chains the next notify below.
-  const bool granted = cv_.wait_until(lock, deadline, [&] {
-    return !waiters_.empty() && waiters_.front() == id && used_ < capacity_;
-  });
+  // Manual wait loop (the grant condition reads GUARDED_BY members, so
+  // it must sit in this annotated scope, not a predicate lambda); same
+  // semantics as std::condition_variable::wait_until with a predicate:
+  // re-check once after a timeout so a grant that raced the clock wins.
+  bool granted = GrantReadyLocked(id);
+  while (!granted) {
+    if (cv_.WaitUntil(mutex_, deadline) == std::cv_status::timeout) {
+      granted = GrantReadyLocked(id);
+      break;
+    }
+    granted = GrantReadyLocked(id);
+  }
   const double waited_micros =
       std::chrono::duration<double, std::micro>(
-          std::chrono::steady_clock::now() - start)
+          std::chrono::steady_clock::now() - start)  // NOLINT(determinism): measures the wait annotation recorded into the stats histogram
           .count();
   if (granted) {
     waiters_.pop_front();
     GrantLocked(waited_micros, /*queued=*/true);
-    if (used_ < capacity_ && !waiters_.empty()) cv_.notify_all();
+    if (used_ < capacity_ && !waiters_.empty()) cv_.NotifyAll();
     return Status::Ok();
   }
   // Timed out: leave the queue from wherever we stand; if we were the
   // front, our departure may unblock the waiter behind us.
   waiters_.erase(std::find(waiters_.begin(), waiters_.end(), id));
   ++timed_out_;
-  if (used_ < capacity_ && !waiters_.empty()) cv_.notify_all();
+  if (used_ < capacity_ && !waiters_.empty()) cv_.NotifyAll();
   return Status::ResourceExhausted("ticket wait timed out in pool " + name_);
 }
 
 void TicketHolder::Release() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   STREAMBID_CHECK_GT(used_, 0);
   --used_;
-  if (used_ < capacity_ && !waiters_.empty()) cv_.notify_all();
+  if (used_ < capacity_ && !waiters_.empty()) cv_.NotifyAll();
 }
 
 Status TicketHolder::Resize(int capacity) {
@@ -94,35 +106,35 @@ Status TicketHolder::Resize(int capacity) {
     return Status::InvalidArgument("ticket pool capacity must be >= 1");
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     capacity_ = capacity;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::Ok();
 }
 
 int TicketHolder::capacity() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return capacity_;
 }
 
 int TicketHolder::used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return used_;
 }
 
 int TicketHolder::available() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::max(0, capacity_ - used_);
 }
 
 int TicketHolder::waiting() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int>(waiters_.size());
 }
 
 TicketHolderStats TicketHolder::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   TicketHolderStats stats;
   stats.name = name_;
   stats.capacity = capacity_;

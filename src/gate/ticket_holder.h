@@ -30,14 +30,13 @@
 #ifndef STREAMBID_GATE_TICKET_HOLDER_H_
 #define STREAMBID_GATE_TICKET_HOLDER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 
 #include "common/histogram.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace streambid::gate {
 
@@ -101,26 +100,32 @@ class TicketHolder {
   TicketHolderStats Stats() const;
 
  private:
-  /// Precondition: mutex_ held, used_ < capacity_. Takes one ticket and
-  /// maintains the grant counters.
-  void GrantLocked(double wait_micros, bool queued);
+  /// Precondition (compiler-checked): mutex_ held, used_ < capacity_.
+  /// Takes one ticket and maintains the grant counters.
+  void GrantLocked(double wait_micros, bool queued) REQUIRES(mutex_);
+
+  /// True when waiter `id` holds the front of the FIFO queue and a
+  /// ticket is free — the grant condition of the Acquire wait loop.
+  bool GrantReadyLocked(uint64_t id) const REQUIRES(mutex_) {
+    return !waiters_.empty() && waiters_.front() == id && used_ < capacity_;
+  }
 
   const std::string name_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  int capacity_;
-  int used_ = 0;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int capacity_ GUARDED_BY(mutex_);
+  int used_ GUARDED_BY(mutex_) = 0;
   /// FIFO queue of waiter ids; the front waiter owns the next grant.
-  std::deque<uint64_t> waiters_;
-  uint64_t next_waiter_ = 1;
+  std::deque<uint64_t> waiters_ GUARDED_BY(mutex_);
+  uint64_t next_waiter_ GUARDED_BY(mutex_) = 1;
 
-  int64_t granted_immediate_ = 0;
-  int64_t granted_queued_ = 0;
-  int64_t timed_out_ = 0;
-  int64_t rejected_ = 0;
-  int used_high_water_ = 0;
-  int queue_high_water_ = 0;
-  WaitHistogram wait_;
+  int64_t granted_immediate_ GUARDED_BY(mutex_) = 0;
+  int64_t granted_queued_ GUARDED_BY(mutex_) = 0;
+  int64_t timed_out_ GUARDED_BY(mutex_) = 0;
+  int64_t rejected_ GUARDED_BY(mutex_) = 0;
+  int used_high_water_ GUARDED_BY(mutex_) = 0;
+  int queue_high_water_ GUARDED_BY(mutex_) = 0;
+  WaitHistogram wait_ GUARDED_BY(mutex_);
 };
 
 }  // namespace streambid::gate

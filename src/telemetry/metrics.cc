@@ -43,21 +43,21 @@ void Gauge::Add(double delta) {
 
 void Histogram::Record(double micros) {
   Slot& slot = slots_[static_cast<size_t>(ThreadSlot())];
-  std::lock_guard<std::mutex> lock(slot.mutex);
+  MutexLock lock(slot.mutex);
   slot.histogram.Record(micros);
 }
 
 LatencyHistogram Histogram::Snapshot() const {
   LatencyHistogram merged;
   for (const Slot& slot : slots_) {
-    std::lock_guard<std::mutex> lock(slot.mutex);
+    MutexLock lock(slot.mutex);
     merged.Merge(slot.histogram);
   }
   return merged;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(name, std::unique_ptr<Counter>(new Counter(name)))
@@ -67,7 +67,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge(name))).first;
@@ -76,7 +76,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -87,7 +87,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();

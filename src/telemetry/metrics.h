@@ -40,10 +40,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/histogram.h"
+#include "common/thread_annotations.h"
 
 namespace streambid::telemetry {
 
@@ -111,8 +111,8 @@ class Histogram {
   explicit Histogram(std::string name) : name_(std::move(name)) {}
 
   struct alignas(64) Slot {
-    mutable std::mutex mutex;
-    LatencyHistogram histogram;
+    mutable Mutex mutex;
+    LatencyHistogram histogram GUARDED_BY(mutex);
   };
   const std::string name_;
   std::array<Slot, kMetricSlots> slots_{};
@@ -155,10 +155,12 @@ class MetricsRegistry {
   std::string TextExposition() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace streambid::telemetry

@@ -36,18 +36,18 @@ void PeriodTracer::Record(Phase phase, int period, int shard,
   span.epoch = epoch;
   span.start_ms = start_ms;
   span.duration_ms = duration_ms;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   span.seq = next_seq_++;
   spans_.push_back(span);
 }
 
 int64_t PeriodTracer::span_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<int64_t>(spans_.size());
 }
 
 void PeriodTracer::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   spans_.clear();
   next_seq_ = 0;
 }
@@ -55,7 +55,7 @@ void PeriodTracer::Clear() {
 std::vector<TraceSpan> PeriodTracer::SortedSpans() const {
   std::vector<TraceSpan> spans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     spans = spans_;
   }
   std::sort(spans.begin(), spans.end(),

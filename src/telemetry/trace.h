@@ -24,11 +24,11 @@
 #define STREAMBID_TELEMETRY_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 
 namespace streambid::telemetry {
@@ -98,9 +98,9 @@ class PeriodTracer {
  private:
   const bool enabled_;
   Timer since_;
-  mutable std::mutex mutex_;
-  std::vector<TraceSpan> spans_;
-  int64_t next_seq_ = 0;
+  mutable Mutex mutex_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mutex_);
+  int64_t next_seq_ GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII span: times its scope and records into the tracer at

@@ -1,0 +1,546 @@
+#!/usr/bin/env python3
+# Copyright 2026 The streambid Authors
+"""Determinism linter for the streambid tree.
+
+The repo's determinism contract (ROADMAP.md): every admission, routing,
+and scaling decision is a pure function of (history, seed), replays
+byte-identical at any executor pool size. This scanner bans the C++
+constructs that silently break that contract:
+
+  random-device        std::random_device, rand(), srand() -- ambient
+                       entropy instead of the seeded per-request RNG
+                       streams.
+  time-seed            seeding an RNG from a clock (mt19937(time(0)),
+                       seed(now().count()), ...).
+  wall-clock           wall-clock reads (system_clock, steady_clock::now,
+                       high_resolution_clock, time(nullptr),
+                       clock_gettime, gettimeofday) outside the
+                       allowlisted timer/trace paths. Timing annotations
+                       belong in common/timer.h's Timer; decisions never
+                       read the clock.
+  unordered-iteration  range-for over a std::unordered_map/unordered_set
+                       (including aliases and accessors returning one):
+                       iteration order is nondeterministic, so anything
+                       folded from it in order-sensitive ways diverges
+                       across runs. Sort first, use std::map, or suppress
+                       with a reason stating why order cannot matter.
+  raw-thread           spawning std::thread outside the TaskExecutor:
+                       ad-hoc threads bypass the pool's deterministic
+                       submission order and drain barriers.
+  naked-new            naked new/delete in the hot-path directories
+                       (cluster/, gate/, telemetry/, common/): the hot
+                       path is allocation-free by contract; ownership
+                       goes through make_unique or a same-line
+                       unique_ptr/shared_ptr wrap.
+  bare-suppression     a NOLINT(determinism) without a reason. Every
+                       suppression must say WHY the construct is safe:
+                       "// NOLINT(determinism): <reason>".
+
+Suppression: append "// NOLINT(determinism): <reason>" to the flagged
+line. The reason is mandatory; a bare NOLINT(determinism) is itself a
+finding.
+
+Usage:
+  determinism_lint.py [--root REPO_ROOT]   # scan src/, exit 1 on findings
+  determinism_lint.py --self-test          # run against the fixtures
+
+Self-test: fixture files under tools/lint/fixtures/ mark each expected
+finding with "// WANT(<rule>)" on the offending line; --self-test scans
+the fixtures and asserts the finding set matches the markers exactly.
+
+No third-party dependencies; Python 3.8+ stdlib only.
+"""
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Set, Tuple
+
+Finding = Tuple[str, int, str, str]  # (relpath, line, rule, message)
+
+# --------------------------------------------------------------------------
+# Configuration
+# --------------------------------------------------------------------------
+
+
+class Config:
+    """Which paths are scanned and which are exempt from which rules.
+
+    Paths are repo-relative with forward slashes.
+    """
+
+    def __init__(self, scan_roots, wall_clock_allowlist, raw_thread_allowlist,
+                 naked_new_scope):
+        self.scan_roots = scan_roots
+        self.wall_clock_allowlist = wall_clock_allowlist
+        self.raw_thread_allowlist = raw_thread_allowlist
+        self.naked_new_scope = naked_new_scope
+
+    @staticmethod
+    def for_src():
+        return Config(
+            scan_roots=["src"],
+            # The sanctioned stopwatch: Timer wraps steady_clock for
+            # latency annotations that never feed a decision.
+            wall_clock_allowlist={"src/common/timer.h"},
+            # The pool itself owns its worker threads; cpu.cc only reads
+            # hardware_concurrency (no spawn), listed for robustness.
+            raw_thread_allowlist={
+                "src/cluster/task_executor.h",
+                "src/cluster/task_executor.cc",
+                "src/common/cpu.cc",
+            },
+            naked_new_scope=(
+                "src/cluster/",
+                "src/gate/",
+                "src/telemetry/",
+                "src/common/",
+            ),
+        )
+
+    @staticmethod
+    def for_fixtures():
+        return Config(
+            scan_roots=["tools/lint/fixtures"],
+            wall_clock_allowlist={"tools/lint/fixtures/allowlisted_clock.cc"},
+            raw_thread_allowlist={"tools/lint/fixtures/allowlisted_thread.cc"},
+            naked_new_scope=("tools/lint/fixtures/",),
+        )
+
+
+# --------------------------------------------------------------------------
+# Source text preparation
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments, string literals, and char literals.
+
+    Every replaced character becomes a space (newlines are kept), so
+    offsets and line numbers in the stripped text match the original.
+    Raw strings (R"...") are treated as ordinary strings; the delimiter
+    forms used in this repo do not contain quotes.
+    """
+    out = list(text)
+    i = 0
+    n = len(text)
+    CODE, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR = range(5)
+    state = CODE
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == CODE:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = STRING
+                out[i] = " "
+                i += 1
+                continue
+            if c == "'":
+                # Distinguish char literals from digit separators (1'000).
+                if i > 0 and text[i - 1].isalnum():
+                    i += 1
+                    continue
+                state = CHAR
+                out[i] = " "
+                i += 1
+                continue
+            i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = CODE
+            else:
+                out[i] = " "
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = CODE
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+        elif state == STRING:
+            if c == "\\":
+                out[i] = " "
+                if nxt and nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"' or c == "\n":
+                state = CODE
+            if c != "\n":
+                out[i] = " "
+            i += 1
+        else:  # CHAR
+            if c == "\\":
+                out[i] = " "
+                if nxt and nxt != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == "'" or c == "\n":
+                state = CODE
+            if c != "\n":
+                out[i] = " "
+            i += 1
+    return "".join(out)
+
+
+# --------------------------------------------------------------------------
+# Pass 1: unordered-container symbol table
+# --------------------------------------------------------------------------
+
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*(?:std::\s*)?unordered_(?:map|set)\s*<")
+
+
+def _balanced_angle_end(text: str, open_index: int) -> Optional[int]:
+    """Index just past the '>' matching the '<' at open_index."""
+    depth = 0
+    i = open_index
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            # Ignore '->' (operator arrow) inside template args.
+            if i > 0 and text[i - 1] == "-":
+                i += 1
+                continue
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c == ";":
+            return None  # unbalanced: not a template use after all
+        i += 1
+    return None
+
+
+NAME_AFTER_TYPE_RE = re.compile(r"\s*(?:const\s+)?[&*]?\s*(\w+)\s*([;={(,)\[]|$)")
+
+
+class UnorderedSymbols:
+    """Names known to denote unordered containers across the file set."""
+
+    def __init__(self):
+        self.variables: Set[str] = set()
+        self.accessors: Set[str] = set()
+        self.aliases: Set[str] = set()
+
+    def collect(self, stripped: str) -> None:
+        for m in ALIAS_RE.finditer(stripped):
+            self.aliases.add(m.group(1))
+        for m in UNORDERED_TYPE_RE.finditer(stripped):
+            end = _balanced_angle_end(stripped, m.end() - 1)
+            if end is None:
+                continue
+            self._record_declared_name(stripped, end)
+
+    def collect_alias_uses(self, stripped: str) -> None:
+        for alias in self.aliases:
+            for m in re.finditer(r"\b" + re.escape(alias) + r"\b", stripped):
+                self._record_declared_name(stripped, m.end())
+
+    def _record_declared_name(self, stripped: str, end: int) -> None:
+        m = NAME_AFTER_TYPE_RE.match(stripped, end)
+        if m is None:
+            return
+        name, delim = m.group(1), m.group(2)
+        if delim == "(":
+            self.accessors.add(name)
+        elif delim != "," and delim != ")":
+            # Skip template-argument and call-argument positions.
+            self.variables.add(name)
+        else:
+            # A parameter declaration: "const PlacementOverrides& overrides)"
+            # still introduces an unordered-typed name in the function body.
+            self.variables.add(name)
+
+
+# --------------------------------------------------------------------------
+# Range-for extraction
+# --------------------------------------------------------------------------
+
+
+def find_range_fors(stripped: str):
+    """Yields (offset, sequence_expression) for each range-based for."""
+    for m in re.finditer(r"\bfor\s*\(", stripped):
+        start = m.end() - 1
+        depth = 0
+        i = start
+        n = len(stripped)
+        while i < n:
+            c = stripped[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if i >= n:
+            continue
+        header = stripped[start + 1:i]
+        if ";" in header:
+            continue  # classic for loop
+        colon = _top_level_colon(header)
+        if colon < 0:
+            continue
+        yield m.start(), header[colon + 1:].strip()
+
+
+def _top_level_colon(header: str) -> int:
+    depth = 0
+    j = 0
+    n = len(header)
+    while j < n:
+        c = header[j]
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if j + 1 < n and header[j + 1] == ":":
+                j += 2
+                continue
+            return j
+        j += 1
+    return -1
+
+
+SEQ_VAR_RE = re.compile(r"(\w+)$")
+SEQ_CALL_RE = re.compile(r"(\w+)\s*\(\s*\)$")
+
+
+def sequence_symbol(seq: str) -> Optional[Tuple[str, str]]:
+    """Resolves a range-for sequence expression to ('var'|'call', name)."""
+    seq = seq.strip()
+    m = SEQ_CALL_RE.search(seq)
+    if m is not None:
+        return ("call", m.group(1))
+    m = SEQ_VAR_RE.search(seq)
+    if m is not None and re.fullmatch(r"[\w.\->:]+", seq.replace(" ", "")):
+        return ("var", m.group(1))
+    return None
+
+
+# --------------------------------------------------------------------------
+# Line rules
+# --------------------------------------------------------------------------
+
+RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b|\bs?rand\s*\(")
+TIME_SEED_RE = re.compile(
+    r"(?:mt19937|minstd_rand|ranlux\w*|knuth_b|default_random_engine|"
+    r"\.seed\s*\()[^;]*(?:::now\s*\(|(?<![\w:])time\s*\()")
+WALL_CLOCK_RE = re.compile(
+    r"\bsystem_clock\b|\bsteady_clock\s*::\s*now\b|"
+    r"\bhigh_resolution_clock\b|\bgettimeofday\s*\(|\bclock_gettime\s*\(|"
+    r"(?<![\w:])time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+RAW_THREAD_RE = re.compile(r"\bstd\s*::\s*thread\b\s*(?!::)")
+NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")  # new ( is placement new
+DELETE_RE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
+SMART_PTR_WRAP_RE = re.compile(
+    r"(?:unique_ptr|shared_ptr)\s*<[^<>;]*(?:<[^<>;]*>)?[^<>;]*>\s*\(\s*$")
+
+NOLINT_RE = re.compile(r"//\s*NOLINT\(determinism\)")
+NOLINT_WITH_REASON_RE = re.compile(r"//\s*NOLINT\(determinism\)\s*:\s*\S")
+WANT_RE = re.compile(r"//.*?\bWANT\(([\w-]+)\)")
+
+MESSAGES = {
+    "random-device":
+        "ambient entropy (random_device/rand/srand); use the seeded "
+        "per-request RNG streams (common/random.h)",
+    "time-seed":
+        "RNG seeded from a clock; seeds must come from the workload "
+        "config so replays are byte-identical",
+    "wall-clock":
+        "wall-clock read outside the allowlisted timer/trace paths; "
+        "decisions are pure functions of (history, seed) -- use logical "
+        "time, or common/timer.h Timer for latency annotations",
+    "unordered-iteration":
+        "iteration over an unordered container; order is "
+        "nondeterministic. Sort first, use std::map, or suppress with a "
+        "reason stating why order cannot matter",
+    "raw-thread":
+        "raw std::thread outside TaskExecutor; pool submission keeps "
+        "execution replay-deterministic and drain-safe",
+    "naked-new":
+        "naked new/delete on the hot path; use std::make_unique or a "
+        "same-line unique_ptr/shared_ptr wrap",
+    "bare-suppression":
+        "NOLINT(determinism) without a reason; write "
+        "'// NOLINT(determinism): <why this is safe>'",
+}
+
+
+def scan_file(relpath: str, raw: str, stripped: str, config: Config,
+              symbols: UnorderedSymbols) -> List[Finding]:
+    raw_lines = raw.split("\n")
+    stripped_lines = stripped.split("\n")
+    # rule -> set of 1-based line numbers with a candidate finding
+    candidates: Dict[int, Set[str]] = {}
+
+    def add(line_no: int, rule: str) -> None:
+        candidates.setdefault(line_no, set()).add(rule)
+
+    in_naked_new_scope = any(
+        relpath.startswith(prefix) for prefix in config.naked_new_scope)
+
+    for idx, line in enumerate(stripped_lines, start=1):
+        if line.lstrip().startswith("#"):
+            continue  # preprocessor: "#include <new>", "#include <thread>"
+        if RANDOM_DEVICE_RE.search(line):
+            add(idx, "random-device")
+        if TIME_SEED_RE.search(line):
+            add(idx, "time-seed")
+        elif WALL_CLOCK_RE.search(line) and \
+                relpath not in config.wall_clock_allowlist:
+            add(idx, "wall-clock")
+        if RAW_THREAD_RE.search(line) and \
+                relpath not in config.raw_thread_allowlist:
+            add(idx, "raw-thread")
+        if in_naked_new_scope:
+            for m in NEW_RE.finditer(line):
+                if not SMART_PTR_WRAP_RE.search(line[:m.start()]):
+                    add(idx, "naked-new")
+            for m in DELETE_RE.finditer(line):
+                prefix = line[:m.start()]
+                if re.search(r"=\s*$", prefix):
+                    continue  # deleted special member: "... = delete;"
+                add(idx, "naked-new")
+
+    # Unordered iteration: offsets -> line numbers via newline counting.
+    for offset, seq in find_range_fors(stripped):
+        symbol = sequence_symbol(seq)
+        if symbol is None:
+            continue
+        kind, name = symbol
+        hit = (kind == "var" and name in symbols.variables) or \
+              (kind == "call" and name in symbols.accessors)
+        if hit:
+            line_no = stripped.count("\n", 0, offset) + 1
+            add(line_no, "unordered-iteration")
+
+    findings: List[Finding] = []
+    for line_no, rules in sorted(candidates.items()):
+        raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+        if NOLINT_RE.search(raw_line):
+            continue  # suppressed; reason checked below for every NOLINT
+        for rule in sorted(rules):
+            findings.append((relpath, line_no, rule, MESSAGES[rule]))
+
+    # Suppression hygiene runs on raw lines (NOLINT lives in comments).
+    for idx, raw_line in enumerate(raw_lines, start=1):
+        if NOLINT_RE.search(raw_line) and \
+                not NOLINT_WITH_REASON_RE.search(raw_line):
+            findings.append(
+                (relpath, idx, "bare-suppression", MESSAGES["bare-suppression"]))
+
+    findings.sort(key=lambda f: (f[0], f[1], f[2]))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def iter_source_files(root: str, config: Config):
+    for scan_root in config.scan_roots:
+        base = os.path.join(root, scan_root)
+        for dirpath, _, filenames in os.walk(base):
+            for filename in sorted(filenames):
+                if filename.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    path = os.path.join(dirpath, filename)
+                    rel = os.path.relpath(path, root).replace(os.sep, "/")
+                    yield rel, path
+
+
+def run_scan(root: str, config: Config) -> List[Finding]:
+    files: List[Tuple[str, str, str]] = []  # (rel, raw, stripped)
+    symbols = UnorderedSymbols()
+    for rel, path in iter_source_files(root, config):
+        with open(path, "r", encoding="utf-8") as f:
+            raw = f.read()
+        stripped = strip_comments_and_strings(raw)
+        files.append((rel, raw, stripped))
+        symbols.collect(stripped)
+    for _, _, stripped in files:
+        symbols.collect_alias_uses(stripped)
+
+    findings: List[Finding] = []
+    for rel, raw, stripped in files:
+        findings.extend(scan_file(rel, raw, stripped, config, symbols))
+    return findings
+
+
+def self_test(root: str) -> int:
+    config = Config.for_fixtures()
+    expected: Set[Tuple[str, int, str]] = set()
+    for rel, path in iter_source_files(root, config):
+        with open(path, "r", encoding="utf-8") as f:
+            for idx, line in enumerate(f, start=1):
+                for m in WANT_RE.finditer(line):
+                    expected.add((rel, idx, m.group(1)))
+    if not expected:
+        print("determinism_lint self-test: no WANT markers found under "
+              "tools/lint/fixtures -- fixtures missing?")
+        return 2
+
+    actual = {(rel, line, rule) for rel, line, rule, _ in
+              run_scan(root, config)}
+    missing = sorted(expected - actual)
+    unexpected = sorted(actual - expected)
+    for rel, line, rule in missing:
+        print(f"MISSING   {rel}:{line}: expected [{rule}] not reported")
+    for rel, line, rule in unexpected:
+        print(f"SPURIOUS  {rel}:{line}: reported [{rule}] not expected")
+    if missing or unexpected:
+        print(f"determinism_lint self-test: FAIL "
+              f"({len(missing)} missing, {len(unexpected)} spurious)")
+        return 1
+    print(f"determinism_lint self-test: OK "
+          f"({len(expected)} findings matched)")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="scan the bundled fixtures and verify the "
+                             "finding set against their WANT markers")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.root)
+
+    findings = run_scan(args.root, Config.for_src())
+    for rel, line, rule, message in findings:
+        print(f"{rel}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s)")
+        return 1
+    print("determinism_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

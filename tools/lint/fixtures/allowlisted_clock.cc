@@ -1,0 +1,10 @@
+// Copyright 2026 The streambid Authors
+// Fixture: this file is on the wall-clock allowlist (the fixture
+// analogue of src/common/timer.h), so its clock reads are sanctioned.
+
+#include <chrono>
+
+inline double ElapsedMillis(std::chrono::steady_clock::time_point start) {
+  const auto now = std::chrono::steady_clock::now();  // allowlisted: no finding
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}

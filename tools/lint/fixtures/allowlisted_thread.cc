@@ -1,0 +1,10 @@
+// Copyright 2026 The streambid Authors
+// Fixture: this file is on the raw-thread allowlist (the fixture
+// analogue of cluster/task_executor.cc), so spawning here is fine.
+
+#include <thread>
+
+inline void PoolInternalSpawn() {
+  std::thread worker([] {});  // allowlisted: no finding
+  worker.join();
+}

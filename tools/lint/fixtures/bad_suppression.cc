@@ -1,0 +1,8 @@
+// Copyright 2026 The streambid Authors
+// Fixture: a NOLINT(determinism) without a reason is itself a finding.
+
+#include <cstdlib>
+
+inline int BareSuppressed() {
+  return std::rand();  // NOLINT(determinism) WANT(bare-suppression)
+}

@@ -1,0 +1,30 @@
+// Copyright 2026 The streambid Authors
+// Fixture: deterministic idiom throughout -- no findings expected.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+struct FixtureReport {
+  double total = 0.0;
+};
+
+inline std::unique_ptr<FixtureReport> MakeReport() {
+  return std::make_unique<FixtureReport>();
+}
+
+inline double Sum(const std::map<std::string, double>& charges_by_name) {
+  double total = 0.0;
+  for (const auto& [name, value] : charges_by_name) {
+    (void)name;
+    total += value;
+  }
+  return total;
+}
+
+inline int ClassicLoop(const std::vector<int>& values) {
+  int sum = 0;
+  for (size_t i = 0; i < values.size(); ++i) sum += values[i];
+  return sum;
+}

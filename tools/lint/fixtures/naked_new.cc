@@ -1,0 +1,35 @@
+// Copyright 2026 The streambid Authors
+// Fixture: naked new/delete in a hot-path directory. Placement new,
+// same-line smart-pointer wraps, and deleted special members are fine.
+
+#include <memory>
+
+struct FixtureWidget {
+  FixtureWidget() = default;
+  FixtureWidget(const FixtureWidget&) = delete;             // allowed
+  FixtureWidget& operator=(const FixtureWidget&) = delete;  // allowed
+};
+
+inline int* MakeLeak() {
+  return new int(3);  // WANT(naked-new)
+}
+
+inline void FreeLeak(int* p) {
+  delete p;  // WANT(naked-new)
+}
+
+inline int* MakeArray() {
+  return new int[4];  // WANT(naked-new)
+}
+
+inline void FreeArray(int* p) {
+  delete[] p;  // WANT(naked-new)
+}
+
+inline std::unique_ptr<FixtureWidget> MakeWrapped() {
+  return std::unique_ptr<FixtureWidget>(new FixtureWidget());  // allowed
+}
+
+inline void PlacementConstruct(void* buffer) {
+  ::new (buffer) FixtureWidget();  // allowed
+}

@@ -1,0 +1,9 @@
+// Copyright 2026 The streambid Authors
+// Fixture: the C rand()/srand() pair is process-global state -- banned.
+
+#include <cstdlib>
+
+inline int Roll() {
+  std::srand(42u);     // WANT(random-device)
+  return std::rand();  // WANT(random-device)
+}

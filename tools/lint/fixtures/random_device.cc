@@ -1,0 +1,9 @@
+// Copyright 2026 The streambid Authors
+// Fixture: std::random_device is ambient entropy -- banned.
+
+#include <random>
+
+inline unsigned Entropy() {
+  std::random_device device;  // WANT(random-device)
+  return device();
+}

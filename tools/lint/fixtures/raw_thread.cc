@@ -1,0 +1,12 @@
+// Copyright 2026 The streambid Authors
+// Fixture: raw std::thread spawn outside TaskExecutor. Reading
+// hardware_concurrency (std::thread:: static) is fine.
+
+#include <thread>
+
+inline void SpawnDetached() {
+  std::thread worker([] {});  // WANT(raw-thread)
+  worker.detach();
+}
+
+inline unsigned Cores() { return std::thread::hardware_concurrency(); }

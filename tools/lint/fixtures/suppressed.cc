@@ -1,0 +1,24 @@
+// Copyright 2026 The streambid Authors
+// Fixture: every violation carries a NOLINT(determinism) with a written
+// reason -- no findings expected.
+
+#include <random>
+#include <unordered_map>
+
+inline unsigned SuppressedEntropy() {
+  std::random_device device;  // NOLINT(determinism): fixture demonstrating a suppression with a written reason
+  return device();
+}
+
+struct FixtureLedger {
+  std::unordered_map<int, double> balances;
+
+  double Total() const {
+    double total = 0.0;
+    for (const auto& [user, value] : balances) {  // NOLINT(determinism): commutative sum -- iteration order cannot change the result
+      (void)user;
+      total += value;
+    }
+    return total;
+  }
+};

@@ -1,0 +1,12 @@
+// Copyright 2026 The streambid Authors
+// Fixture: seeding an RNG from a clock breaks replay identity.
+
+#include <chrono>
+#include <ctime>
+#include <random>
+
+inline std::mt19937 TimeSeededEngine() {
+  std::mt19937 rng(static_cast<unsigned>(time(nullptr)));  // WANT(time-seed)
+  rng.seed(std::chrono::steady_clock::now().time_since_epoch().count());  // WANT(time-seed)
+  return rng;
+}

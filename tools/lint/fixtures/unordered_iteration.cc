@@ -1,0 +1,41 @@
+// Copyright 2026 The streambid Authors
+// Fixture: range-for over unordered containers -- via a member, via an
+// alias-typed parameter, and via an accessor returning one.
+
+#include <unordered_map>
+
+class FixtureBilling {
+ public:
+  const std::unordered_map<int, double>& charges() const { return charges_; }
+
+  double Total() const {
+    double total = 0.0;
+    for (const auto& [user, amount] : charges_) {  // WANT(unordered-iteration)
+      total += amount;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, double> charges_;
+};
+
+using FixtureOverrides = std::unordered_map<int, int>;
+
+inline int SumOverrides(const FixtureOverrides& overrides) {
+  int sum = 0;
+  for (const auto& [user, shard] : overrides) {  // WANT(unordered-iteration)
+    (void)user;
+    sum += shard;
+  }
+  return sum;
+}
+
+inline double TotalVia(const FixtureBilling& billing) {
+  double total = 0.0;
+  for (const auto& [user, amount] : billing.charges()) {  // WANT(unordered-iteration)
+    (void)user;
+    total += amount;
+  }
+  return total;
+}

@@ -1,0 +1,14 @@
+// Copyright 2026 The streambid Authors
+// Fixture: wall-clock reads outside the allowlisted timer paths.
+
+#include <chrono>
+#include <ctime>
+
+inline double NowSeconds() {
+  const auto wall = std::chrono::system_clock::now();   // WANT(wall-clock)
+  const auto tick = std::chrono::steady_clock::now();   // WANT(wall-clock)
+  const std::time_t stamp = time(nullptr);              // WANT(wall-clock)
+  (void)wall;
+  (void)tick;
+  return static_cast<double>(stamp);
+}
