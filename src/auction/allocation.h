@@ -5,6 +5,7 @@
 #define STREAMBID_AUCTION_ALLOCATION_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "auction/types.h"

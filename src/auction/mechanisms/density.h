@@ -20,6 +20,7 @@
 #define STREAMBID_AUCTION_MECHANISMS_DENSITY_H_
 
 #include <string>
+#include <utility>
 
 #include "auction/greedy_common.h"
 #include "auction/mechanism.h"

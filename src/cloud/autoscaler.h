@@ -21,7 +21,6 @@
 #include <deque>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "auction/instance.h"
 #include "cloud/energy.h"

@@ -8,7 +8,6 @@
 #ifndef STREAMBID_CLOUD_SUBSCRIPTION_H_
 #define STREAMBID_CLOUD_SUBSCRIPTION_H_
 
-#include <map>
 #include <string>
 #include <vector>
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "cluster/task_executor.h"
+#include "common/lock_order.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -165,7 +166,9 @@ class AdmissionExecutor {
   /// per-shard mutex only synchronizes against StatsReport/ResetStats
   /// readers). StatsReport merges via RunningStats::Merge.
   struct WorkerStats {
-    mutable Mutex mutex;
+    mutable Mutex mutex ACQUIRED_AFTER(kClusterRankBoundary)
+        ACQUIRED_BEFORE(kExecutorRankBoundary) =
+            Mutex{LockRank::kClusterWorkerStats, "cluster/worker_stats"};
     int64_t total_requests GUARDED_BY(mutex) = 0;
     int64_t failed_requests GUARDED_BY(mutex) = 0;
     std::map<std::string, MechanismRollingStats> per_mechanism

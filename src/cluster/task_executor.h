@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "common/inline_function.h"
+#include "common/lock_order.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "service/admission_service.h"
@@ -320,7 +321,8 @@ class TaskExecutor {
   /// worker rather than pooled; cache-line alignment keeps neighboring
   /// deques from false-sharing.
   struct alignas(64) WorkerDeque {
-    Mutex mutex;
+    Mutex mutex ACQUIRED_AFTER(kExecutorRankBoundary) =
+        Mutex{LockRank::kExecutorDeque, "executor/deque"};
     /// Circular storage; size() == capacity.
     std::vector<WorkItem> ring GUARDED_BY(mutex);
     /// Index of the oldest item (steal end).
@@ -461,12 +463,14 @@ class TaskExecutor {
   /// Pure condvar pairing mutex: the space-waiter protocol's state
   /// (max_queue_depth_, total_queued_) is atomic; the lock only closes
   /// the check-then-sleep window.
-  Mutex space_mutex_;
+  Mutex space_mutex_ ACQUIRED_AFTER(wake_mutex_) =
+      Mutex{LockRank::kExecutorSpace, "executor/space"};
   CondVar space_cv_;  ///< Signals queue space freed.
   std::atomic<int> space_waiters_{0};
 
   // -- Worker parking (eventcount) ----------------------------------
-  Mutex wake_mutex_;
+  Mutex wake_mutex_ ACQUIRED_AFTER(grow_mutex_) =
+      Mutex{LockRank::kExecutorWake, "executor/wake"};
   CondVar work_cv_;  ///< Signals queued work / teardown.
   uint64_t work_epoch_ GUARDED_BY(wake_mutex_) = 0;
   std::atomic<int> idle_workers_{0};
@@ -484,14 +488,18 @@ class TaskExecutor {
   /// analysis cannot express, so the invariant stays prose here.
   std::vector<std::unique_ptr<TicketSlot[]>> slot_chunks_;
   std::atomic<uint32_t> num_slots_{0};
-  Mutex grow_mutex_;  ///< Serializes table growth only.
+  /// Serializes table growth only.
+  Mutex grow_mutex_ ACQUIRED_AFTER(kExecutorRankBoundary) =
+      Mutex{LockRank::kExecutorGrow, "executor/grow"};
   /// Treiber free stack: low 32 bits encode (index + 1) of the head (0
   /// = empty), high 32 bits are a pop tag against ABA.
   std::atomic<uint64_t> free_head_{0};
   std::atomic<int> pending_tickets_{0};
   /// Pure condvar pairing mutex (completion state is the atomic slot
   /// control words); closes the Wait/RunAll check-then-sleep window.
-  Mutex done_mutex_;
+  Mutex done_mutex_ ACQUIRED_AFTER(space_mutex_)
+      ACQUIRED_BEFORE(kTelemetryRankBoundary) =
+          Mutex{LockRank::kExecutorDone, "executor/done"};
   CondVar done_cv_;  ///< Signals completions.
   std::atomic<int> done_waiters_{0};
 

@@ -1,0 +1,103 @@
+// Copyright 2026 The streambid Authors
+// The debug-build deadlock sentinel (see lock_order.h). Compiled to an
+// empty translation unit unless -DSTREAMBID_LOCK_ORDER=ON.
+
+#include "common/lock_order.h"
+
+#if STREAMBID_LOCK_ORDER
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace streambid::lock_order {
+
+namespace {
+
+struct HeldLock {
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+/// The per-thread held-lock stack. A fixed array — the sentinel must
+/// not allocate (it runs inside Mutex::lock on allocation-free hot
+/// paths, under TSan, and possibly under a malloc lock).
+struct HeldStack {
+  HeldLock locks[kMaxHeldLocks];
+  int depth = 0;
+};
+
+thread_local HeldStack tls_held;
+
+void DumpHeldStack(const HeldStack& held) {
+  std::fprintf(stderr, "  held stack (outermost first):\n");
+  for (int i = 0; i < held.depth; ++i) {
+    std::fprintf(stderr, "    [%d] %s (rank %d)\n", i, held.locks[i].name,
+                 held.locks[i].rank);
+  }
+}
+
+[[noreturn]] void FailOrderViolation(const HeldStack& held, int rank,
+                                     const char* name) {
+  const HeldLock& top = held.locks[held.depth - 1];
+  std::fprintf(stderr,
+               "LOCK-ORDER CHECK failed: acquiring \"%s\" (rank %d) while "
+               "holding \"%s\" (rank %d) descends the declared hierarchy "
+               "(common/lock_order.h: ranks must strictly ascend)\n",
+               name, rank, top.name, top.rank);
+  DumpHeldStack(held);
+  std::abort();
+}
+
+void CheckAndPush(LockRank lock_rank, const char* name) {
+  HeldStack& held = tls_held;
+  const int rank = static_cast<int>(lock_rank);
+  if (held.depth > 0 && held.locks[held.depth - 1].rank >= rank) {
+    FailOrderViolation(held, rank, name);
+  }
+  if (held.depth >= kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "LOCK-ORDER CHECK failed: held-lock stack overflow "
+                 "acquiring \"%s\" (rank %d) — more than %d locks held\n",
+                 name, rank, kMaxHeldLocks);
+    DumpHeldStack(held);
+    std::abort();
+  }
+  held.locks[held.depth] = HeldLock{rank, name};
+  ++held.depth;
+}
+
+}  // namespace
+
+void OnAcquire(LockRank rank, const char* name) { CheckAndPush(rank, name); }
+
+void OnTryAcquire(LockRank rank, const char* name) {
+  CheckAndPush(rank, name);
+}
+
+void OnRelease(LockRank lock_rank, const char* name) {
+  HeldStack& held = tls_held;
+  const int rank = static_cast<int>(lock_rank);
+  // MutexLock scopes release LIFO, so the top almost always matches;
+  // searching down tolerates a manual out-of-order unlock.
+  for (int i = held.depth - 1; i >= 0; --i) {
+    if (held.locks[i].rank == rank && held.locks[i].name == name) {
+      for (int j = i; j + 1 < held.depth; ++j) {
+        held.locks[j] = held.locks[j + 1];
+      }
+      --held.depth;
+      return;
+    }
+  }
+  std::fprintf(stderr,
+               "LOCK-ORDER CHECK failed: releasing \"%s\" (rank %d) that "
+               "this thread does not hold\n",
+               name, rank);
+  DumpHeldStack(held);
+  std::abort();
+}
+
+int HeldDepth() { return tls_held.depth; }
+
+}  // namespace streambid::lock_order
+
+#endif  // STREAMBID_LOCK_ORDER

@@ -7,6 +7,7 @@
 #define STREAMBID_COMMON_RNG_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"

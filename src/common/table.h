@@ -5,11 +5,13 @@
 #ifndef STREAMBID_COMMON_TABLE_H_
 #define STREAMBID_COMMON_TABLE_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"

@@ -38,6 +38,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "common/lock_order.h"
+
 #if defined(__clang__) && defined(__has_attribute)
 #define STREAMBID_THREAD_ANNOTATION_(x) __attribute__((x))
 #else
@@ -75,29 +77,102 @@
 
 namespace streambid {
 
+/// Phantom capability anchoring the cross-class half of the declared
+/// lock hierarchy (common/lock_order.h). The boundaries below are never
+/// locked; they exist so every Mutex member — whose ACQUIRED_BEFORE /
+/// ACQUIRED_AFTER arguments must name capabilities visible at its
+/// declaration — can chain to the layer order (gate → cluster →
+/// executor → telemetry → leaf) even when its real neighbors live in
+/// other classes. Clang parses the chain today and checks it wherever
+/// -Wthread-safety-beta is enabled; the lock-order lint and the runtime
+/// sentinel enforce the same order unconditionally.
+class CAPABILITY("mutex") RankBoundary {
+ public:
+  constexpr RankBoundary() = default;
+  RankBoundary(const RankBoundary&) = delete;
+  RankBoundary& operator=(const RankBoundary&) = delete;
+};
+
+inline constexpr RankBoundary kGateRankBoundary;
+inline constexpr RankBoundary kClusterRankBoundary
+    ACQUIRED_AFTER(kGateRankBoundary);
+inline constexpr RankBoundary kExecutorRankBoundary
+    ACQUIRED_AFTER(kClusterRankBoundary);
+inline constexpr RankBoundary kTelemetryRankBoundary
+    ACQUIRED_AFTER(kExecutorRankBoundary);
+inline constexpr RankBoundary kLeafRankBoundary
+    ACQUIRED_AFTER(kTelemetryRankBoundary);
+
 /// The repo's mutex: std::mutex carrying the capability attribute so
-/// the analysis can name it in GUARDED_BY/REQUIRES expressions. It
-/// satisfies the standard Lockable concept (lock/unlock/try_lock), so
-/// std::unique_lock<Mutex> and std::lock_guard<Mutex> call sites keep
-/// compiling — but prefer MutexLock, which the analysis understands as
-/// a scoped acquire (std::unique_lock is opaque to it on libstdc++).
+/// the analysis can name it in GUARDED_BY/REQUIRES expressions, plus a
+/// compile-time rank and name binding it into the declared lock
+/// hierarchy (common/lock_order.h). It satisfies the standard Lockable
+/// concept (lock/unlock/try_lock), so std::unique_lock<Mutex> and
+/// std::lock_guard<Mutex> call sites keep compiling — but prefer
+/// MutexLock, which the analysis understands as a scoped acquire
+/// (std::unique_lock is opaque to it on libstdc++).
+///
+/// Under -DSTREAMBID_LOCK_ORDER=ON, lock/try_lock/unlock feed the
+/// thread-local held-lock sentinel, which CHECK-fails on any
+/// acquisition that does not strictly ascend the rank order. When the
+/// option is off the hooks are empty inline bodies and the rank/name
+/// are not even stored — the wrapper is the same zero-overhead
+/// forwarding shim it was before the hierarchy existed.
 class CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// Unranked construction defaults to LockRank::kLeaf (innermost:
+  /// nothing may be acquired while holding it) — the safe default for
+  /// tests and scratch code. Every Mutex under src/ must name its rank
+  /// explicitly; the lock-order lint fails on one that does not.
+  constexpr Mutex() : Mutex(LockRank::kLeaf, "unranked") {}
+  constexpr Mutex(LockRank rank, const char* name)
+#if STREAMBID_LOCK_ORDER
+      : rank_(rank), name_(name)
+#endif
+  {
+    (void)rank;
+    (void)name;
+  }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() ACQUIRE() { mu_.lock(); }
-  void unlock() RELEASE() { mu_.unlock(); }
-  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() ACQUIRE() {
+    // The sentinel checks BEFORE blocking: a real inversion may
+    // deadlock inside mu_.lock() and never return to report itself.
+    lock_order::OnAcquire(rank(), name());
+    mu_.lock();
+  }
+  void unlock() RELEASE() {
+    lock_order::OnRelease(rank(), name());
+    mu_.unlock();
+  }
+  bool try_lock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    // A try-lock cannot deadlock, but a descending one still violates
+    // the declared order — flagged after the fact.
+    lock_order::OnTryAcquire(rank(), name());
+    return true;
+  }
 
   /// The wrapped std::mutex, for CondVar's adopt-lock wait bridge.
   /// Callers must not lock it directly — that would bypass the
   /// capability tracking this wrapper exists for.
   std::mutex& native_handle() { return mu_; }
 
+#if STREAMBID_LOCK_ORDER
+  constexpr LockRank rank() const { return rank_; }
+  constexpr const char* name() const { return name_; }
+#else
+  constexpr LockRank rank() const { return LockRank::kLeaf; }
+  constexpr const char* name() const { return "unranked"; }
+#endif
+
  private:
   std::mutex mu_;
+#if STREAMBID_LOCK_ORDER
+  const LockRank rank_;
+  const char* const name_;
+#endif
 };
 
 /// RAII lock the analysis tracks: construction acquires the capability,

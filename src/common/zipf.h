@@ -7,7 +7,7 @@
 #define STREAMBID_COMMON_ZIPF_H_
 
 #include <cmath>
-#include <cstdint>
+#include <cstddef>
 #include <vector>
 
 #include "common/check.h"

@@ -39,10 +39,10 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <string>
 #include <vector>
 
 #include "cluster/cluster_center.h"
+#include "common/lock_order.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "gate/throughput_probe.h"
@@ -177,7 +177,9 @@ class StreamIngress {
   std::vector<std::unique_ptr<TicketHolder>> pools_;
   ThroughputProbe probe_;
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_ ACQUIRED_AFTER(kGateRankBoundary)
+      ACQUIRED_BEFORE(kClusterRankBoundary) =
+          Mutex{LockRank::kGateIngress, "gate/ingress"};
   /// Ticket-holding submissions awaiting the next drain, with the class
   /// whose pool each ticket came from.
   struct Buffered {

@@ -35,6 +35,7 @@
 #include <string>
 
 #include "common/histogram.h"
+#include "common/lock_order.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 
@@ -111,7 +112,9 @@ class TicketHolder {
   }
 
   const std::string name_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_ ACQUIRED_AFTER(kGateRankBoundary)
+      ACQUIRED_BEFORE(kClusterRankBoundary) =
+          Mutex{LockRank::kGateTicketPool, "gate/ticket_pool"};
   CondVar cv_;
   int capacity_ GUARDED_BY(mutex_);
   int used_ GUARDED_BY(mutex_) = 0;

@@ -13,6 +13,7 @@
 #define STREAMBID_SERVICE_ADMISSION_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>

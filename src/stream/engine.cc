@@ -3,6 +3,7 @@
 #include "stream/engine.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/check.h"

@@ -6,9 +6,9 @@
 #ifndef STREAMBID_STREAM_OPERATORS_DISTINCT_H_
 #define STREAMBID_STREAM_OPERATORS_DISTINCT_H_
 
-#include <deque>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "stream/operator.h"
 

@@ -6,6 +6,7 @@
 #define STREAMBID_STREAM_OPERATORS_SELECT_H_
 
 #include <string>
+#include <vector>
 
 #include "stream/operator.h"
 

@@ -7,6 +7,7 @@
 #define STREAMBID_STREAM_OPERATORS_TOPK_H_
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "stream/operator.h"

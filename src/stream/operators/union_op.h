@@ -4,6 +4,8 @@
 #ifndef STREAMBID_STREAM_OPERATORS_UNION_OP_H_
 #define STREAMBID_STREAM_OPERATORS_UNION_OP_H_
 
+#include <vector>
+
 #include "common/check.h"
 #include "stream/operator.h"
 

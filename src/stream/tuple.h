@@ -5,6 +5,7 @@
 #define STREAMBID_STREAM_TUPLE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"

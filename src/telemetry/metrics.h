@@ -41,8 +41,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "common/histogram.h"
+#include "common/lock_order.h"
 #include "common/thread_annotations.h"
 
 namespace streambid::telemetry {
@@ -111,7 +113,14 @@ class Histogram {
   explicit Histogram(std::string name) : name_(std::move(name)) {}
 
   struct alignas(64) Slot {
-    mutable Mutex mutex;
+    /// Innermost in the telemetry layer: MetricsRegistry::Snapshot
+    /// holds the registry mutex (kMetricsRegistry, 400) across this
+    /// lock — a sanctioned nesting, ascending by rank value; the
+    /// cross-class edge itself is enforced by the lock-order lint and
+    /// the runtime sentinel.
+    mutable Mutex mutex ACQUIRED_AFTER(kTelemetryRankBoundary)
+        ACQUIRED_BEFORE(kLeafRankBoundary) =
+            Mutex{LockRank::kHistogramSlot, "telemetry/histogram_slot"};
     LatencyHistogram histogram GUARDED_BY(mutex);
   };
   const std::string name_;
@@ -155,7 +164,9 @@ class MetricsRegistry {
   std::string TextExposition() const;
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_ ACQUIRED_AFTER(kTelemetryRankBoundary)
+      ACQUIRED_BEFORE(kLeafRankBoundary) =
+          Mutex{LockRank::kMetricsRegistry, "telemetry/metrics_registry"};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);

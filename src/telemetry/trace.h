@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
@@ -98,7 +99,9 @@ class PeriodTracer {
  private:
   const bool enabled_;
   Timer since_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_ ACQUIRED_AFTER(kTelemetryRankBoundary)
+      ACQUIRED_BEFORE(kLeafRankBoundary) =
+          Mutex{LockRank::kPeriodTracer, "telemetry/tracer"};
   std::vector<TraceSpan> spans_ GUARDED_BY(mutex_);
   int64_t next_seq_ GUARDED_BY(mutex_) = 0;
 };

@@ -6,6 +6,7 @@
 #ifndef STREAMBID_WORKLOAD_RAW_WORKLOAD_H_
 #define STREAMBID_WORKLOAD_RAW_WORKLOAD_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "auction/instance.h"

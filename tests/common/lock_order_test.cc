@@ -1,0 +1,128 @@
+// Copyright 2026 The streambid Authors
+// The declared lock hierarchy (common/lock_order.h) and its runtime
+// sentinel. The rank-table tests run in every build; the sentinel
+// tests (held-depth accounting, the inversion death test) need
+// -DSTREAMBID_LOCK_ORDER=ON and skip themselves when the hooks are
+// compiled out.
+
+#include "common/lock_order.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_annotations.h"
+
+namespace streambid {
+namespace {
+
+TEST(LockRankTableTest, StrictlyAscending) {
+  ASSERT_GE(lock_order::kRankTableSize, 2u);
+  for (size_t i = 1; i < lock_order::kRankTableSize; ++i) {
+    EXPECT_LT(static_cast<int>(lock_order::kRankTable[i - 1].rank),
+              static_cast<int>(lock_order::kRankTable[i].rank))
+        << lock_order::kRankTable[i - 1].name << " vs "
+        << lock_order::kRankTable[i].name;
+  }
+}
+
+TEST(LockRankTableTest, NamesMatchEnumerators) {
+  // Spot-check both ends so a reordered table cannot silently drift
+  // from the enum (the full pairing is pinned by aggregate order).
+  EXPECT_STREQ(lock_order::kRankTable[0].name, "kGateIngress");
+  EXPECT_EQ(lock_order::kRankTable[0].rank, LockRank::kGateIngress);
+  const auto& last =
+      lock_order::kRankTable[lock_order::kRankTableSize - 1];
+  EXPECT_STREQ(last.name, "kLeaf");
+  EXPECT_EQ(last.rank, LockRank::kLeaf);
+}
+
+TEST(LockRankTableTest, UnrankedMutexDefaultsToLeaf) {
+  Mutex unranked;
+  EXPECT_EQ(unranked.rank(), LockRank::kLeaf);
+}
+
+// Every adjacent rank pair, acquired in declared order, is silent: the
+// full suite runs under the armed sentinel in CI, and this test is the
+// explicit witness that the sanctioned order itself never trips it.
+TEST(LockOrderSentinelTest, AdjacentPairsInOrderAreSilent) {
+  for (size_t i = 1; i < lock_order::kRankTableSize; ++i) {
+    Mutex lo{lock_order::kRankTable[i - 1].rank,
+             lock_order::kRankTable[i - 1].name};
+    Mutex hi{lock_order::kRankTable[i].rank,
+             lock_order::kRankTable[i].name};
+    MutexLock outer(lo);
+    MutexLock inner(hi);
+  }
+}
+
+// The whole hierarchy nested at once stays within the sentinel's
+// held-stack capacity with room to spare.
+TEST(LockOrderSentinelTest, FullChainFitsTheHeldStack) {
+  Mutex chain0{lock_order::kRankTable[0].rank, "chain0"};
+  Mutex chain1{lock_order::kRankTable[1].rank, "chain1"};
+  Mutex chain2{lock_order::kRankTable[2].rank, "chain2"};
+  MutexLock l0(chain0);
+  MutexLock l1(chain1);
+  MutexLock l2(chain2);
+#if STREAMBID_LOCK_ORDER
+  EXPECT_EQ(lock_order::HeldDepth(), 3);
+#else
+  EXPECT_EQ(lock_order::HeldDepth(), 0);  // hooks compiled out
+#endif
+}
+
+#if STREAMBID_LOCK_ORDER
+
+TEST(LockOrderSentinelTest, HeldDepthTracksScopes) {
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+  Mutex gate{LockRank::kGateIngress, "test/gate"};
+  {
+    MutexLock lock(gate);
+    EXPECT_EQ(lock_order::HeldDepth(), 1);
+  }
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderSentinelTest, TryLockParticipates) {
+  Mutex gate{LockRank::kGateIngress, "test/gate"};
+  ASSERT_TRUE(gate.try_lock());
+  EXPECT_EQ(lock_order::HeldDepth(), 1);
+  gate.unlock();
+  EXPECT_EQ(lock_order::HeldDepth(), 0);
+}
+
+TEST(LockOrderSentinelDeathTest, InversionAbortsWithBothLockNames) {
+  Mutex hi{LockRank::kHistogramSlot, "test/hi_slot"};
+  Mutex lo{LockRank::kGateIngress, "test/lo_gate"};
+  EXPECT_DEATH(
+      {
+        MutexLock inner(hi);
+        MutexLock outer(lo);
+      },
+      "LOCK-ORDER CHECK failed: acquiring \"test/lo_gate\" \\(rank 100\\) "
+      "while holding \"test/hi_slot\" \\(rank 500\\)");
+}
+
+TEST(LockOrderSentinelDeathTest, SameRankReacquisitionAborts) {
+  // Strict ascent: two locks of one rank (striped shards) must never
+  // nest, whichever is taken first.
+  Mutex shard_a{LockRank::kHistogramSlot, "test/shard_a"};
+  Mutex shard_b{LockRank::kHistogramSlot, "test/shard_b"};
+  EXPECT_DEATH(
+      {
+        MutexLock first(shard_a);
+        MutexLock second(shard_b);
+      },
+      "LOCK-ORDER CHECK failed: acquiring \"test/shard_b\"");
+}
+
+#else  // !STREAMBID_LOCK_ORDER
+
+TEST(LockOrderSentinelTest, SentinelCompiledOut) {
+  GTEST_SKIP() << "sentinel tests need -DSTREAMBID_LOCK_ORDER=ON; the "
+                  "hooks are empty inline bodies in this build";
+}
+
+#endif  // STREAMBID_LOCK_ORDER
+
+}  // namespace
+}  // namespace streambid

@@ -36,17 +36,25 @@ constructs that silently break that contract:
                        suppression must say WHY the construct is safe:
                        "// NOLINT(determinism): <reason>".
 
-Suppression: append "// NOLINT(determinism): <reason>" to the flagged
-line. The reason is mandatory; a bare NOLINT(determinism) is itself a
-finding.
+Rules match per logical statement, not per physical line: lines are
+joined until a ';', '{', or '}' terminator (or a blank/comment-only
+boundary), so a clock-seeded RNG split across lines is caught by the
+specific time-seed rule rather than the generic wall-clock rule, and a
+unique_ptr wrap whose `new` sits on a continuation line is recognized
+as wrapped. Findings anchor at the line where the match starts.
+
+Suppression: append "// NOLINT(determinism): <reason>" to any line of
+the flagged statement. The reason is mandatory; a bare
+NOLINT(determinism) is itself a finding.
 
 Usage:
   determinism_lint.py [--root REPO_ROOT]   # scan src/, exit 1 on findings
   determinism_lint.py --self-test          # run against the fixtures
 
-Self-test: fixture files under tools/lint/fixtures/ mark each expected
-finding with "// WANT(<rule>)" on the offending line; --self-test scans
-the fixtures and asserts the finding set matches the markers exactly.
+Self-test: fixture files under tools/lint/fixtures/determinism/ mark
+each expected finding with "// WANT(<rule>)" on the offending line;
+--self-test scans the fixtures and asserts the finding set matches the
+markers exactly.
 
 No third-party dependencies; Python 3.8+ stdlib only.
 """
@@ -102,10 +110,12 @@ class Config:
     @staticmethod
     def for_fixtures():
         return Config(
-            scan_roots=["tools/lint/fixtures"],
-            wall_clock_allowlist={"tools/lint/fixtures/allowlisted_clock.cc"},
-            raw_thread_allowlist={"tools/lint/fixtures/allowlisted_thread.cc"},
-            naked_new_scope=("tools/lint/fixtures/",),
+            scan_roots=["tools/lint/fixtures/determinism"],
+            wall_clock_allowlist={
+                "tools/lint/fixtures/determinism/allowlisted_clock.cc"},
+            raw_thread_allowlist={
+                "tools/lint/fixtures/determinism/allowlisted_thread.cc"},
+            naked_new_scope=("tools/lint/fixtures/determinism/",),
         )
 
 
@@ -387,41 +397,90 @@ MESSAGES = {
 }
 
 
+def split_statements(stripped_lines: List[str]):
+    """Groups physical lines into logical statements.
+
+    Yields (first_line, text) with 1-based first_line and the joined
+    (newline-preserving) statement text. A statement closes at a line
+    whose code ends with ';', '{', or '}', or at a blank/comment-only
+    line (already spaces in the stripped text). Preprocessor directives
+    (with backslash continuations) are boundaries, never joined -- an
+    #include must not glue onto the statement after it.
+    """
+    buf: List[str] = []
+    buf_start = 0
+    in_directive = False
+    for idx, line in enumerate(stripped_lines, start=1):
+        if in_directive:
+            in_directive = line.rstrip().endswith("\\")
+            continue
+        if line.lstrip().startswith("#"):
+            in_directive = line.rstrip().endswith("\\")
+            if buf:
+                yield buf_start, "\n".join(buf)
+                buf = []
+            continue
+        if not buf:
+            buf_start = idx
+        buf.append(line)
+        code = line.rstrip()
+        if not code or code[-1] in ";{}":
+            yield buf_start, "\n".join(buf)
+            buf = []
+    if buf:
+        yield buf_start, "\n".join(buf)
+
+
 def scan_file(relpath: str, raw: str, stripped: str, config: Config,
               symbols: UnorderedSymbols) -> List[Finding]:
     raw_lines = raw.split("\n")
     stripped_lines = stripped.split("\n")
     # rule -> set of 1-based line numbers with a candidate finding
     candidates: Dict[int, Set[str]] = {}
+    # line -> (first, last) line span of the statement that produced the
+    # candidate, so a NOLINT anywhere on the statement suppresses it.
+    spans: Dict[int, Tuple[int, int]] = {}
 
-    def add(line_no: int, rule: str) -> None:
+    def add(line_no: int, rule: str, first: int, last: int) -> None:
         candidates.setdefault(line_no, set()).add(rule)
+        old = spans.get(line_no, (line_no, line_no))
+        spans[line_no] = (min(old[0], first), max(old[1], last))
 
     in_naked_new_scope = any(
         relpath.startswith(prefix) for prefix in config.naked_new_scope)
 
-    for idx, line in enumerate(stripped_lines, start=1):
-        if line.lstrip().startswith("#"):
-            continue  # preprocessor: "#include <new>", "#include <thread>"
-        if RANDOM_DEVICE_RE.search(line):
-            add(idx, "random-device")
-        if TIME_SEED_RE.search(line):
-            add(idx, "time-seed")
-        elif WALL_CLOCK_RE.search(line) and \
-                relpath not in config.wall_clock_allowlist:
-            add(idx, "wall-clock")
-        if RAW_THREAD_RE.search(line) and \
-                relpath not in config.raw_thread_allowlist:
-            add(idx, "raw-thread")
+    for first, text in split_statements(stripped_lines):
+        last = first + text.count("\n")
+
+        def line_of(offset: int, base: int = first, body: str = text) -> int:
+            return base + body.count("\n", 0, offset)
+
+        for m in RANDOM_DEVICE_RE.finditer(text):
+            add(line_of(m.start()), "random-device", first, last)
+        seeded = False
+        for m in TIME_SEED_RE.finditer(text):
+            add(line_of(m.start()), "time-seed", first, last)
+            seeded = True
+        # The statement-level counterpart of the old per-line elif: a
+        # clock read that feeds a seed is the seed finding, wherever the
+        # line break falls within the statement.
+        if not seeded and relpath not in config.wall_clock_allowlist:
+            for m in WALL_CLOCK_RE.finditer(text):
+                add(line_of(m.start()), "wall-clock", first, last)
+        if relpath not in config.raw_thread_allowlist:
+            for m in RAW_THREAD_RE.finditer(text):
+                add(line_of(m.start()), "raw-thread", first, last)
         if in_naked_new_scope:
-            for m in NEW_RE.finditer(line):
-                if not SMART_PTR_WRAP_RE.search(line[:m.start()]):
-                    add(idx, "naked-new")
-            for m in DELETE_RE.finditer(line):
-                prefix = line[:m.start()]
+            for m in NEW_RE.finditer(text):
+                # The wrap check sees the whole statement prefix, so
+                # "unique_ptr<T> p(\n    new T)" counts as wrapped.
+                if not SMART_PTR_WRAP_RE.search(text[:m.start()]):
+                    add(line_of(m.start()), "naked-new", first, last)
+            for m in DELETE_RE.finditer(text):
+                prefix = text[:m.start()]
                 if re.search(r"=\s*$", prefix):
                     continue  # deleted special member: "... = delete;"
-                add(idx, "naked-new")
+                add(line_of(m.start()), "naked-new", first, last)
 
     # Unordered iteration: offsets -> line numbers via newline counting.
     for offset, seq in find_range_fors(stripped):
@@ -433,12 +492,13 @@ def scan_file(relpath: str, raw: str, stripped: str, config: Config,
               (kind == "call" and name in symbols.accessors)
         if hit:
             line_no = stripped.count("\n", 0, offset) + 1
-            add(line_no, "unordered-iteration")
+            add(line_no, "unordered-iteration", line_no, line_no)
 
     findings: List[Finding] = []
     for line_no, rules in sorted(candidates.items()):
-        raw_line = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
-        if NOLINT_RE.search(raw_line):
+        first, last = spans[line_no]
+        span = raw_lines[first - 1:min(last, len(raw_lines))]
+        if any(NOLINT_RE.search(raw_line) for raw_line in span):
             continue  # suppressed; reason checked below for every NOLINT
         for rule in sorted(rules):
             findings.append((relpath, line_no, rule, MESSAGES[rule]))

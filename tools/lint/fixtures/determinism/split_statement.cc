@@ -1,0 +1,44 @@
+// Copyright 2026 The streambid Authors
+// Fixture: statements split across physical lines. The joiner must see
+// each construct whole — the clock-seeded RNGs below hit the specific
+// time-seed rule (not the generic wall-clock rule), and the wrapped
+// new on a continuation line is recognized as wrapped.
+
+#include <chrono>
+#include <ctime>
+#include <memory>
+#include <random>
+
+inline std::mt19937 SplitTimeSeed() {
+  std::mt19937 rng(  // WANT(time-seed)
+      static_cast<unsigned>(time(nullptr)));
+  return rng;
+}
+
+inline void SplitSeedCall(std::mt19937& rng) {
+  rng.seed(  // WANT(time-seed)
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+inline int* SplitNakedNew() {
+  int* leaked =
+      new int(7);  // WANT(naked-new)
+  return leaked;
+}
+
+inline std::unique_ptr<int> SplitWrappedNew() {
+  // Clean: the unique_ptr wrap is on the line above the new, which the
+  // per-line scanner used to flag and the statement joiner must not.
+  auto owned = std::unique_ptr<int>(
+      new int(9));
+  return owned;
+}
+
+inline void SuppressedSplitSeed(std::mt19937& rng) {
+  // A NOLINT anywhere on the statement suppresses it (here: on the
+  // continuation line holding the clock read).
+  rng.seed(
+      std::chrono::steady_clock::now()  // NOLINT(determinism): fixture exercising statement-wide suppression
+          .time_since_epoch()
+          .count());
+}

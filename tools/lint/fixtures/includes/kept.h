@@ -1,0 +1,16 @@
+// Copyright 2026 The streambid Authors
+// Fixture: an IWYU keep pragma holds an include the token map cannot
+// justify (macro-only use, platform quirks) -- no findings here.
+
+#ifndef STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_KEPT_H_
+#define STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_KEPT_H_
+
+#include <cassert>  // IWYU pragma: keep
+#include <cstdint>
+#include <optional>
+
+// Unqualified C-header spellings count as use: <cstdint> is justified
+// by uint32_t alone, no std:: required.
+inline std::optional<uint32_t> Nothing() { return std::nullopt; }
+
+#endif  // STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_KEPT_H_

@@ -1,0 +1,14 @@
+// Copyright 2026 The streambid Authors
+// Fixture: a symbol used without its own #include leaks in through
+// whatever <string> happens to pull today.
+
+#ifndef STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_MISSING_H_
+#define STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_MISSING_H_
+
+#include <string>
+
+inline std::vector<std::string> Names() {  // WANT(missing-include)
+  return {};
+}
+
+#endif  // STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_MISSING_H_

@@ -1,0 +1,13 @@
+// Copyright 2026 The streambid Authors
+// Fixture: an include whose symbols never appear is dead dependency
+// weight for every consumer.
+
+#ifndef STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_UNUSED_H_
+#define STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_UNUSED_H_
+
+#include <string>
+#include <vector>  // WANT(unused-include)
+
+inline std::string Greeting() { return "hello"; }
+
+#endif  // STREAMBID_TOOLS_LINT_FIXTURES_INCLUDES_UNUSED_H_

@@ -1,0 +1,17 @@
+// Copyright 2026 The streambid Authors
+// Fixture: acquisitions that strictly ascend the hierarchy are silent,
+// including one reached through a call while a lock is held.
+
+#include "ranks.h"
+
+Mutex g_asc_outer{LockRank::kOuter, "fixture/asc_outer"};
+Mutex g_asc_inner{LockRank::kInner, "fixture/asc_inner"};
+Mutex g_asc_leaf{LockRank::kLeaf, "fixture/asc_leaf"};
+
+inline void LockAscLeaf() { MutexLock leaf(g_asc_leaf); }
+
+inline void AscendingOrder() {
+  MutexLock outer(g_asc_outer);
+  MutexLock inner(g_asc_inner);
+  LockAscLeaf();
+}

@@ -1,0 +1,14 @@
+// Copyright 2026 The streambid Authors
+// Fixture: a NOLINT(lockorder) with no reason still suppresses the
+// edge, but is itself a finding -- every suppression must say WHY the
+// order is safe.
+
+#include "ranks.h"
+
+Mutex g_bad_outer{LockRank::kOuter, "fixture/bad_outer"};
+Mutex g_bad_inner{LockRank::kInner, "fixture/bad_inner"};
+
+inline void UnjustifiedInversion() {
+  MutexLock inner(g_bad_inner);
+  MutexLock outer(g_bad_outer);  // NOLINT(lockorder) -- WANT(bare-suppression)
+}

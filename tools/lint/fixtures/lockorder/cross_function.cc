@@ -1,0 +1,16 @@
+// Copyright 2026 The streambid Authors
+// Fixture: a descent reached through a call -- the held scope never
+// names the inner mutex; the edge comes from the callee's acquisition
+// and is flagged at the call site.
+
+#include "ranks.h"
+
+Mutex g_cross_outer{LockRank::kOuter, "fixture/cross_outer"};
+Mutex g_cross_inner{LockRank::kInner, "fixture/cross_inner"};
+
+inline void LockCrossOuter() { MutexLock outer(g_cross_outer); }
+
+inline void CrossFunctionDescent() {
+  MutexLock inner(g_cross_inner);
+  LockCrossOuter();  // WANT(lock-order-descent)
+}

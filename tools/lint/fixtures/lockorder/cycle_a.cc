@@ -1,0 +1,15 @@
+// Copyright 2026 The streambid Authors
+// Fixture (with cycle_b.cc): a two-lock cycle across files. Neither
+// mutex is ranked, so the per-edge rank check cannot fire -- the cycle
+// rule is what catches it (reported once, at the smallest edge site).
+
+#include "ranks.h"
+
+void LockBThenA();
+
+Mutex g_cyc_a;  // WANT(unranked-mutex)
+
+inline void LockAThenB() {
+  MutexLock a(g_cyc_a);
+  LockBThenA();  // WANT(lock-order-cycle)
+}

@@ -1,0 +1,13 @@
+// Copyright 2026 The streambid Authors
+// Fixture (with cycle_a.cc): the other half of the cross-file cycle.
+
+#include "ranks.h"
+
+void LockAThenB();
+
+Mutex g_cyc_b;  // WANT(unranked-mutex)
+
+inline void LockBThenA() {
+  MutexLock b(g_cyc_b);
+  LockAThenB();
+}

@@ -1,0 +1,13 @@
+// Copyright 2026 The streambid Authors
+// Fixture: acquiring a lower-ranked mutex while holding a higher one --
+// the inversion-deadlock pattern, flagged at the inner acquisition.
+
+#include "ranks.h"
+
+Mutex g_desc_outer{LockRank::kOuter, "fixture/desc_outer"};
+Mutex g_desc_inner{LockRank::kInner, "fixture/desc_inner"};
+
+inline void DescendingOrder() {
+  MutexLock inner(g_desc_inner);
+  MutexLock outer(g_desc_outer);  // WANT(lock-order-descent)
+}

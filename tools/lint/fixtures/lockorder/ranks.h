@@ -1,0 +1,16 @@
+// Copyright 2026 The streambid Authors
+// Miniature rank table for the lock_order_lint fixtures: the self-test
+// parses this instead of src/common/lock_order.h so fixture findings
+// stay stable as the real hierarchy grows.
+
+#ifndef STREAMBID_TOOLS_LINT_FIXTURES_LOCKORDER_RANKS_H_
+#define STREAMBID_TOOLS_LINT_FIXTURES_LOCKORDER_RANKS_H_
+
+enum class LockRank : int {
+  kOuter = 100,
+  kMiddle = 200,
+  kInner = 300,
+  kLeaf = 1000,
+};
+
+#endif  // STREAMBID_TOOLS_LINT_FIXTURES_LOCKORDER_RANKS_H_

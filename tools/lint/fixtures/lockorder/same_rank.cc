@@ -1,0 +1,14 @@
+// Copyright 2026 The streambid Authors
+// Fixture: ranks must STRICTLY ascend -- two mutexes of the same rank
+// nested is a descent finding (two threads nesting them in opposite
+// orders deadlock, and the rank table cannot order them).
+
+#include "ranks.h"
+
+Mutex g_same_first{LockRank::kMiddle, "fixture/same_first"};
+Mutex g_same_second{LockRank::kMiddle, "fixture/same_second"};
+
+inline void SameRankNesting() {
+  MutexLock first(g_same_first);
+  MutexLock second(g_same_second);  // WANT(lock-order-descent)
+}

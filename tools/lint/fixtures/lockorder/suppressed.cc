@@ -1,0 +1,13 @@
+// Copyright 2026 The streambid Authors
+// Fixture: a reasoned NOLINT(lockorder) on the inner acquisition drops
+// the edge from every check -- no findings in this file.
+
+#include "ranks.h"
+
+Mutex g_sup_outer{LockRank::kOuter, "fixture/sup_outer"};
+Mutex g_sup_inner{LockRank::kInner, "fixture/sup_inner"};
+
+inline void SanctionedInversion() {
+  MutexLock inner(g_sup_inner);
+  MutexLock outer(g_sup_outer);  // NOLINT(lockorder): fixture exercising a reasoned suppression
+}

@@ -1,0 +1,9 @@
+// Copyright 2026 The streambid Authors
+// Fixture: declaration hygiene. A Mutex without a LockRank leaves the
+// declared order incomplete; a rank missing from the table is a typo
+// or a table left out of sync.
+
+#include "ranks.h"
+
+Mutex g_unranked_plain;  // WANT(unranked-mutex)
+Mutex g_unranked_bogus{LockRank::kBogus, "fixture/bogus"};  // WANT(unknown-rank)

@@ -1,0 +1,570 @@
+#!/usr/bin/env python3
+# Copyright 2026 The streambid Authors
+"""Lock-order linter for the streambid tree.
+
+The declared lock hierarchy (src/common/lock_order.h) assigns every
+streambid::Mutex a rank; a thread may only acquire a mutex of strictly
+greater rank than every mutex it already holds. Clang's capability
+analysis proves guarded access but is blind to ordering, and the
+runtime sentinel (-DSTREAMBID_LOCK_ORDER=ON) only sees the schedules
+the tests happen to run. This scanner closes the static half: it parses
+the rank table, extracts every MutexLock acquisition scope across src/
+(including acquisitions reached through a call to another scanned
+function while a lock is held), builds the acquisition graph, and fails
+on:
+
+  unranked-mutex       a Mutex declared under src/ without an explicit
+                       LockRank. Unranked mutexes default to kLeaf at
+                       runtime but leave the declared order incomplete.
+  unknown-rank         a Mutex constructed with a LockRank enumerator
+                       that is not in the rank table (typo or a table
+                       left out of sync).
+  lock-order-descent   an acquisition whose rank does not strictly
+                       exceed the rank already held -- the inversion
+                       deadlock pattern, caught at the inner acquisition
+                       (or at the call site that reaches it).
+  lock-order-cycle     a cycle in the acquisition graph. Load-bearing
+                       for mutexes the rank checks cannot cover (e.g.
+                       unranked fixtures): a cycle means two threads can
+                       wait on each other regardless of ranks.
+  bare-suppression     a NOLINT(lockorder) without a reason.
+
+Scope extraction is heuristic, not a compiler: MutexLock RAII scopes
+are tracked through a comment/string-stripping state machine and brace
+depths; calls made while a lock is held propagate one level into any
+UNIQUELY-NAMED scanned function that itself acquires (ambiguous names
+-- overloads, same-named methods on different classes -- are skipped
+rather than guessed, trading recall for zero false positives).
+
+Suppression: append "// NOLINT(lockorder): <reason>" to the inner
+acquisition (or call) line; the edge is dropped from every check. The
+reason is mandatory; a bare NOLINT(lockorder) is itself a finding.
+
+Usage:
+  lock_order_lint.py [--root REPO_ROOT]   # scan src/, exit 1 on findings
+  lock_order_lint.py --self-test          # run against the fixtures
+
+Self-test: fixture files under tools/lint/fixtures/lockorder/ mark each
+expected finding with "// WANT(<rule>)" on the offending line;
+--self-test scans the fixtures (with their own miniature rank header,
+ranks.h) and asserts the finding set matches the markers exactly.
+
+No third-party dependencies; Python 3.8+ stdlib only.
+"""
+
+import argparse
+import os
+import re
+import sys
+from typing import Dict, List, Optional, Set, Tuple
+
+from determinism_lint import strip_comments_and_strings
+
+Finding = Tuple[str, int, str, str]  # (relpath, line, rule, message)
+
+# --------------------------------------------------------------------------
+# Configuration
+# --------------------------------------------------------------------------
+
+
+class Config:
+    """Where the rank table lives and which files are scanned."""
+
+    def __init__(self, rank_header, scan_roots, skip_files):
+        self.rank_header = rank_header
+        self.scan_roots = scan_roots
+        # The hierarchy's own machinery declares/locks nothing rankable.
+        self.skip_files = skip_files
+
+    @staticmethod
+    def for_src():
+        return Config(
+            rank_header="src/common/lock_order.h",
+            scan_roots=["src"],
+            skip_files={
+                "src/common/lock_order.h",
+                "src/common/lock_order.cc",
+                "src/common/thread_annotations.h",
+            },
+        )
+
+    @staticmethod
+    def for_fixtures():
+        return Config(
+            rank_header="tools/lint/fixtures/lockorder/ranks.h",
+            scan_roots=["tools/lint/fixtures/lockorder"],
+            skip_files={"tools/lint/fixtures/lockorder/ranks.h"},
+        )
+
+
+# --------------------------------------------------------------------------
+# Rank table
+# --------------------------------------------------------------------------
+
+RANK_ENTRY_RE = re.compile(r"\bk(\w+)\s*=\s*(\d+)\s*,")
+
+
+def parse_rank_table(root: str, config: Config) -> Dict[str, int]:
+    """Enumerator name (with the k prefix) -> numeric rank."""
+    path = os.path.join(root, config.rank_header)
+    with open(path, "r", encoding="utf-8") as f:
+        stripped = strip_comments_and_strings(f.read())
+    enum_match = re.search(r"enum\s+class\s+LockRank[^{]*\{", stripped)
+    if enum_match is None:
+        raise RuntimeError(f"{config.rank_header}: no 'enum class LockRank'")
+    body_end = stripped.index("}", enum_match.end())
+    body = stripped[enum_match.end():body_end]
+    table = {"k" + m.group(1): int(m.group(2))
+             for m in RANK_ENTRY_RE.finditer(body)}
+    if not table:
+        raise RuntimeError(f"{config.rank_header}: empty LockRank table")
+    return table
+
+
+# --------------------------------------------------------------------------
+# Per-file model
+# --------------------------------------------------------------------------
+
+MUTEX_DECL_RE = re.compile(r"\bMutex\s+(\w+)")
+LOCK_RANK_USE_RE = re.compile(r"\bLockRank\s*::\s*(\w+)")
+MUTEX_LOCK_RE = re.compile(r"\bMutexLock\s+\w+\s*\(")
+CALL_RE = re.compile(r"\b(~?\w+)\s*\(")
+NON_FUNCTION_NAMES = frozenset({
+    "if", "while", "for", "switch", "catch", "return", "sizeof", "alignof",
+    "alignas", "static_assert", "decltype", "noexcept", "defined", "assert",
+    "MutexLock", "Mutex", "CondVar", "STREAMBID_CHECK",
+})
+
+
+class MutexDecl:
+    def __init__(self, relpath, line, name, rank_token):
+        self.relpath = relpath
+        self.line = line
+        self.name = name
+        self.rank_token = rank_token  # None when unranked
+        self.key = f"{relpath}:{name}"
+
+
+class Edge:
+    """outer is held at (relpath, line) when inner is acquired."""
+
+    def __init__(self, outer: MutexDecl, inner: MutexDecl, relpath, line,
+                 via: Optional[str]):
+        self.outer = outer
+        self.inner = inner
+        self.relpath = relpath
+        self.line = line
+        self.via = via  # callee name for cross-function edges
+
+
+def _matching_paren_end(text: str, open_index: int) -> Optional[int]:
+    depth = 0
+    for i in range(open_index, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif c in ";{}":
+            return None
+    return None
+
+
+class FileModel:
+    """Everything the graph passes need from one source file."""
+
+    def __init__(self, relpath: str, raw: str, stripped: str):
+        self.relpath = relpath
+        self.raw_lines = raw.split("\n")
+        self.stripped = stripped
+        self.decls: List[MutexDecl] = []
+        # (offset, lock_expr) for each MutexLock acquisition.
+        self.acquisitions: List[Tuple[int, str]] = []
+        # (offset, callee) for every call-looking token.
+        self.calls: List[Tuple[int, str]] = []
+        # (offset, name) for every function-definition body opening '{'.
+        self.function_opens: List[Tuple[int, str]] = []
+        self._collect()
+
+    def line_of(self, offset: int) -> int:
+        return self.stripped.count("\n", 0, offset) + 1
+
+    def nolint_on(self, line: int) -> bool:
+        if 1 <= line <= len(self.raw_lines):
+            return NOLINT_RE.search(self.raw_lines[line - 1]) is not None
+        return False
+
+    def _collect(self) -> None:
+        text = self.stripped
+        for m in MUTEX_DECL_RE.finditer(text):
+            name = m.group(1)
+            # "Mutex m" inside a statement; the rank (if any) sits in the
+            # same statement's initializer: "... = Mutex{LockRank::kX, ...}"
+            # or "Mutex m{LockRank::kX, ...}".
+            stmt_end = text.find(";", m.end())
+            stmt = text[m.end():stmt_end] if stmt_end >= 0 else ""
+            rank = LOCK_RANK_USE_RE.search(stmt)
+            self.decls.append(MutexDecl(
+                self.relpath, self.line_of(m.start()), name,
+                rank.group(1) if rank else None))
+        for m in MUTEX_LOCK_RE.finditer(text):
+            open_paren = m.end() - 1
+            close = _matching_paren_end(text, open_paren)
+            if close is None:
+                continue
+            expr = text[open_paren + 1:close].strip()
+            self.acquisitions.append((m.start(), expr))
+        for m in CALL_RE.finditer(text):
+            name = m.group(1)
+            if name in NON_FUNCTION_NAMES or name.startswith("~"):
+                continue
+            self.calls.append((m.start(), name))
+            close = _matching_paren_end(text, m.end() - 1)
+            if close is None:
+                continue
+            # Function definition: '(params)' then anything but ';' or a
+            # brace pair boundary up to an opening '{' (covers const,
+            # noexcept, ctor init lists, trailing return types).
+            tail = text[close + 1:close + 256]
+            body = re.match(r"[^;{}()]*\{", tail)
+            if body is not None:
+                self.function_opens.append((close + 1 + body.end() - 1, name))
+
+
+# --------------------------------------------------------------------------
+# Acquisition sweep
+# --------------------------------------------------------------------------
+
+
+class SweepResult:
+    def __init__(self):
+        self.direct_edges: List[Edge] = []
+        # callee -> acquisitions while executing it (one level deep).
+        self.function_acquires: Dict[str, List[MutexDecl]] = {}
+        # (outer decl, callee, relpath, line) calls made under a lock.
+        self.held_calls: List[Tuple[MutexDecl, str, str, int]] = []
+
+
+def resolve_mutex(expr: str, model: FileModel,
+                  by_name: Dict[str, List[MutexDecl]]) -> Optional[MutexDecl]:
+    """Maps a MutexLock argument expression to its declaration.
+
+    Resolution order for the trailing identifier: declaration in the
+    same file, then in the paired header/source (same filename stem),
+    then globally if the name is unique. Ambiguity returns None -- the
+    acquisition still participates as a file-local node so cycles
+    through it are not lost.
+    """
+    m = re.search(r"(\w+)\s*$", expr)
+    if m is None:
+        return None
+    name = m.group(1)
+    candidates = by_name.get(name, [])
+    same_file = [d for d in candidates if d.relpath == model.relpath]
+    if len(same_file) == 1:
+        return same_file[0]
+    stem = os.path.splitext(os.path.basename(model.relpath))[0]
+    same_stem = [d for d in candidates
+                 if os.path.splitext(os.path.basename(d.relpath))[0] == stem]
+    if len(same_stem) == 1:
+        return same_stem[0]
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+def sweep_file(model: FileModel, by_name: Dict[str, List[MutexDecl]],
+               result: SweepResult) -> None:
+    """One linear pass: brace depth, active-lock stack, function stack."""
+    events = []  # (offset, order, kind, payload)
+    for i, c in enumerate(model.stripped):
+        if c == "{":
+            events.append((i, 1, "open", None))
+        elif c == "}":
+            events.append((i, 0, "close", None))
+    for offset, name in model.function_opens:
+        events.append((offset, 0, "func", name))  # before the '{' at offset
+    for offset, expr in model.acquisitions:
+        events.append((offset, 2, "lock", expr))
+    for offset, name in model.calls:
+        events.append((offset, 3, "call", name))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    depth = 0
+    lock_stack: List[Tuple[int, MutexDecl]] = []  # (depth at acquisition, decl)
+    func_stack: List[Tuple[int, str]] = []  # (depth of body, name)
+    pending_func: Optional[str] = None
+    for offset, _, kind, payload in events:
+        if kind == "func":
+            pending_func = payload
+        elif kind == "open":
+            depth += 1
+            if pending_func is not None:
+                func_stack.append((depth, pending_func))
+                pending_func = None
+        elif kind == "close":
+            depth -= 1
+            while lock_stack and lock_stack[-1][0] > depth:
+                lock_stack.pop()
+            while func_stack and func_stack[-1][0] > depth:
+                func_stack.pop()
+        elif kind == "lock":
+            decl = resolve_mutex(payload, model, by_name)
+            if decl is None:
+                # File-local anonymous node: keeps unresolvable mutexes
+                # in the graph without guessing a rank.
+                name = re.search(r"(\w+)\s*$", payload)
+                decl = MutexDecl(model.relpath, model.line_of(offset),
+                                 name.group(1) if name else payload, None)
+            line = model.line_of(offset)
+            if lock_stack:
+                result.direct_edges.append(Edge(
+                    lock_stack[-1][1], decl, model.relpath, line, None))
+            if func_stack:
+                result.function_acquires.setdefault(
+                    func_stack[-1][1], []).append(decl)
+            lock_stack.append((depth, decl))
+        elif kind == "call":
+            if lock_stack:
+                result.held_calls.append((
+                    lock_stack[-1][1], payload, model.relpath,
+                    model.line_of(offset)))
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+NOLINT_RE = re.compile(r"//\s*NOLINT\(lockorder\)")
+NOLINT_WITH_REASON_RE = re.compile(r"//\s*NOLINT\(lockorder\)\s*:\s*\S")
+WANT_RE = re.compile(r"//.*?\bWANT\(([\w-]+)\)")
+
+MESSAGES = {
+    "unranked-mutex":
+        "Mutex declared without a LockRank; every mutex under src/ must "
+        "name its place in the declared hierarchy "
+        "(common/lock_order.h) -- construct with "
+        "{LockRank::k<Rank>, \"layer/name\"}",
+    "unknown-rank":
+        "LockRank enumerator not found in the rank table of "
+        "common/lock_order.h; the table and the enum are out of sync",
+    "lock-order-descent":
+        "acquisition does not strictly ascend the declared hierarchy; "
+        "a concurrent thread taking these locks in rank order can "
+        "deadlock against this one",
+    "lock-order-cycle":
+        "cycle in the acquisition graph; two threads can each hold one "
+        "lock of the cycle and wait forever on the next",
+    "bare-suppression":
+        "NOLINT(lockorder) without a reason; write "
+        "'// NOLINT(lockorder): <why this order is safe>'",
+}
+
+
+def rank_of(decl: MutexDecl, table: Dict[str, int]) -> Optional[int]:
+    if decl.rank_token is None:
+        return None
+    return table.get(decl.rank_token)
+
+
+def check_edges(edges: List[Edge], table: Dict[str, int],
+                models: Dict[str, FileModel]) -> List[Finding]:
+    findings: List[Finding] = []
+    live_edges: List[Edge] = []
+    for edge in edges:
+        model = models[edge.relpath]
+        if model.nolint_on(edge.line):
+            continue  # suppressed; reason hygiene is checked separately
+        live_edges.append(edge)
+        outer_rank = rank_of(edge.outer, table)
+        inner_rank = rank_of(edge.inner, table)
+        if outer_rank is None or inner_rank is None:
+            continue  # unranked mutexes are their own finding
+        if inner_rank <= outer_rank:
+            via = f" (via call to {edge.via})" if edge.via else ""
+            findings.append((
+                edge.relpath, edge.line, "lock-order-descent",
+                f"{MESSAGES['lock-order-descent']}: acquiring "
+                f"\"{edge.inner.name}\" ({edge.inner.rank_token}, rank "
+                f"{inner_rank}) while holding \"{edge.outer.name}\" "
+                f"({edge.outer.rank_token}, rank {outer_rank}){via}"))
+
+    findings.extend(find_cycles(live_edges))
+    return findings
+
+
+def find_cycles(edges: List[Edge]) -> List[Finding]:
+    """Reports each elementary cycle once, at its smallest edge site."""
+    graph: Dict[str, List[Edge]] = {}
+    for edge in edges:
+        graph.setdefault(edge.outer.key, []).append(edge)
+
+    findings: List[Finding] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+    for start in sorted(graph):
+        # Bounded DFS from each node; cycles in a lock graph are tiny.
+        stack: List[Tuple[str, List[Edge]]] = [(start, [])]
+        while stack:
+            node, path = stack.pop()
+            if len(path) > 8:
+                continue
+            for edge in graph.get(node, []):
+                nxt = edge.inner.key
+                if nxt == start:
+                    cycle = path + [edge]
+                    ident = tuple(sorted(e.outer.key for e in cycle))
+                    if ident in seen_cycles:
+                        continue
+                    seen_cycles.add(ident)
+                    site = min(cycle, key=lambda e: (e.relpath, e.line))
+                    chain = " -> ".join(
+                        [e.outer.name for e in cycle] + [cycle[0].outer.name])
+                    findings.append((
+                        site.relpath, site.line, "lock-order-cycle",
+                        f"{MESSAGES['lock-order-cycle']}: {chain}"))
+                elif all(e.outer.key != nxt for e in path):
+                    stack.append((nxt, path + [edge]))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def iter_source_files(root: str, config: Config):
+    for scan_root in config.scan_roots:
+        base = os.path.join(root, scan_root)
+        for dirpath, _, filenames in os.walk(base):
+            for filename in sorted(filenames):
+                if filename.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    path = os.path.join(dirpath, filename)
+                    rel = os.path.relpath(path, root).replace(os.sep, "/")
+                    if rel in config.skip_files:
+                        continue
+                    yield rel, path
+
+
+def run_scan(root: str, config: Config) -> List[Finding]:
+    table = parse_rank_table(root, config)
+    models: Dict[str, FileModel] = {}
+    for rel, path in iter_source_files(root, config):
+        with open(path, "r", encoding="utf-8") as f:
+            raw = f.read()
+        models[rel] = FileModel(rel, raw, strip_comments_and_strings(raw))
+
+    by_name: Dict[str, List[MutexDecl]] = {}
+    for model in models.values():
+        for decl in model.decls:
+            by_name.setdefault(decl.name, []).append(decl)
+
+    findings: List[Finding] = []
+
+    # Declaration hygiene: every mutex ranked, every rank known.
+    for model in models.values():
+        for decl in model.decls:
+            if model.nolint_on(decl.line):
+                continue
+            if decl.rank_token is None:
+                findings.append((decl.relpath, decl.line, "unranked-mutex",
+                                 MESSAGES["unranked-mutex"]))
+            elif decl.rank_token not in table:
+                findings.append((
+                    decl.relpath, decl.line, "unknown-rank",
+                    f"{MESSAGES['unknown-rank']}: LockRank::"
+                    f"{decl.rank_token}"))
+
+    # Acquisition sweep + one level of call propagation.
+    result = SweepResult()
+    for rel in sorted(models):
+        sweep_file(models[rel], by_name, result)
+
+    # A callee participates only when its name is globally unique among
+    # scanned definitions (no guessing between overloads/same-named
+    # methods on different classes).
+    definition_counts: Dict[str, int] = {}
+    for model in models.values():
+        for _, name in model.function_opens:
+            definition_counts[name] = definition_counts.get(name, 0) + 1
+
+    edges = list(result.direct_edges)
+    for outer, callee, rel, line in result.held_calls:
+        if definition_counts.get(callee, 0) != 1:
+            continue
+        for inner in result.function_acquires.get(callee, []):
+            if inner.key == outer.key:
+                continue  # recursion into the same lock's own scope
+            edges.append(Edge(outer, inner, rel, line, callee))
+
+    findings.extend(check_edges(edges, table, models))
+
+    # Suppression hygiene runs on raw lines (NOLINT lives in comments).
+    for model in models.values():
+        for idx, raw_line in enumerate(model.raw_lines, start=1):
+            if NOLINT_RE.search(raw_line) and \
+                    not NOLINT_WITH_REASON_RE.search(raw_line):
+                findings.append((model.relpath, idx, "bare-suppression",
+                                 MESSAGES["bare-suppression"]))
+
+    findings = sorted(set(findings), key=lambda f: (f[0], f[1], f[2]))
+    return findings
+
+
+def self_test(root: str) -> int:
+    config = Config.for_fixtures()
+    expected: Set[Tuple[str, int, str]] = set()
+    for rel, path in iter_source_files(root, config):
+        with open(path, "r", encoding="utf-8") as f:
+            for idx, line in enumerate(f, start=1):
+                for m in WANT_RE.finditer(line):
+                    expected.add((rel, idx, m.group(1)))
+    if not expected:
+        print("lock_order_lint self-test: no WANT markers found under "
+              "tools/lint/fixtures/lockorder -- fixtures missing?")
+        return 2
+
+    actual = {(rel, line, rule) for rel, line, rule, _ in
+              run_scan(root, config)}
+    missing = sorted(expected - actual)
+    unexpected = sorted(actual - expected)
+    for rel, line, rule in missing:
+        print(f"MISSING   {rel}:{line}: expected [{rule}] not reported")
+    for rel, line, rule in unexpected:
+        print(f"SPURIOUS  {rel}:{line}: reported [{rule}] not expected")
+    if missing or unexpected:
+        print(f"lock_order_lint self-test: FAIL "
+              f"({len(missing)} missing, {len(unexpected)} spurious)")
+        return 1
+    print(f"lock_order_lint self-test: OK "
+          f"({len(expected)} findings matched)")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_root = os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    parser.add_argument("--root", default=default_root,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="scan the bundled fixtures and verify the "
+                             "finding set against their WANT markers")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args.root)
+
+    findings = run_scan(args.root, Config.for_src())
+    for rel, line, rule, message in findings:
+        print(f"{rel}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"lock_order_lint: {len(findings)} finding(s)")
+        return 1
+    print("lock_order_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
